@@ -1,0 +1,26 @@
+"""Shared helpers for the figure-regeneration benches.
+
+Every bench prints the rows/series of its paper artifact and also writes
+them to ``benchmarks/results/<name>.txt`` so the regenerated data survives
+non-verbose pytest runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, lines: list[str]) -> None:
+    """Print the regenerated artifact and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===")
+    print(text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

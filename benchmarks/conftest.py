@@ -1,0 +1,32 @@
+"""Session-scoped worlds shared across benches (profiling is the slow part)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.experiments.common import ExperimentConfig, build_world
+
+#: Default evaluation scale for the benches: enough requests for stable
+#: orderings, small enough that the whole harness finishes in minutes.
+BENCH_CONFIG = ExperimentConfig(num_requests=40, num_test_requests=6)
+
+
+@pytest.fixture(scope="session")
+def worlds():
+    """Lazily built (model, dataset) worlds, cached for the session."""
+    cache: dict[tuple[str, str], object] = {}
+
+    def get(model: str, dataset: str = "lmsys-chat-1m"):
+        key = (model, dataset)
+        if key not in cache:
+            cache[key] = build_world(
+                BENCH_CONFIG.with_(model_name=model, dataset=dataset)
+            )
+        return cache[key]
+
+    return get

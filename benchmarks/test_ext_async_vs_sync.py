@@ -1,0 +1,70 @@
+"""Extension: asynchronous vs synchronous map matching + prefetching.
+
+The paper's §4.3 argues that decoupling matching/prefetching from the
+inference loop (publisher-subscriber) is essential.  This bench runs the
+same fMoE policy with its actions forced to block until prefetch arrival —
+the MoE-Infinity/Mixtral-Offloading execution model — and measures the
+latency cost of synchrony at an equal-or-better hit rate.
+"""
+
+from _util import emit, run_once
+from conftest import BENCH_CONFIG
+
+from repro.core.policy import FMoEPolicy
+from repro.experiments.common import build_world
+from repro.serving.engine import ServingEngine
+
+
+class SynchronousFMoE(FMoEPolicy):
+    """fMoE with blocking prefetches (what §4.3's design avoids)."""
+
+    name = "fmoe-sync"
+
+    def on_iteration_start(self, ctx):
+        action = super().on_iteration_start(ctx)
+        action.block_until_arrival = True
+        # Matching latency moves onto the critical path.
+        action.sync_overheads.update(action.async_overheads)
+        action.async_overheads = {}
+        return action
+
+    def on_gate_output(self, ctx, layer):
+        action = super().on_gate_output(ctx, layer)
+        action.block_until_arrival = True
+        action.sync_overheads.update(action.async_overheads)
+        action.async_overheads = {}
+        return action
+
+
+def test_ext_async_vs_sync(benchmark):
+    def experiment():
+        world = build_world(BENCH_CONFIG)
+        budget = BENCH_CONFIG.resolve_budget(world.model_config)
+        results = {}
+        for name, cls in (("async", FMoEPolicy), ("sync", SynchronousFMoE)):
+            policy = cls(
+                prefetch_distance=BENCH_CONFIG.prefetch_distance,
+                store_capacity=BENCH_CONFIG.store_capacity,
+            )
+            engine = ServingEngine(
+                world.fresh_model(),
+                policy,
+                cache_budget_bytes=budget,
+                hardware=BENCH_CONFIG.hardware,
+            )
+            policy.warm(world.warm_traces)
+            results[name] = engine.run(world.test_requests)
+        return results
+
+    results = run_once(benchmark, experiment)
+    emit(
+        "ext_async_vs_sync",
+        [
+            f"{name:6s} tpot={r.mean_tpot() * 1000:7.1f}ms "
+            f"ttft={r.mean_ttft():6.3f}s hit={r.hit_rate:5.3f}"
+            for name, r in results.items()
+        ],
+    )
+    # Synchrony buys (at most a few) extra hits at a large latency cost.
+    assert results["async"].mean_tpot() < results["sync"].mean_tpot()
+    assert results["sync"].hit_rate >= results["async"].hit_rate - 0.02

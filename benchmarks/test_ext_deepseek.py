@@ -1,0 +1,36 @@
+"""Extension: fMoE on DeepSeek-MoE (64 routed + 2 shared experts, top-6).
+
+DeepSeek-MoE is the paper's motivating example of extreme sparsity (83%
+inactive parameters, §2.2) but not part of its testbed.  This bench runs
+the full comparison on its architecture shape to check that fMoE's win
+generalizes to very wide, high-top-K routing.
+"""
+
+from _util import emit, run_once
+from conftest import BENCH_CONFIG
+
+from repro.experiments.common import build_world, run_system
+
+SYSTEMS = ("fmoe", "mixtral-offloading", "promoe", "moe-infinity")
+
+
+def test_ext_deepseek(benchmark):
+    def experiment():
+        world = build_world(BENCH_CONFIG.with_(model_name="deepseek-moe"))
+        return {s: run_system(world, s) for s in SYSTEMS}
+
+    reports = run_once(benchmark, experiment)
+    emit(
+        "ext_deepseek",
+        [
+            f"{name:22s} TTFT={r.mean_ttft():6.3f}s "
+            f"TPOT={r.mean_tpot() * 1000:7.1f}ms hit={r.hit_rate:5.3f}"
+            for name, r in reports.items()
+        ],
+    )
+    fmoe = reports["fmoe"]
+    for name, report in reports.items():
+        if name == "fmoe":
+            continue
+        assert fmoe.mean_tpot() < report.mean_tpot(), name
+        assert fmoe.hit_rate > report.hit_rate, name

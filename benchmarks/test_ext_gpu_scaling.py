@@ -1,0 +1,54 @@
+"""Extension: fMoE scaling with GPU count and expert-placement strategy.
+
+More GPUs mean more parallel PCIe links and more cache shards at the same
+total budget, so latency improves with scale; round-robin placement
+(the paper's §5 choice) should beat layer-sharding, whose per-layer
+transfers serialize on a single link.
+"""
+
+from _util import emit, run_once
+from conftest import BENCH_CONFIG
+
+from repro.experiments.scaling import gpu_scaling, placement_comparison
+
+GPU_COUNTS = (1, 2, 4, 6)
+
+
+def test_ext_gpu_scaling(benchmark):
+    def experiment():
+        return (
+            gpu_scaling(gpu_counts=GPU_COUNTS, config=BENCH_CONFIG),
+            placement_comparison(config=BENCH_CONFIG),
+        )
+
+    scaling_rows, placement_rows = run_once(benchmark, experiment)
+    lines = [
+        f"gpus={r.num_gpus}: TTFT={r.ttft_seconds:6.3f}s "
+        f"TPOT={r.tpot_seconds * 1000:7.1f}ms hit={r.hit_rate:5.3f}"
+        for r in scaling_rows
+    ]
+    lines.append("")
+    lines += [
+        f"{r.placement:14s} TTFT={r.ttft_seconds:6.3f}s "
+        f"TPOT={r.tpot_seconds * 1000:7.1f}ms hit={r.hit_rate:5.3f}"
+        for r in placement_rows
+    ]
+    emit("ext_gpu_scaling", lines)
+
+    by_gpus = {r.num_gpus: r for r in scaling_rows}
+    # One link serializes everything; six links beat it clearly.
+    assert by_gpus[6].ttft_seconds < by_gpus[1].ttft_seconds
+    assert by_gpus[6].tpot_seconds <= by_gpus[1].tpot_seconds
+
+    by_placement = {r.placement: r for r in placement_rows}
+    # The paper's round-robin interleaving is the best decode choice: a
+    # layer's on-demand loads spread over all links instead of serializing
+    # on one (layer-sharded) or landing unevenly (hashed).
+    assert (
+        by_placement["round-robin"].tpot_seconds
+        <= by_placement["layer-sharded"].tpot_seconds
+    )
+    assert (
+        by_placement["round-robin"].tpot_seconds
+        <= by_placement["hashed"].tpot_seconds
+    )

@@ -1,0 +1,66 @@
+"""Extension: per-layer hit-rate profile of fMoE.
+
+The two search modes cover different regions: semantic search guides the
+first ``d`` layers (which a trajectory-based prefetcher cannot predict at
+all), trajectory search everything past them.  The layer profile makes
+that division visible and quantifies how much the semantic mode is worth
+on the layers it owns.
+"""
+
+import numpy as np
+from _util import emit, run_once
+from conftest import BENCH_CONFIG
+
+from repro.core.policy import FMoEPolicy
+from repro.experiments.common import build_world
+from repro.serving.engine import ServingEngine
+
+
+def _run(world, use_semantic: bool):
+    policy = FMoEPolicy(
+        prefetch_distance=BENCH_CONFIG.prefetch_distance,
+        store_capacity=BENCH_CONFIG.store_capacity,
+        use_semantic=use_semantic,
+    )
+    engine = ServingEngine(
+        world.fresh_model(),
+        policy,
+        cache_budget_bytes=BENCH_CONFIG.resolve_budget(world.model_config),
+        hardware=BENCH_CONFIG.hardware,
+    )
+    policy.warm(world.warm_traces)
+    return engine.run(world.test_requests)
+
+
+def test_ext_layer_profile(benchmark):
+    def experiment():
+        world = build_world(BENCH_CONFIG)
+        return (
+            world.model_config.num_layers,
+            _run(world, use_semantic=True),
+            _run(world, use_semantic=False),
+        )
+
+    num_layers, with_semantic, without_semantic = run_once(
+        benchmark, experiment
+    )
+    full = with_semantic.layer_hit_rates(num_layers)
+    traj_only = without_semantic.layer_hit_rates(num_layers)
+    d = BENCH_CONFIG.prefetch_distance
+    lines = ["layer  full   traj-only"]
+    for layer in range(num_layers):
+        lines.append(
+            f"{layer:5d}  {full[layer]:5.3f}  {traj_only[layer]:5.3f}"
+            + ("   <- semantic-only region" if layer < d else "")
+        )
+    emit("ext_layer_profile", lines)
+
+    # Without semantic search the first d layers are unguided: their hit
+    # rate collapses relative to the full design.
+    early_full = np.nanmean(full[:d])
+    early_traj = np.nanmean(traj_only[:d])
+    assert early_full > early_traj + 0.1
+    # Past the semantic window both run the same trajectory machinery.
+    late_full = np.nanmean(full[d:])
+    late_traj = np.nanmean(traj_only[d:])
+    assert abs(late_full - late_traj) < 0.15

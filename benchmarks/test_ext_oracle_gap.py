@@ -1,0 +1,54 @@
+"""Extension: how much headroom remains between fMoE and a hindsight
+oracle prefetcher at the same prefetch distance, plus the Belady/LRU/LFU
+miss bounds from the §3.3 formulation."""
+
+from _util import emit, run_once
+from conftest import BENCH_CONFIG
+
+from repro.analysis.ilp import (
+    activation_sequence,
+    belady_min_misses,
+    evaluate_cache_schedule,
+)
+from repro.experiments.common import build_world, run_system
+from repro.workloads.profiler import collect_history
+
+
+def test_ext_oracle_gap(benchmark):
+    def experiment():
+        world = build_world(BENCH_CONFIG)
+        fmoe = run_system(world, "fmoe")
+        oracle = run_system(world, "oracle")
+        test_traces = collect_history(
+            world.fresh_model(), world.test_requests
+        )
+        sequence = activation_sequence(test_traces)
+        capacity = int(
+            BENCH_CONFIG.resolve_budget(world.model_config)
+            / world.model_config.expert_bytes
+        )
+        return {
+            "fmoe": fmoe,
+            "oracle": oracle,
+            "belady": belady_min_misses(sequence, capacity),
+            "lru": evaluate_cache_schedule(sequence, capacity, "lru"),
+            "lfu": evaluate_cache_schedule(sequence, capacity, "lfu"),
+            "accesses": sum(len(g) for g in sequence),
+        }
+
+    result = run_once(benchmark, experiment)
+    fmoe, oracle = result["fmoe"], result["oracle"]
+    lines = [
+        f"fmoe   hit={fmoe.hit_rate:5.3f} tpot={fmoe.mean_tpot() * 1000:7.1f}ms",
+        f"oracle hit={oracle.hit_rate:5.3f} tpot={oracle.mean_tpot() * 1000:7.1f}ms",
+        f"offline miss bounds over {result['accesses']} accesses: "
+        f"belady={result['belady']} lru={result['lru']} lfu={result['lfu']}",
+    ]
+    emit("ext_oracle_gap", lines)
+    # The oracle (perfect prediction, same issue window) bounds fMoE.
+    assert oracle.hit_rate >= fmoe.hit_rate - 0.02
+    # fMoE closes most of the gap: within 25% of the oracle's hit rate.
+    assert fmoe.hit_rate > 0.75 * oracle.hit_rate
+    # Belady lower-bounds the online policies.
+    assert result["belady"] <= result["lru"]
+    assert result["belady"] <= result["lfu"]

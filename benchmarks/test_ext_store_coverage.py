@@ -1,0 +1,48 @@
+"""Extension: empirical check of the §4.4 sphere-covering capacity bounds.
+
+The paper cites covering results implying that 2·L·J stored maps give a
+≥75%-similar match for any new iteration.  This bench measures actual
+coverage on the simulated routing space at the paper's two capacity
+bounds and across a sweep.
+"""
+
+from _util import emit, run_once
+
+from repro.analysis.coverage import coverage_curve, paper_capacity_bounds
+from repro.moe.config import tiny_test_model
+
+
+def test_ext_store_coverage(benchmark):
+    config = tiny_test_model(num_layers=8, experts_per_layer=6)
+    bound_75, bound_98 = paper_capacity_bounds(config)
+
+    def experiment():
+        capacities = tuple(
+            sorted({8, 24, bound_75 // 2, bound_75, bound_98, 2 * bound_98})
+        )
+        return coverage_curve(config, capacities, num_probes=64)
+
+    points = run_once(benchmark, experiment)
+    emit(
+        "ext_store_coverage",
+        [
+            f"(2LJ={bound_75}, 0.5·LJ·ln(LJ)={bound_98})",
+        ]
+        + [
+            f"C={p.capacity:5d}: mean best sim={p.mean_best_similarity:5.3f} "
+            f"frac>=0.75: {p.fraction_above_75:5.2f} "
+            f"frac>=0.98: {p.fraction_above_98:5.2f}"
+            for p in points
+        ],
+    )
+    by_capacity = {p.capacity: p for p in points}
+    # Coverage improves monotonically (within noise) with capacity.
+    sims = [p.mean_best_similarity for p in points]
+    assert sims[-1] >= sims[0]
+    # At the paper's 2LJ bound, the mean best match reaches the 75%
+    # similarity level and a majority of probes clear it outright (the
+    # covering theorem assumes optimally placed spheres; the store is
+    # filled from random history, so per-probe coverage lands below the
+    # optimal-placement guarantee).
+    assert by_capacity[bound_75].mean_best_similarity >= 0.75
+    assert by_capacity[bound_75].fraction_above_75 > 0.5

@@ -1,0 +1,30 @@
+"""Fig. 10: CDF of request latency under online (cold-start) serving."""
+
+from _util import emit, run_once
+from conftest import BENCH_CONFIG
+
+from repro.experiments.online import online_cdfs
+
+
+def test_fig10_online_cdf(benchmark):
+    cdfs = run_once(
+        benchmark,
+        lambda: online_cdfs(num_requests=24, config=BENCH_CONFIG),
+    )
+    lines = []
+    for c in cdfs:
+        lines.append(
+            f"{c.model:14s} {c.system:22s} "
+            f"p50={c.percentile(50):7.2f}s p90={c.percentile(90):7.2f}s "
+            f"p99={c.percentile(99):7.2f}s"
+        )
+    emit("fig10_online_cdf", lines)
+
+    by_system = {c.system: c for c in cdfs}
+    fmoe = by_system["fmoe"]
+    for name, cdf in by_system.items():
+        if name == "fmoe":
+            continue
+        # fMoE's CDF sits left of every baseline at the median and tail.
+        assert fmoe.percentile(50) < cdf.percentile(50), name
+        assert fmoe.percentile(90) < cdf.percentile(90), name

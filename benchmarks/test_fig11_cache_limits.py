@@ -1,0 +1,41 @@
+"""Fig. 11: TPOT under varying expert-cache limits (6 → 96 GB)."""
+
+from _util import emit, run_once
+from conftest import BENCH_CONFIG
+
+from repro.experiments.cache_limits import tpot_vs_cache_limit
+
+LIMITS = (6, 12, 24, 48, 96)
+
+
+def test_fig11_cache_limits(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: tpot_vs_cache_limit(limits_gb=LIMITS, config=BENCH_CONFIG),
+    )
+    systems = sorted({r.system for r in rows})
+    lines = ["cache GB:      " + " ".join(f"{g:8d}" for g in LIMITS)]
+    for system in systems:
+        series = [r for r in rows if r.system == system]
+        series.sort(key=lambda r: r.cache_gb)
+        lines.append(
+            f"{system:14s} "
+            + " ".join(f"{r.tpot_seconds * 1000:7.1f}m" for r in series)
+        )
+    emit("fig11_cache_limits", lines)
+
+    by_key = {(r.system, r.cache_gb): r for r in rows}
+    for gb in LIMITS:
+        fmoe = by_key[("fmoe", gb)]
+        for system in systems:
+            if system == "fmoe":
+                continue
+            # fMoE dominates across the whole sweep (§6.4).
+            assert (
+                fmoe.tpot_seconds <= by_key[(system, gb)].tpot_seconds
+            ), (system, gb)
+    # Everyone improves with more memory.
+    for system in systems:
+        first = by_key[(system, LIMITS[0])]
+        last = by_key[(system, LIMITS[-1])]
+        assert last.tpot_seconds <= first.tpot_seconds * 1.02, system

@@ -1,0 +1,46 @@
+"""Fig. 12a: ablation of expert pattern tracking approaches.
+
+Shape to reproduce: request-level hit counts are the weakest tracker;
+expert-map variants improve as features are restored (T → T+S → T+S+δ);
+speculation is strong at short distances but decays, so the full map
+design wins at the paper's default d=3.
+"""
+
+from _util import emit, run_once
+
+from repro.experiments.ablation import tracking_ablation
+
+
+def test_fig12a_tracking_ablation(benchmark):
+    def experiment():
+        return {
+            d: tracking_ablation(distance=d, num_requests=48, num_test=5)
+            for d in (1, 3)
+        }
+
+    by_distance = run_once(benchmark, experiment)
+    lines = []
+    for d, rows in by_distance.items():
+        lines.append(f"prefetch distance {d}:")
+        lines.extend(f"  {r.variant:14s} hit={r.hit_rate:5.3f}" for r in rows)
+    emit("fig12a_ablation_tracking", lines)
+
+    near = {r.variant: r.hit_rate for r in by_distance[1]}
+    far = {r.variant: r.hit_rate for r in by_distance[3]}
+    # Speculation is effective at distance 1 (residual-stream reuse) ...
+    assert near["speculate"] > near["hit-count"]
+    # ... but decays drastically with distance (§6.5).
+    assert far["speculate"] < near["speculate"] - 0.1
+    for rows in by_distance.values():
+        by_name = {r.variant: r.hit_rate for r in rows}
+        # Coarse hit counts lose clearly once semantic search covers the
+        # initial layers; the trajectory-only variant (blind for the first
+        # d layers) must at least stay competitive with them.
+        assert by_name["hit-count"] < by_name["map-T+S"]
+        assert by_name["hit-count"] < by_name["map-T+S+delta"]
+        assert by_name["map-T"] > by_name["hit-count"] - 0.03
+        # Restoring features monotonically improves the expert map.
+        assert by_name["map-T"] <= by_name["map-T+S"] + 0.02
+        assert by_name["map-T+S"] <= by_name["map-T+S+delta"] + 0.02
+    # The full design beats speculation at the default distance.
+    assert far["map-T+S+delta"] > far["speculate"]

@@ -1,0 +1,24 @@
+"""Fig. 12b: ablation of expert caching algorithms inside fMoE.
+
+Shape to reproduce: LRU performs poorly (layer-sequential access is the
+LRU anti-pattern), LFU is better, fMoE's 1/(p·freq) scoring is best.
+"""
+
+from _util import emit, run_once
+from conftest import BENCH_CONFIG
+
+from repro.experiments.ablation import caching_ablation
+
+
+def test_fig12b_caching_ablation(benchmark):
+    rows = run_once(
+        benchmark, lambda: caching_ablation(config=BENCH_CONFIG)
+    )
+    emit(
+        "fig12b_ablation_caching",
+        [f"{r.variant:6s} hit={r.hit_rate:5.3f}" for r in rows],
+    )
+    by_name = {r.variant: r.hit_rate for r in rows}
+    assert by_name["fmoe"] > by_name["lru"]
+    assert by_name["fmoe"] >= by_name["lfu"]
+    assert by_name["lfu"] > by_name["lru"]

@@ -1,0 +1,40 @@
+"""Fig. 13: fMoE's performance at different prefetch distances.
+
+Shape to reproduce: small distances (<3) cannot hide matching + transfer
+delay; large distances (>3) mispredict more; d=3 is the sweet spot the
+paper uses throughout.
+"""
+
+from _util import emit, run_once
+from conftest import BENCH_CONFIG
+
+from repro.experiments.sensitivity import prefetch_distance_sensitivity
+
+DISTANCES = (1, 2, 3, 4, 6, 8)
+
+
+def test_fig13_prefetch_distance(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: prefetch_distance_sensitivity(
+            distances=DISTANCES, config=BENCH_CONFIG
+        ),
+    )
+    emit(
+        "fig13_prefetch_distance",
+        [
+            f"d={r.distance}: TTFT={r.ttft_seconds:6.3f}s "
+            f"TPOT={r.tpot_seconds * 1000:7.1f}ms hit={r.hit_rate:5.3f}"
+            for r in rows
+        ],
+    )
+    by_d = {r.distance: r for r in rows}
+    best = min(rows, key=lambda r: r.tpot_seconds)
+    # The optimum sits in the middle of the sweep, not at the extremes.
+    assert best.distance in (2, 3, 4)
+    # Both extremes pay: short distances cannot hide the match+copy
+    # pipeline (hit collapses), long distances issue earlier than the
+    # matcher can predict accurately (TPOT and TTFT creep back up).
+    assert by_d[1].hit_rate < by_d[3].hit_rate
+    assert by_d[8].tpot_seconds > best.tpot_seconds
+    assert by_d[8].ttft_seconds > by_d[2].ttft_seconds

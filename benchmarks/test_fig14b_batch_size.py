@@ -1,0 +1,37 @@
+"""Fig. 14b: performance vs inference batch size (Mixtral, LMSYS-like)."""
+
+from _util import emit, run_once
+from conftest import BENCH_CONFIG
+
+from repro.experiments.sensitivity import batch_size_sensitivity
+
+BATCH_SIZES = (1, 2, 4)
+
+
+def test_fig14b_batch_size(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: batch_size_sensitivity(
+            batch_sizes=BATCH_SIZES, config=BENCH_CONFIG
+        ),
+    )
+    emit(
+        "fig14b_batch_size",
+        [
+            f"{r.system:20s} B={r.batch_size}: TTFT={r.ttft_seconds:6.3f}s "
+            f"TPOT={r.tpot_seconds * 1000:7.1f}ms"
+            for r in rows
+        ],
+    )
+    by_key = {(r.system, r.batch_size): r for r in rows}
+    systems = sorted({r.system for r in rows})
+    wins = 0
+    for batch in BATCH_SIZES:
+        fmoe = by_key[("fmoe", batch)]
+        wins += all(
+            fmoe.tpot_seconds <= by_key[(s, batch)].tpot_seconds
+            for s in systems
+            if s != "fmoe"
+        )
+    # Paper: "fMoE achieves the lowest TTFT and TPOT in most cases".
+    assert wins >= len(BATCH_SIZES) - 1

@@ -1,0 +1,44 @@
+"""Fig. 15: latency breakdown of one fMoE inference iteration.
+
+Shape to reproduce: compute and on-demand loading dominate the critical
+path; fMoE's own synchronous additions (context collection) stay well
+under 30 ms per iteration; map matching, prefetch transfers, and map
+updates run asynchronously.
+"""
+
+from _util import emit, run_once
+from conftest import BENCH_CONFIG
+
+from repro.experiments.overheads import (
+    latency_breakdown,
+    synchronous_overhead_seconds,
+)
+
+
+def test_fig15_latency_breakdown(benchmark):
+    rows = run_once(benchmark, lambda: latency_breakdown(config=BENCH_CONFIG))
+    lines = []
+    models = sorted({r.model for r in rows})
+    for model in models:
+        lines.append(f"{model}:")
+        for r in rows:
+            if r.model != model:
+                continue
+            kind = "sync " if r.synchronous else "async"
+            lines.append(
+                f"  [{kind}] {r.component:18s} "
+                f"{r.seconds_per_iteration * 1000:8.2f} ms/iter"
+            )
+        overhead = synchronous_overhead_seconds(rows, model)
+        lines.append(
+            f"  fMoE-added synchronous overhead: {overhead * 1000:.2f} ms/iter"
+        )
+    emit("fig15_latency_breakdown", lines)
+
+    for model in models:
+        # Paper §6.7: total added synchronous delay < 30 ms (≈5%).
+        assert synchronous_overhead_seconds(rows, model) < 0.03, model
+        components = {r.component for r in rows if r.model == model}
+        assert {"compute", "context_collect", "map_match", "map_update"} <= (
+            components
+        )

@@ -1,0 +1,41 @@
+"""Fig. 16: CPU memory footprint of the Expert Map Store vs capacity.
+
+Shape to reproduce: linear growth in capacity; Qwen1.5-MoE largest (most
+experts per layer); even 32K maps stay under ~200 MB.
+"""
+
+from _util import emit, run_once
+
+from repro.experiments.overheads import store_memory_rows
+
+CAPACITIES = (1024, 4096, 8192, 16384, 32768)
+
+
+def test_fig16_store_memory(benchmark):
+    rows = run_once(
+        benchmark, lambda: store_memory_rows(capacities=CAPACITIES)
+    )
+    emit(
+        "fig16_store_memory",
+        [
+            f"{r.model:14s} C={r.capacity:6d}: {r.megabytes:7.1f} MB"
+            for r in rows
+        ],
+    )
+    by_key = {(r.model, r.capacity): r.megabytes for r in rows}
+    for capacity in CAPACITIES:
+        # Qwen's maps dominate the other two models (Fig. 16).
+        assert (
+            by_key[("qwen1.5-moe", capacity)]
+            > by_key[("mixtral-8x7b", capacity)]
+        )
+        assert (
+            by_key[("qwen1.5-moe", capacity)]
+            > by_key[("phi-3.5-moe", capacity)]
+        )
+    # Under 200 MB even at the largest capacity (paper §6.7).
+    assert max(by_key.values()) < 220
+    # Linear scaling.
+    small = by_key[("mixtral-8x7b", 1024)]
+    large = by_key[("mixtral-8x7b", 32768)]
+    assert large / small == 32

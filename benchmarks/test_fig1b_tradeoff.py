@@ -1,0 +1,32 @@
+"""Fig. 1b: latency vs memory of the compared solutions.
+
+Shape to reproduce: no-offload sits at low latency / max memory;
+DeepSpeed-style offloading at low memory / high latency; fMoE claims the
+low-latency, low-memory corner.
+"""
+
+from _util import emit, run_once
+from conftest import BENCH_CONFIG
+
+from repro.experiments.overview import tradeoff_points
+
+
+def test_fig1b_tradeoff(benchmark):
+    points = run_once(benchmark, lambda: tradeoff_points(BENCH_CONFIG))
+    emit(
+        "fig1b_tradeoff",
+        [
+            f"{p.system:22s} latency={p.mean_latency_seconds:8.3f}s "
+            f"memory={p.memory_gb:7.2f} GB"
+            for p in points
+        ],
+    )
+    by_name = {p.system: p for p in points}
+    fmoe = by_name["fmoe"]
+    no_offload = by_name["no-offload"]
+    deepspeed = by_name["deepspeed-inference"]
+    # fMoE: much less memory than no-offload, much less latency than DS.
+    assert fmoe.memory_gb < no_offload.memory_gb / 2
+    assert fmoe.mean_latency_seconds < deepspeed.mean_latency_seconds / 2
+    # No-offload is the latency floor.
+    assert no_offload.mean_latency_seconds <= fmoe.mean_latency_seconds

@@ -1,0 +1,24 @@
+"""Fig. 3b: mean per-layer entropy, coarse vs fine, 3 models × 2 datasets."""
+
+from _util import emit, run_once
+
+from repro.experiments.entropy_motivation import entropy_comparison
+
+
+def test_fig3b_entropy(benchmark):
+    rows = run_once(
+        benchmark, lambda: entropy_comparison(num_requests=24)
+    )
+    emit(
+        "fig3b_entropy",
+        [
+            f"{r.model:14s} {r.dataset:14s} coarse={r.coarse_mean_entropy:5.2f} "
+            f"fine={r.fine_mean_entropy:5.2f} (max {r.max_entropy:4.2f} bits)"
+            for r in rows
+        ],
+    )
+    assert len(rows) == 6
+    for row in rows:
+        # Coarse-grained aggregation erases predictability everywhere.
+        assert row.coarse_mean_entropy > row.fine_mean_entropy
+        assert row.coarse_mean_entropy <= row.max_entropy + 1e-9

@@ -1,0 +1,24 @@
+"""Fig. 3c: mean entropy through inference iterations (rising curves)."""
+
+from _util import emit, run_once
+
+from repro.experiments.entropy_motivation import entropy_iteration_curves
+
+
+def test_fig3c_entropy_through_iterations(benchmark):
+    curves = run_once(
+        benchmark,
+        lambda: entropy_iteration_curves(num_requests=24, max_iterations=16),
+    )
+    lines = []
+    for c in curves:
+        series = " ".join(f"{v:4.2f}" for v in c.entropy_by_iteration[:12])
+        lines.append(f"{c.model:14s} {c.dataset:14s} {series}")
+    emit("fig3c_entropy_iters", lines)
+    for c in curves:
+        series = c.entropy_by_iteration
+        assert series.size >= 6
+        # Aggregation over iterations diminishes predictability.
+        assert series[-1] > series[0]
+        # The early part of the curve is where most of the rise happens.
+        assert series[min(5, series.size - 1)] > series[0]

@@ -1,0 +1,33 @@
+"""Fig. 4: expert hit rate vs prefetch distance, coarse vs fine tracking."""
+
+from _util import emit, run_once
+
+from repro.experiments.prefetch_distance import hit_rate_vs_distance
+
+DISTANCES = (1, 2, 3, 4, 6, 8)
+
+
+def test_fig4_hit_rate_vs_distance(benchmark):
+    curves = run_once(
+        benchmark,
+        lambda: hit_rate_vs_distance(
+            distances=DISTANCES, num_requests=48, num_test=5
+        ),
+    )
+    lines = ["distances: " + " ".join(f"{d:5d}" for d in DISTANCES)]
+    for c in curves:
+        series = " ".join(f"{h:5.3f}" for h in c.hit_rates)
+        lines.append(f"{c.model:14s} {c.tracker:14s} {series}")
+    emit("fig4_hitrate_distance", lines)
+
+    by_key = {(c.model, c.tracker): c for c in curves}
+    for model in ("mixtral-8x7b", "qwen1.5-moe", "phi-3.5-moe"):
+        fine = by_key[(model, "fine-grained")]
+        coarse = by_key[(model, "coarse-grained")]
+        # Fine-grained tracking wins at every evaluated distance.
+        wins = sum(
+            f > c for f, c in zip(fine.hit_rates, coarse.hit_rates)
+        )
+        assert wins >= len(DISTANCES) - 1, model
+        # Both decay as the prefetch distance grows.
+        assert fine.hit_rates[0] > fine.hit_rates[-1], model

@@ -1,0 +1,29 @@
+"""Fig. 8: Pearson correlation between similarity score and hit rate."""
+
+from _util import emit, run_once
+
+from repro.experiments.pearson import pearson_rows
+
+
+def test_fig8_pearson(benchmark):
+    rows = run_once(
+        benchmark, lambda: pearson_rows(num_requests=40, num_test=8)
+    )
+    emit(
+        "fig8_pearson",
+        [
+            f"{r.model:14s} {r.dataset:14s} semantic={r.semantic_pearson:+5.2f} "
+            f"trajectory={r.trajectory_pearson:+5.2f}"
+            for r in rows
+        ],
+    )
+    assert len(rows) == 6
+    positive = sum(
+        r.semantic_pearson > 0 and r.trajectory_pearson > 0 for r in rows
+    )
+    # The paper's claim: similarity predicts hit rate across the board.
+    assert positive >= 5
+    mean_sem = sum(r.semantic_pearson for r in rows) / len(rows)
+    mean_traj = sum(r.trajectory_pearson for r in rows) / len(rows)
+    assert mean_sem > 0.3
+    assert mean_traj > 0.2

@@ -1,0 +1,52 @@
+"""Fig. 9: overall TTFT/TPOT/hit-rate, five systems × 3 models × 2 datasets.
+
+Shape to reproduce (paper §6.2): fMoE lowest TTFT and TPOT and highest hit
+rate everywhere; DeepSpeed worst latency; Mixtral-Offloading the best
+baseline hit rate; average TPOT reduction vs baselines around 48-70%.
+"""
+
+from _util import emit, run_once
+from conftest import BENCH_CONFIG
+
+from repro.experiments.overall import improvement_summary, overall_rows
+
+
+def test_fig9_overall(benchmark):
+    rows = run_once(benchmark, lambda: overall_rows(config=BENCH_CONFIG))
+    lines = [r.format() for r in rows]
+    summary = improvement_summary(rows)
+    lines.append("")
+    for system, metrics in sorted(summary.items()):
+        lines.append(
+            f"fMoE vs {system:22s}: TTFT -{metrics['ttft'] * 100:5.1f}%  "
+            f"TPOT -{metrics['tpot'] * 100:5.1f}%  "
+            f"hit {metrics['hit'] * 100:+6.1f}%"
+        )
+    emit("fig9_overall", lines)
+
+    pairs = {(r.model, r.dataset) for r in rows}
+    assert len(pairs) == 6
+    for model, dataset in pairs:
+        group = {
+            r.system: r for r in rows if (r.model, r.dataset) == (model, dataset)
+        }
+        fmoe = group["fmoe"]
+        others = [r for s, r in group.items() if s != "fmoe"]
+        assert all(fmoe.tpot_seconds < r.tpot_seconds for r in others), (
+            model,
+            dataset,
+        )
+        assert all(fmoe.ttft_seconds < r.ttft_seconds for r in others), (
+            model,
+            dataset,
+        )
+        assert all(fmoe.hit_rate > r.hit_rate for r in others), (model, dataset)
+        # DeepSpeed is the worst TPOT in every group.
+        ds = group["deepspeed-inference"]
+        assert all(
+            ds.tpot_seconds >= r.tpot_seconds for r in group.values()
+        ), (model, dataset)
+
+    # Headline scale: mean TPOT reduction across baselines > 35%.
+    mean_reduction = sum(m["tpot"] for m in summary.values()) / len(summary)
+    assert mean_reduction > 0.35

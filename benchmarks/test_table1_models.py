@@ -1,0 +1,18 @@
+"""Table 1: characteristics of the three evaluated MoE models."""
+
+from _util import emit, run_once
+
+from repro.experiments.table1 import table1_rows
+
+
+def test_table1_models(benchmark):
+    rows = run_once(benchmark, table1_rows)
+    emit(
+        "table1_models",
+        [
+            "model           active/total params  active/total experts  "
+            "layers  expert size"
+        ]
+        + [r.format() for r in rows],
+    )
+    assert len(rows) == 3

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Capacity planning: how much expert-cache memory does a target TPOT need?
+
+Combines three tools from the library:
+
+1. the §3.3 offline analysis (Belady-optimal miss counts over a profiled
+   workload) to bound the TPOT of any *pure on-demand* policy — no
+   prefetching, every miss a blocking load — at a given budget; fMoE beats
+   that bound because prefetching overlaps transfers with compute, which is
+   exactly the paper's argument for prediction-guided offloading;
+2. KV-cache accounting to translate a GPU fleet size into an actual expert
+   budget;
+3. full fMoE simulation at the candidate budgets to see what is actually
+   achieved.
+
+Run:  python examples/capacity_planning.py [--target-tpot-ms 400]
+"""
+
+import argparse
+
+from repro.analysis.ilp import (
+    activation_sequence,
+    belady_min_misses,
+    ondemand_loading_latency,
+)
+from repro.experiments.common import ExperimentConfig, build_world, run_system
+from repro.serving.hardware import DEFAULT_HARDWARE
+from repro.serving.kvcache import expert_budget_after_kv
+from repro.workloads.profiler import collect_history
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="mixtral-8x7b")
+    parser.add_argument("--target-tpot-ms", type=float, default=400.0)
+    parser.add_argument("--requests", type=int, default=30)
+    args = parser.parse_args()
+
+    config = ExperimentConfig(
+        model_name=args.model, num_requests=args.requests, num_test_requests=6
+    )
+    world = build_world(config)
+    model = world.model_config
+    hardware = DEFAULT_HARDWARE
+
+    # What the fleet can physically offer after weights + KV + workspace.
+    traces = collect_history(world.fresh_model(), world.test_requests)
+    peak_kv = max(
+        (r.input_tokens + r.output_tokens) for r in world.test_requests
+    ) * 2 * model.num_layers * model.hidden_size * model.dtype_bytes
+    ceiling = expert_budget_after_kv(
+        model, hardware.total_gpu_memory_bytes(), peak_kv
+    )
+    print(
+        f"fleet ceiling for expert cache: {ceiling / 1e9:.1f} GB "
+        f"(after weights and ~{peak_kv / 1e9:.1f} GB peak KV)"
+    )
+
+    sequence = activation_sequence(traces)
+    decode_iters = sum(len(t.iteration_maps) - 1 for t in traces)
+    load_seconds = hardware.expert_load_seconds(model)
+
+    print(
+        f"\n{'budget':>8s} {'on-demand-only bound':>21s} {'fMoE TPOT':>10s}"
+    )
+    for fraction in (0.08, 0.15, 0.3, 0.5):
+        budget = int(fraction * model.total_expert_bytes)
+        if budget > ceiling:
+            continue
+        capacity = budget // model.expert_bytes
+        misses = belady_min_misses(sequence, max(capacity, 1))
+        bound = (
+            ondemand_loading_latency(misses, load_seconds) / decode_iters
+            + hardware.decode_iteration_floor_seconds(model)
+        )
+        report = run_system(world, "fmoe", cache_budget_bytes=budget)
+        marker = (
+            "  <= meets target"
+            if report.mean_tpot() * 1000 <= args.target_tpot_ms
+            else ""
+        )
+        print(
+            f"{budget / 1e9:6.1f}GB {bound * 1000:16.1f}ms "
+            f"{report.mean_tpot() * 1000:8.1f}ms{marker}"
+        )
+
+
+if __name__ == "__main__":
+    main()

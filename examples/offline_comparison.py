@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Offline comparison: fMoE vs the paper's four baselines (Fig. 9 style).
+
+Runs the five systems on one (model, dataset) pair and prints TTFT, TPOT,
+and expert hit rate, plus fMoE's relative improvements.
+
+Run:  python examples/offline_comparison.py [--model qwen1.5-moe]
+          [--dataset sharegpt] [--requests 40] [--cache-fraction 0.15]
+"""
+
+import argparse
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    SYSTEM_NAMES,
+    build_world,
+    run_system,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--model",
+        default="mixtral-8x7b",
+        choices=["mixtral-8x7b", "qwen1.5-moe", "phi-3.5-moe"],
+    )
+    parser.add_argument(
+        "--dataset",
+        default="lmsys-chat-1m",
+        choices=["lmsys-chat-1m", "sharegpt"],
+    )
+    parser.add_argument("--requests", type=int, default=40)
+    parser.add_argument("--test-requests", type=int, default=6)
+    parser.add_argument("--cache-fraction", type=float, default=0.15)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = ExperimentConfig(
+        model_name=args.model,
+        dataset=args.dataset,
+        num_requests=args.requests,
+        num_test_requests=args.test_requests,
+        cache_fraction=args.cache_fraction,
+        seed=args.seed,
+    )
+    print(f"building world: {args.model} / {args.dataset} ...")
+    world = build_world(config)
+
+    reports = {}
+    for system in SYSTEM_NAMES:
+        reports[system] = run_system(world, system)
+        r = reports[system]
+        print(
+            f"{system:22s} TTFT={r.mean_ttft():7.3f}s "
+            f"TPOT={r.mean_tpot() * 1000:8.1f}ms hit={r.hit_rate:5.3f}"
+        )
+
+    fmoe = reports["fmoe"]
+    print("\nfMoE relative to each baseline:")
+    for system, r in reports.items():
+        if system == "fmoe":
+            continue
+        print(
+            f"  vs {system:22s} "
+            f"TTFT -{(1 - fmoe.mean_ttft() / r.mean_ttft()) * 100:5.1f}%  "
+            f"TPOT -{(1 - fmoe.mean_tpot() / r.mean_tpot()) * 100:5.1f}%  "
+            f"hit {(fmoe.hit_rate / max(r.hit_rate, 1e-9) - 1) * 100:+7.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

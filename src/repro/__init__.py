@@ -1,0 +1,55 @@
+"""fMoE reproduction: fine-grained expert offloading for MoE-based LLM serving.
+
+This package reproduces the EuroSys 2026 paper *"Taming Latency-Memory
+Trade-Off in MoE-Based LLM Serving via Fine-Grained Expert Offloading"*
+(the fMoE system) as a discrete-event simulation:
+
+- :mod:`repro.moe` — synthetic MoE routing substrate (model configs, gate,
+  embeddings) calibrated to the statistics the paper measures on real models.
+- :mod:`repro.serving` — virtual-time serving engine, device memory and
+  transfer models, request/metric plumbing.
+- :mod:`repro.workloads` — synthetic LMSYS-like / ShareGPT-like prompt
+  corpora and Azure-style online inference traces.
+- :mod:`repro.core` — the paper's contribution: expert maps, the expert map
+  store, semantic/trajectory matching, similarity-aware prefetching, and the
+  priority-based expert cache, assembled into :class:`repro.core.FMoEPolicy`.
+- :mod:`repro.baselines` — DeepSpeed-Inference, Mixtral-Offloading,
+  MoE-Infinity, ProMoE, no-offload, and an oracle upper bound.
+- :mod:`repro.analysis` — entropy / correlation / ILP analyses from the
+  paper's motivation and formulation sections.
+- :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.moe.config import (
+    MIXTRAL_8X7B,
+    PHI35_MOE,
+    QWEN15_MOE,
+    EVALUATED_MODELS,
+    MoEModelConfig,
+    get_model_config,
+)
+from repro.moe.model import MoEModel
+from repro.serving.engine import ServingEngine
+from repro.serving.hardware import HardwareConfig
+from repro.core.policy import FMoEPolicy
+from repro.core.expert_map import ExpertMap
+from repro.core.store import ExpertMapStore
+from repro.workloads.datasets import make_dataset
+
+__all__ = [
+    "MIXTRAL_8X7B",
+    "QWEN15_MOE",
+    "PHI35_MOE",
+    "EVALUATED_MODELS",
+    "MoEModelConfig",
+    "get_model_config",
+    "MoEModel",
+    "ServingEngine",
+    "HardwareConfig",
+    "FMoEPolicy",
+    "ExpertMap",
+    "ExpertMapStore",
+    "make_dataset",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,72 @@
+"""Analyses from the paper's motivation and formulation sections.
+
+- :mod:`repro.analysis.entropy` — Shannon-entropy comparison of coarse vs
+  fine expert patterns (Fig. 3).
+- :mod:`repro.analysis.tracking` — offline hit-rate evaluation of expert
+  pattern trackers at varying prefetch distances (Figs. 4 and 12a).
+- :mod:`repro.analysis.correlation` — Pearson correlation between match
+  similarity and hit rate (Fig. 8).
+- :mod:`repro.analysis.ilp` — the §3.3 offloading objective, a Belady
+  hindsight bound, and an LP lower bound (scipy) for small instances.
+"""
+
+from repro.analysis.entropy import (
+    shannon_entropy,
+    activation_entropy_per_layer,
+    coarse_fine_entropy,
+    entropy_through_iterations,
+    activation_heatmaps,
+)
+from repro.analysis.tracking import (
+    TrackerHitRates,
+    evaluate_fine_grained,
+    evaluate_coarse_grained,
+    evaluate_speculative,
+)
+from repro.analysis.correlation import (
+    CorrelationResult,
+    similarity_hitrate_correlation,
+)
+from repro.analysis.ilp import (
+    activation_sequence,
+    belady_min_misses,
+    evaluate_cache_schedule,
+    lp_lower_bound,
+    ondemand_loading_latency,
+)
+from repro.analysis.coverage import (
+    CoveragePoint,
+    coverage_curve,
+    paper_capacity_bounds,
+)
+from repro.analysis.calibration import (
+    CalibrationReport,
+    calibration_report,
+)
+from repro.analysis.misses import MissBreakdown, classify_misses
+
+__all__ = [
+    "shannon_entropy",
+    "activation_entropy_per_layer",
+    "coarse_fine_entropy",
+    "entropy_through_iterations",
+    "activation_heatmaps",
+    "TrackerHitRates",
+    "evaluate_fine_grained",
+    "evaluate_coarse_grained",
+    "evaluate_speculative",
+    "CorrelationResult",
+    "similarity_hitrate_correlation",
+    "activation_sequence",
+    "belady_min_misses",
+    "evaluate_cache_schedule",
+    "lp_lower_bound",
+    "ondemand_loading_latency",
+    "CoveragePoint",
+    "coverage_curve",
+    "paper_capacity_bounds",
+    "CalibrationReport",
+    "calibration_report",
+    "MissBreakdown",
+    "classify_misses",
+]

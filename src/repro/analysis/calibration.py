@@ -1,0 +1,174 @@
+"""Substrate calibration report.
+
+The reproduction's validity rests on the synthetic gate matching the
+statistics the paper measures on real checkpoints.  This module measures
+those statistics directly on a model configuration and checks them against
+the calibration targets, producing a report that tests and users can audit:
+
+- *routing stability*: consecutive same-context iterations activate mostly
+  the same experts (what makes caching and maps work at all);
+- *load balance*: long-run expert usage is near-uniform (§2.3's
+  load-balancing-loss signature);
+- *speculation decay*: hidden-state speculation is accurate one layer ahead
+  and degrades with distance (Fig. 4's Speculate curve);
+- *semantic separation*: same-cluster prompts embed closer than
+  cross-cluster prompts (what semantic search relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.moe.config import MoEModelConfig
+from repro.moe.gating import SyntheticGate, top_k_indices
+from repro.moe.model import MoEModel
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Measured substrate statistics with pass/fail targets."""
+
+    routing_stability: float
+    balance_max_fraction: float
+    balance_min_fraction: float
+    speculation_accuracy: dict[int, float]
+    semantic_same_cluster: float
+    semantic_cross_cluster: float
+
+    def checks(self) -> dict[str, bool]:
+        """Target predicates derived from the paper's measurements."""
+        j_uniform = 1.0  # fractions below are already normalized by 1/J
+        spec = self.speculation_accuracy
+        distances = sorted(spec)
+        return {
+            "stable_routing": self.routing_stability > 0.75,
+            "balanced_usage": (
+                self.balance_max_fraction < 2.5 * j_uniform
+                and self.balance_min_fraction > 0.3 * j_uniform
+            ),
+            "speculation_accurate_nearby": spec[distances[0]] > 0.6,
+            "speculation_decays": spec[distances[0]]
+            > spec[distances[-1]] + 0.05,
+            "semantic_separation": self.semantic_same_cluster
+            > self.semantic_cross_cluster + 0.2,
+        }
+
+    def passed(self) -> bool:
+        """True when every calibration target is met."""
+        return all(self.checks().values())
+
+
+def measure_routing_stability(
+    config: MoEModelConfig, trials: int = 200, seed: int = 0
+) -> float:
+    """Mean consecutive top-K overlap for same-(cluster, phase) samples."""
+    gate = SyntheticGate(config, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    profile = config.routing
+    overlaps = []
+    for _ in range(trials):
+        c = int(rng.integers(profile.num_clusters))
+        s = int(rng.integers(profile.phases_per_cluster))
+        a = gate.sample_decode(c, s, rng)
+        b = gate.sample_decode(c, s, rng)
+        for x, y in zip(a.activated, b.activated):
+            overlaps.append(
+                len(set(x.tolist()) & set(y.tolist())) / len(x)
+            )
+    return float(np.mean(overlaps))
+
+
+def measure_load_balance(
+    config: MoEModelConfig, trials: int = 400, seed: int = 0
+) -> tuple[float, float]:
+    """(max, min) expert usage normalized by the uniform share 1/J."""
+    gate = SyntheticGate(config, seed=seed)
+    rng = np.random.default_rng(seed + 2)
+    profile = config.routing
+    counts = np.zeros(config.experts_per_layer)
+    for _ in range(trials):
+        c = int(rng.integers(profile.num_clusters))
+        s = int(rng.integers(profile.phases_per_cluster))
+        sample = gate.sample_decode(c, s, rng)
+        for activated in sample.activated:
+            counts[activated] += 1
+    fractions = counts / counts.sum() * config.experts_per_layer
+    return float(fractions.max()), float(fractions.min())
+
+
+def measure_speculation_accuracy(
+    config: MoEModelConfig,
+    distances: tuple[int, ...] = (1, 3, 6),
+    trials: int = 150,
+    seed: int = 0,
+) -> dict[int, float]:
+    """Top-K containment of the speculation oracle per distance."""
+    if not distances:
+        raise ConfigError("need at least one distance")
+    gate = SyntheticGate(config, seed=seed)
+    rng = np.random.default_rng(seed + 3)
+    out: dict[int, float] = {}
+    for distance in distances:
+        if distance >= config.num_layers:
+            raise ConfigError(
+                f"distance {distance} >= num_layers {config.num_layers}"
+            )
+        hits = total = 0
+        for _ in range(trials):
+            sample = gate.sample_decode(0, 0, rng)
+            target = int(rng.integers(distance, config.num_layers))
+            predicted = gate.speculate(sample.logits, target, distance, rng)
+            pred_set = set(
+                top_k_indices(predicted, config.top_k).tolist()
+            )
+            actual = set(sample.activated[target].tolist())
+            hits += len(pred_set & actual)
+            total += config.top_k
+        out[distance] = hits / total
+    return out
+
+
+def measure_semantic_separation(
+    config: MoEModelConfig, trials: int = 100, seed: int = 0
+) -> tuple[float, float]:
+    """(same-cluster, cross-cluster) mean embedding cosine."""
+    model = MoEModel(config, seed=seed)
+    rng = np.random.default_rng(seed + 4)
+    profile = config.routing
+    same, cross = [], []
+    for _ in range(trials):
+        c = int(rng.integers(profile.num_clusters))
+        other = int(
+            (c + 1 + rng.integers(profile.num_clusters - 1))
+            % profile.num_clusters
+        ) if profile.num_clusters > 1 else c
+        a = model.start_session(c, 4, 1, seed=int(rng.integers(2**31)))
+        b = model.start_session(c, 4, 1, seed=int(rng.integers(2**31)))
+        d = model.start_session(other, 4, 1, seed=int(rng.integers(2**31)))
+        same.append(float(a.embedding @ b.embedding))
+        cross.append(float(a.embedding @ d.embedding))
+    return float(np.mean(same)), float(np.mean(cross))
+
+
+def calibration_report(
+    config: MoEModelConfig, seed: int = 0
+) -> CalibrationReport:
+    """Measure all substrate statistics for one model configuration."""
+    balance_max, balance_min = measure_load_balance(config, seed=seed)
+    same, cross = measure_semantic_separation(config, seed=seed)
+    distances = tuple(
+        d for d in (1, 3, 6) if d < config.num_layers
+    ) or (1,)
+    return CalibrationReport(
+        routing_stability=measure_routing_stability(config, seed=seed),
+        balance_max_fraction=balance_max,
+        balance_min_fraction=balance_min,
+        speculation_accuracy=measure_speculation_accuracy(
+            config, distances=distances, seed=seed
+        ),
+        semantic_same_cluster=same,
+        semantic_cross_cluster=cross,
+    )

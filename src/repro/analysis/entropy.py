@@ -1,0 +1,126 @@
+"""Shannon-entropy analysis of expert patterns (paper §2.4, Fig. 3).
+
+The paper quantifies predictability with the Shannon entropy of expert
+activation patterns per MoE layer:
+
+- *fine-grained*: one inference iteration's gate probability distribution
+  (an expert map row) — peaked, low entropy;
+- *coarse-grained*: activation counts aggregated over all of a request's
+  iterations (MoE-Infinity-style tracking), normalized per layer — pushed
+  toward uniform by load-balanced routing and phase drift, high entropy.
+
+Entropies are in bits; the maximum for a layer with J experts is log2(J).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.workloads.profiler import RequestTrace
+
+
+def shannon_entropy(probabilities: np.ndarray) -> float:
+    """Entropy (bits) of one probability vector; zero entries contribute 0."""
+    p = np.asarray(probabilities, dtype=np.float64)
+    if p.ndim != 1:
+        raise ConfigError("shannon_entropy expects a 1-D vector")
+    if np.any(p < -1e-9):
+        raise ConfigError("probabilities must be >= 0")
+    total = p.sum()
+    if total <= 0:
+        raise ConfigError("probability vector sums to 0")
+    p = p / total
+    nonzero = p[p > 0]
+    return float(-(nonzero * np.log2(nonzero)).sum())
+
+
+def activation_entropy_per_layer(grid: np.ndarray) -> np.ndarray:
+    """Per-layer entropy of a (counts or probability) grid ``(L, J)``."""
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.ndim != 2:
+        raise ConfigError("grid must be (L, J)")
+    return np.array([shannon_entropy(row) for row in grid])
+
+
+def _coarse_counts(trace: RequestTrace) -> np.ndarray:
+    return trace.activation_counts()
+
+
+def coarse_fine_entropy(
+    traces: list[RequestTrace],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mean per-layer entropy of coarse and fine patterns (Fig. 3b).
+
+    Returns ``(coarse, fine)`` arrays of shape ``(L,)``: the request-level
+    aggregated activation-count entropy vs the iteration-level gate
+    distribution entropy, averaged over all traces/iterations.
+    """
+    if not traces:
+        raise ConfigError("need at least one trace")
+    coarse = np.mean(
+        [activation_entropy_per_layer(_coarse_counts(t)) for t in traces],
+        axis=0,
+    )
+    fine_rows = [
+        activation_entropy_per_layer(m)
+        for t in traces
+        for m in t.iteration_maps
+    ]
+    fine = np.mean(fine_rows, axis=0)
+    return coarse, fine
+
+
+def entropy_through_iterations(
+    traces: list[RequestTrace],
+    max_iterations: int | None = None,
+    skip_prefill: bool = True,
+) -> np.ndarray:
+    """Mean entropy of cumulatively aggregated patterns (Fig. 3c).
+
+    Element ``i`` is the mean (over traces and layers) entropy of the
+    activation counts aggregated over the first ``i+1`` decode iterations.
+    Aggregation makes the pattern progressively less predictable, so the
+    curve rises.  The prefill iteration is skipped by default: its
+    activation set is a union over all prompt tokens and would inflate the
+    starting point (the paper's per-iteration analysis is token-level).
+    """
+    if not traces:
+        raise ConfigError("need at least one trace")
+    start = 1 if skip_prefill else 0
+    usable = [t for t in traces if len(t.iteration_activated) > start]
+    if not usable:
+        raise ConfigError("no traces with decode iterations")
+    horizon = max(len(t.iteration_activated) - start for t in usable)
+    if max_iterations is not None:
+        horizon = min(horizon, max_iterations)
+    per_iteration: list[list[float]] = [[] for _ in range(horizon)]
+    for trace in usable:
+        first = trace.iteration_maps[0]
+        counts = np.zeros_like(first, dtype=np.float64)
+        iterations = trace.iteration_activated[start : start + horizon]
+        for i, activated in enumerate(iterations):
+            for layer, experts in enumerate(activated):
+                counts[layer, experts] += 1.0
+            per_iteration[i].append(
+                float(np.mean(activation_entropy_per_layer(counts)))
+            )
+    return np.array(
+        [float(np.mean(vals)) for vals in per_iteration if vals]
+    )
+
+
+def activation_heatmaps(
+    trace: RequestTrace, iteration: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """(coarse, fine) heatmaps for Fig. 3a.
+
+    ``coarse`` is the request-aggregated activation-count grid; ``fine`` is
+    the chosen iteration's gate probability grid.
+    """
+    if not 0 <= iteration < len(trace.iteration_maps):
+        raise ConfigError(
+            f"iteration {iteration} out of range "
+            f"[0, {len(trace.iteration_maps)})"
+        )
+    return _coarse_counts(trace), trace.iteration_maps[iteration].copy()

@@ -1,0 +1,121 @@
+"""Miss-cause taxonomy from engine event traces.
+
+An expert miss is not one phenomenon.  Classifying each miss explains
+*where* a policy loses its hit rate and which lever fixes it:
+
+- ``cold``      — the expert's first-ever use in the run; no policy can
+                  hit it (only a warm start can);
+- ``late``      — a prefetch was in flight but had not landed when the
+                  gate named the expert (fix: larger prefetch distance or
+                  more link bandwidth);
+- ``capacity``  — the expert was resident earlier but was evicted between
+                  uses (fix: more cache or better eviction scoring);
+- ``unpredicted`` — the expert was used before and was still absent with
+                  no transfer in flight: the tracker simply did not
+                  predict it (fix: better matching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.events import EventKind, EventRecorder
+from repro.types import ExpertId
+
+MISS_CAUSES = ("cold", "late", "capacity", "unpredicted")
+
+
+@dataclass(frozen=True)
+class MissBreakdown:
+    """Counts per miss cause, plus the totals they explain."""
+
+    cold: int
+    late: int
+    capacity: int
+    unpredicted: int
+    hits: int
+
+    @property
+    def total_misses(self) -> int:
+        return self.cold + self.late + self.capacity + self.unpredicted
+
+    @property
+    def total(self) -> int:
+        return self.total_misses + self.hits
+
+    def fractions(self) -> dict[str, float]:
+        """Miss causes as fractions of all activations."""
+        total = self.total
+        if total == 0:
+            return {cause: 0.0 for cause in MISS_CAUSES}
+        return {
+            "cold": self.cold / total,
+            "late": self.late / total,
+            "capacity": self.capacity / total,
+            "unpredicted": self.unpredicted / total,
+        }
+
+    def format(self) -> str:
+        """One-line human-readable rendering of the counts."""
+        parts = [f"hits={self.hits}"]
+        parts += [
+            f"{cause}={getattr(self, cause)}" for cause in MISS_CAUSES
+        ]
+        return " ".join(parts)
+
+
+def classify_misses(recorder: EventRecorder) -> MissBreakdown:
+    """Classify every recorded miss by walking the event stream in order."""
+    seen: set[ExpertId] = set()
+    evicted_since_use: set[ExpertId] = set()
+    counts = {cause: 0 for cause in MISS_CAUSES}
+    hits = 0
+    pending_miss: ExpertId | None = None
+    pending_was_cold = False
+    pending_was_capacity = False
+
+    def resolve_pending(as_cause: str | None) -> None:
+        nonlocal pending_miss
+        if pending_miss is None:
+            return
+        if as_cause is None:
+            # No stall/load event followed: the miss was counted at gate
+            # time but the expert arrived before serving reached it —
+            # effectively a late prefetch.
+            counts["late"] += 1
+        else:
+            counts[as_cause] += 1
+        pending_miss = None
+
+    for event in recorder.events:
+        if event.kind is EventKind.EXPERT_MISS:
+            resolve_pending(None)
+            assert event.expert is not None
+            pending_miss = event.expert
+            pending_was_cold = event.expert not in seen
+            pending_was_capacity = event.expert in evicted_since_use
+            seen.add(event.expert)
+            evicted_since_use.discard(event.expert)
+        elif event.kind is EventKind.EXPERT_HIT:
+            resolve_pending(None)
+            assert event.expert is not None
+            hits += 1
+            seen.add(event.expert)
+            evicted_since_use.discard(event.expert)
+        elif event.kind is EventKind.PREFETCH_STALL:
+            if pending_miss == event.expert:
+                resolve_pending("late")
+        elif event.kind is EventKind.ONDEMAND_LOAD:
+            if pending_miss == event.expert:
+                if pending_was_cold:
+                    resolve_pending("cold")
+                elif pending_was_capacity:
+                    resolve_pending("capacity")
+                else:
+                    resolve_pending("unpredicted")
+        elif event.kind is EventKind.EVICTION:
+            assert event.expert is not None
+            if event.expert in seen:
+                evicted_since_use.add(event.expert)
+    resolve_pending(None)
+    return MissBreakdown(hits=hits, **counts)

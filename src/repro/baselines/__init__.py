@@ -1,0 +1,37 @@
+"""Offloading policies: the paper's four baselines plus reference bounds.
+
+All policies implement the hook interface defined by
+:class:`repro.serving.engine.ServingEngine` via :class:`BasePolicy`:
+
+- :class:`NoOffloadPolicy` — everything resident (latency floor, memory max).
+- :class:`DeepSpeedPolicy` — expert-agnostic on-demand loading, no
+  prefetching, LRU cache (the paper's fairness-adjusted DeepSpeed-Inference).
+- :class:`MixtralOffloadingPolicy` — distance-1 synchronous speculative
+  prefetching with an LRU cache.
+- :class:`MoEInfinityPolicy` — request-level Expert Activation Matrix
+  matching with an LFU cache and synchronous prediction.
+- :class:`ProMoEPolicy` — stride-based learned speculative prefetching,
+  asynchronous.
+- :class:`OraclePolicy` — hindsight-optimal prefetching (upper bound, not a
+  paper baseline).
+"""
+
+from repro.baselines.base import BasePolicy, LFUTracker, LRUTracker
+from repro.baselines.no_offload import NoOffloadPolicy
+from repro.baselines.deepspeed import DeepSpeedPolicy
+from repro.baselines.mixtral_offloading import MixtralOffloadingPolicy
+from repro.baselines.moe_infinity import MoEInfinityPolicy
+from repro.baselines.promoe import ProMoEPolicy
+from repro.baselines.oracle import OraclePolicy
+
+__all__ = [
+    "BasePolicy",
+    "LRUTracker",
+    "LFUTracker",
+    "NoOffloadPolicy",
+    "DeepSpeedPolicy",
+    "MixtralOffloadingPolicy",
+    "MoEInfinityPolicy",
+    "ProMoEPolicy",
+    "OraclePolicy",
+]

@@ -1,0 +1,65 @@
+"""Hindsight-optimal prefetching: an upper bound, not a paper baseline.
+
+Knows each iteration's true activations the moment the iteration starts and
+prefetches exactly those experts, honoring the prefetch distance (layers
+closer than the distance at iteration start cannot be hidden).  Used by the
+extension benches to quantify how much headroom remains above fMoE.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BasePolicy, LFUTracker
+from repro.serving.engine import (
+    IterationContext,
+    PolicyAction,
+    PrefetchInstruction,
+)
+from repro.types import ExpertId
+
+
+class OraclePolicy(BasePolicy):
+    """Prefetches the ground-truth activation set of every layer."""
+
+    name = "oracle"
+
+    def __init__(self, prefetch_distance: int = 3) -> None:
+        super().__init__()
+        if prefetch_distance < 1:
+            raise ValueError("prefetch_distance must be >= 1")
+        self.prefetch_distance = prefetch_distance
+        self._lfu = LFUTracker()
+
+    def _instructions(self, ctx: IterationContext, layer: int):
+        instructions = []
+        for activated in ctx.oracle_activated_at(layer):
+            for j in activated:
+                instructions.append(
+                    PrefetchInstruction(
+                        expert=ExpertId(layer, int(j)),
+                        priority=float(self.config.num_layers - layer),
+                    )
+                )
+        return instructions
+
+    def on_iteration_start(self, ctx: IterationContext) -> PolicyAction:
+        # Perfect predictions, same issue window as fMoE: the first d
+        # layers at iteration start, then d layers ahead of the compute
+        # front — so the bound isolates prediction quality, not timing.
+        instructions = []
+        for layer in range(min(self.prefetch_distance, self.config.num_layers)):
+            instructions.extend(self._instructions(ctx, layer))
+        return PolicyAction(prefetch=instructions)
+
+    def on_gate_output(
+        self, ctx: IterationContext, layer: int
+    ) -> PolicyAction:
+        target = layer + self.prefetch_distance
+        if target >= self.config.num_layers:
+            return PolicyAction()
+        return PolicyAction(prefetch=self._instructions(ctx, target))
+
+    def on_expert_served(self, expert: ExpertId, hit: bool, now: float) -> None:
+        self._lfu.touch(expert, now)
+
+    def eviction_priority(self, expert: ExpertId, now: float) -> float:
+        return self._lfu.eviction_priority(expert, now)

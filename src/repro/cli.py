@@ -1,0 +1,390 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``models``   — print the Table-1 model characteristics.
+- ``compare``  — offline fMoE-vs-baselines comparison (Fig. 9 style).
+- ``online``   — cold-start online trace replay (Fig. 10 style).
+- ``sweep``    — TPOT vs expert-cache budget (Fig. 11 style).
+- ``entropy``  — coarse vs fine entropy analysis (Fig. 3b style).
+- ``pearson``  — similarity/hit-rate Pearson coefficients (Fig. 8 style).
+- ``tune``     — prefetch-distance profiling (the paper's §6.1 setup step).
+- ``grid``     — sweep (model, dataset, system, budget) grids to CSV.
+- ``report``   — collate ``benchmarks/results`` into one markdown report.
+- ``profile``  — profile a workload and save traces / a warm store to disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+MODEL_CHOICES = (
+    "mixtral-8x7b",
+    "qwen1.5-moe",
+    "phi-3.5-moe",
+    "deepseek-moe",
+)
+DATASET_CHOICES = ("lmsys-chat-1m", "sharegpt")
+
+
+def _add_world_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="mixtral-8x7b", choices=MODEL_CHOICES)
+    parser.add_argument(
+        "--dataset", default="lmsys-chat-1m", choices=DATASET_CHOICES
+    )
+    parser.add_argument("--requests", type=int, default=40)
+    parser.add_argument("--test-requests", type=int, default=6)
+    parser.add_argument(
+        "--cache-fraction",
+        type=float,
+        default=None,
+        help="expert-cache budget as a fraction of total expert bytes "
+        "(default: 0.9x one iteration's working set)",
+    )
+    parser.add_argument("--prefetch-distance", type=int, default=3)
+    parser.add_argument("--store-capacity", type=int, default=1024)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _config_from_args(args: argparse.Namespace):
+    from repro.experiments.common import ExperimentConfig
+
+    return ExperimentConfig(
+        model_name=args.model,
+        dataset=args.dataset,
+        num_requests=args.requests,
+        num_test_requests=args.test_requests,
+        cache_fraction=args.cache_fraction,
+        prefetch_distance=args.prefetch_distance,
+        store_capacity=args.store_capacity,
+        seed=args.seed,
+    )
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    """Print the Table-1 model characteristics."""
+    from repro.experiments.table1 import table1_rows
+
+    for row in table1_rows():
+        print(row.format())
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Offline fMoE-vs-baselines comparison (Fig. 9 style)."""
+    from repro.experiments.common import (
+        SYSTEM_NAMES,
+        build_world,
+        run_system,
+    )
+
+    config = _config_from_args(args)
+    world = build_world(config)
+    systems = args.systems or list(SYSTEM_NAMES)
+    reports = {}
+    for system in systems:
+        report = run_system(world, system)
+        reports[system] = report
+        print(
+            f"{system:22s} TTFT={report.mean_ttft():7.3f}s "
+            f"TPOT={report.mean_tpot() * 1000:8.1f}ms "
+            f"hit={report.hit_rate:5.3f}"
+        )
+    if args.chart:
+        from repro.viz import bar_chart
+
+        print("\nTPOT (ms):")
+        print(
+            bar_chart(
+                {s: r.mean_tpot() * 1000 for s, r in reports.items()},
+                unit="ms",
+                fmt="{:.1f}",
+            )
+        )
+        print("\nexpert hit rate:")
+        print(bar_chart({s: r.hit_rate for s, r in reports.items()}))
+    return 0
+
+
+def cmd_online(args: argparse.Namespace) -> int:
+    """Cold-start online trace replay (Fig. 10 style)."""
+    import numpy as np
+
+    from repro.experiments.common import (
+        SYSTEM_NAMES,
+        build_world,
+        run_system,
+    )
+    from repro.workloads.azure import AzureTraceConfig, make_azure_trace
+    from repro.workloads.datasets import get_dataset_profile
+
+    config = _config_from_args(args)
+    world = build_world(config.with_(num_requests=8))
+    if args.trace_file:
+        from repro.workloads.tracefile import read_trace_csv
+
+        trace = read_trace_csv(
+            args.trace_file,
+            profile=get_dataset_profile(args.dataset),
+            seed=args.seed + 10,
+            max_requests=args.trace_requests,
+        )
+    else:
+        trace = make_azure_trace(
+            AzureTraceConfig(
+                num_requests=args.trace_requests,
+                mean_interarrival_seconds=args.rate,
+            ),
+            get_dataset_profile(args.dataset),
+            seed=args.seed + 10,
+        )
+    for system in args.systems or list(SYSTEM_NAMES):
+        report = run_system(
+            world, system, warm=False, requests=trace, respect_arrivals=True
+        )
+        p50, p90 = np.percentile(report.e2e_latencies(), [50, 90])
+        print(f"{system:22s} p50={p50:8.2f}s p90={p90:8.2f}s")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """TPOT vs expert-cache budget sweep (Fig. 11 style)."""
+    from repro.experiments.cache_limits import tpot_vs_cache_limit
+
+    config = _config_from_args(args)
+    rows = tpot_vs_cache_limit(
+        models=(args.model,),
+        dataset=args.dataset,
+        limits_gb=tuple(args.limits),
+        config=config,
+    )
+    for row in rows:
+        print(
+            f"{row.system:22s} {row.cache_gb:6.1f} GB: "
+            f"TPOT={row.tpot_seconds * 1000:8.1f}ms hit={row.hit_rate:5.3f}"
+        )
+    return 0
+
+
+def cmd_entropy(args: argparse.Namespace) -> int:
+    """Coarse vs fine entropy analysis (Fig. 3b style)."""
+    from repro.experiments.entropy_motivation import entropy_comparison
+
+    rows = entropy_comparison(
+        models=(args.model,),
+        datasets=(args.dataset,),
+        num_requests=args.requests,
+        seed=args.seed,
+    )
+    for row in rows:
+        print(
+            f"{row.model:14s} {row.dataset:14s} "
+            f"coarse={row.coarse_mean_entropy:5.2f} "
+            f"fine={row.fine_mean_entropy:5.2f} "
+            f"(max {row.max_entropy:4.2f} bits)"
+        )
+    return 0
+
+
+def cmd_pearson(args: argparse.Namespace) -> int:
+    """Similarity/hit-rate Pearson coefficients (Fig. 8 style)."""
+    from repro.experiments.pearson import pearson_rows
+
+    rows = pearson_rows(
+        models=(args.model,),
+        datasets=(args.dataset,),
+        distance=args.prefetch_distance,
+        num_requests=args.requests,
+        seed=args.seed,
+    )
+    for row in rows:
+        print(
+            f"{row.model:14s} {row.dataset:14s} "
+            f"semantic={row.semantic_pearson:+5.2f} "
+            f"trajectory={row.trajectory_pearson:+5.2f}"
+        )
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a workload; save traces / a warm store to disk."""
+    from repro.analysis.tracking import build_store
+    from repro.core.persistence import save_store, save_traces
+    from repro.experiments.common import build_world
+
+    config = _config_from_args(args)
+    world = build_world(config)
+    if args.traces_out:
+        save_traces(world.warm_traces, args.traces_out)
+        print(f"wrote {len(world.warm_traces)} traces to {args.traces_out}")
+    if args.store_out:
+        store = build_store(
+            world.model_config,
+            world.warm_traces,
+            distance=config.prefetch_distance,
+            capacity=config.store_capacity,
+        )
+        save_store(store, args.store_out)
+        print(
+            f"wrote store with {len(store)} maps "
+            f"({store.memory_bytes() / 1e6:.1f} MB) to {args.store_out}"
+        )
+    if not (args.traces_out or args.store_out):
+        print("nothing to do: pass --traces-out and/or --store-out")
+        return 2
+    return 0
+
+
+def cmd_grid(args: argparse.Namespace) -> int:
+    """Sweep (model, dataset, system, budget) grids to CSV."""
+    from repro.experiments.grid import grid_to_csv, run_grid
+
+    config = _config_from_args(args)
+    cells = run_grid(
+        models=args.models,
+        datasets=args.datasets,
+        systems=args.systems,
+        budgets_gb=args.budgets or None,
+        config=config,
+    )
+    text = grid_to_csv(cells, args.output)
+    if args.output:
+        print(f"wrote {len(cells)} cells to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Collate benchmarks/results into one markdown report."""
+    from repro.experiments.report import write_report
+
+    path = write_report(args.results_dir, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    """Profile candidate prefetch distances (the paper's §6.1 step)."""
+    from repro.core.autotune import tune_prefetch_distance
+    from repro.experiments.common import build_world
+    from repro.workloads.profiler import collect_history
+
+    config = _config_from_args(args)
+    world = build_world(config)
+    probes = collect_history(
+        world.fresh_model(), world.test_requests[: args.test_requests]
+    )
+    result = tune_prefetch_distance(
+        world.model_config,
+        world.warm_traces,
+        probes,
+        store_capacity=config.store_capacity,
+    )
+    for score in result.scores:
+        marker = " <== best" if score.distance == result.best_distance else ""
+        print(
+            f"d={score.distance}: hit={score.hit_rate:5.3f} "
+            f"coverage={score.coverage:5.3f} "
+            f"utility={score.utility:5.3f}{marker}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="fMoE reproduction: fine-grained expert offloading",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("models", help="print Table-1 model characteristics")
+    p.set_defaults(func=cmd_models)
+
+    p = sub.add_parser("compare", help="offline comparison (Fig. 9 style)")
+    _add_world_args(p)
+    p.add_argument("--systems", nargs="*", default=None)
+    p.add_argument(
+        "--chart", action="store_true", help="render terminal bar charts"
+    )
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("online", help="online trace replay (Fig. 10 style)")
+    _add_world_args(p)
+    p.add_argument("--systems", nargs="*", default=None)
+    p.add_argument("--trace-requests", type=int, default=32)
+    p.add_argument("--rate", type=float, default=2.0)
+    p.add_argument(
+        "--trace-file",
+        default=None,
+        help="replay a CSV trace (timestamp,input_tokens,output_tokens) "
+        "instead of generating one",
+    )
+    p.set_defaults(func=cmd_online)
+
+    p = sub.add_parser("sweep", help="cache-budget sweep (Fig. 11 style)")
+    _add_world_args(p)
+    p.add_argument(
+        "--limits", nargs="*", type=float, default=[6, 12, 24, 48, 96]
+    )
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("entropy", help="entropy analysis (Fig. 3b style)")
+    _add_world_args(p)
+    p.set_defaults(func=cmd_entropy)
+
+    p = sub.add_parser("pearson", help="correlation analysis (Fig. 8 style)")
+    _add_world_args(p)
+    p.set_defaults(func=cmd_pearson)
+
+    p = sub.add_parser(
+        "grid", help="sweep (model, dataset, system, budget) grids to CSV"
+    )
+    _add_world_args(p)
+    p.add_argument("--models", nargs="*", default=["mixtral-8x7b"])
+    p.add_argument("--datasets", nargs="*", default=["lmsys-chat-1m"])
+    p.add_argument(
+        "--systems",
+        nargs="*",
+        default=["fmoe", "moe-infinity"],
+    )
+    p.add_argument("--budgets", nargs="*", type=float, default=None)
+    p.add_argument("--output", default=None)
+    p.set_defaults(func=cmd_grid)
+
+    p = sub.add_parser(
+        "report", help="collate benchmarks/results into one markdown report"
+    )
+    p.add_argument("--results-dir", default="benchmarks/results")
+    p.add_argument("--output", default="REPRODUCTION_REPORT.md")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "tune", help="profile candidate prefetch distances (§6.1 setup)"
+    )
+    _add_world_args(p)
+    p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser(
+        "profile", help="profile a workload; save traces / a warm store"
+    )
+    _add_world_args(p)
+    p.add_argument("--traces-out", default=None)
+    p.add_argument("--store-out", default=None)
+    p.set_defaults(func=cmd_profile)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Prefetch-distance auto-tuning.
+
+The paper profiles each model to pick the prefetch distance (d=3 for all
+three evaluated models, §6.1/§6.6).  The trade-off it balances:
+
+- *coverage*: a prefetch issued ``d`` layers early has ``d`` layers of
+  compute time to hide one expert copy — too small a ``d`` leaves the copy
+  on the critical path;
+- *accuracy*: trajectory predictions degrade with distance (Fig. 4).
+
+This module reproduces that profiling step as an offline procedure:
+prediction accuracy comes from the tracker evaluation on profiled traces,
+coverage from the hardware latency model, and the tuner picks the distance
+maximizing their product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.tracking import evaluate_fine_grained
+from repro.errors import ConfigError
+from repro.moe.config import MoEModelConfig
+from repro.serving.hardware import DEFAULT_HARDWARE, HardwareConfig
+from repro.workloads.profiler import RequestTrace
+
+
+@dataclass(frozen=True)
+class DistanceScore:
+    """Profiling outcome for one candidate distance."""
+
+    distance: int
+    hit_rate: float
+    coverage: float
+
+    @property
+    def utility(self) -> float:
+        return self.hit_rate * self.coverage
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    best_distance: int
+    scores: tuple[DistanceScore, ...]
+
+
+def transfer_coverage(
+    config: MoEModelConfig,
+    hardware: HardwareConfig,
+    distance: int,
+    matcher_seconds: float = 2.5e-3,
+) -> float:
+    """Fraction of the match-then-copy pipeline hidden by ``distance``
+    layers of decode compute.
+
+    A prefetch for layer ``l+d`` is produced by the asynchronous matcher
+    (``matcher_seconds``) and then crosses PCIe; the window available to
+    hide both is ``d`` layers of the all-resident decode layer time (base +
+    top-K expert reads) — the conservative case, since misses only widen
+    the real window.  This is the §6.6 effect: small distances "cannot
+    perfectly hide the system delay, such as the map matching and expert
+    prefetching".
+    """
+    if distance < 1:
+        raise ConfigError("distance must be >= 1")
+    if matcher_seconds < 0:
+        raise ConfigError("matcher_seconds must be >= 0")
+    layer_seconds = hardware.decode_layer_base_seconds(
+        config
+    ) + config.top_k * hardware.decode_expert_seconds(config)
+    window = distance * layer_seconds
+    needed = hardware.expert_load_seconds(config) + matcher_seconds
+    if needed <= 0:
+        return 1.0
+    return min(1.0, window / needed)
+
+
+def tune_prefetch_distance(
+    config: MoEModelConfig,
+    warm_traces: Sequence[RequestTrace],
+    probe_traces: Sequence[RequestTrace],
+    candidates: tuple[int, ...] = (1, 2, 3, 4, 5, 6),
+    hardware: HardwareConfig = DEFAULT_HARDWARE,
+    store_capacity: int = 1024,
+) -> TuneResult:
+    """Pick the distance maximizing accuracy × coverage."""
+    if not candidates:
+        raise ConfigError("need at least one candidate distance")
+    scores = []
+    for distance in candidates:
+        if distance > config.num_layers:
+            continue
+        hit = evaluate_fine_grained(
+            config,
+            warm_traces,
+            probe_traces,
+            distance=distance,
+            capacity=store_capacity,
+        ).hit_rate
+        scores.append(
+            DistanceScore(
+                distance=distance,
+                hit_rate=hit,
+                coverage=transfer_coverage(config, hardware, distance),
+            )
+        )
+    if not scores:
+        raise ConfigError("no candidate distance fits the model")
+    best = max(scores, key=lambda s: (s.utility, -s.distance))
+    return TuneResult(best_distance=best.distance, scores=tuple(scores))

@@ -1,0 +1,139 @@
+"""The expert map data structure (paper §4.1).
+
+An expert map records, for one inference iteration, the gate network's
+probability distribution over experts at every layer:
+
+    map_i = { P_1, ..., P_L },   P_l ∈ R^J,  Σ_j p_lj = 1.
+
+Unlike request-level hit counts (MoE-Infinity's Expert Activation Matrix),
+an expert map preserves both the iteration granularity and the gate's full
+confidence information.  The coarse view is recoverable: applying a top-K
+operator per layer and summing over iterations reproduces activation
+counts, so the structure strictly generalizes prior trackers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class ExpertMap:
+    """Per-iteration gate probability distributions, shape ``(L, J)``."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, distributions: np.ndarray, validate: bool = True) -> None:
+        data = np.asarray(distributions, dtype=np.float32)
+        if data.ndim != 2:
+            raise ConfigError(
+                f"expert map must be 2-D (L, J); got shape {data.shape}"
+            )
+        if validate:
+            if np.any(data < -1e-6):
+                raise ConfigError("expert map probabilities must be >= 0")
+            sums = data.sum(axis=1)
+            if not np.allclose(sums, 1.0, atol=1e-3):
+                raise ConfigError(
+                    "each expert map row must sum to 1 "
+                    f"(row sums range {sums.min():.4f}..{sums.max():.4f})"
+                )
+        self._data = data
+
+    # ------------------------------------------------------------------ #
+    # Shape / access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_layers(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def num_experts(self) -> int:
+        return self._data.shape[1]
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying ``(L, J)`` float32 array (read as a view)."""
+        return self._data
+
+    def layer(self, layer: int) -> np.ndarray:
+        """Probability distribution of one layer, shape ``(J,)``."""
+        if not 0 <= layer < self.num_layers:
+            raise ConfigError(
+                f"layer {layer} out of range [0, {self.num_layers})"
+            )
+        return self._data[layer]
+
+    # ------------------------------------------------------------------ #
+    # Views used by matching
+    # ------------------------------------------------------------------ #
+
+    def prefix(self, num_layers: int) -> np.ndarray:
+        """First ``num_layers`` layers flattened, shape ``(num_layers*J,)``.
+
+        The trajectory feature the paper compares with Eq. 5.
+        """
+        if not 0 <= num_layers <= self.num_layers:
+            raise ConfigError(
+                f"prefix length {num_layers} out of range "
+                f"[0, {self.num_layers}]"
+            )
+        return self._data[:num_layers].ravel()
+
+    def flattened(self) -> np.ndarray:
+        """All layers flattened, shape ``(L*J,)``."""
+        return self._data.ravel()
+
+    # ------------------------------------------------------------------ #
+    # Coarse-view recovery (generalization claim of §4.1)
+    # ------------------------------------------------------------------ #
+
+    def top_k(self, k: int) -> list[np.ndarray]:
+        """Per-layer top-``k`` expert indices (sorted ascending)."""
+        if not 1 <= k <= self.num_experts:
+            raise ConfigError(f"k must be in [1, {self.num_experts}]")
+        out = []
+        for layer in range(self.num_layers):
+            part = np.argpartition(self._data[layer], -k)[-k:]
+            out.append(np.sort(part))
+        return out
+
+    def activation_counts(self, k: int) -> np.ndarray:
+        """Binary activation grid from the top-``k`` recovery operator."""
+        counts = np.zeros_like(self._data)
+        for layer, experts in enumerate(self.top_k(k)):
+            counts[layer, experts] = 1.0
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Sizes
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nbytes(self) -> int:
+        """CPU memory footprint of this map (float32 storage)."""
+        return self._data.nbytes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExpertMap):
+            return NotImplemented
+        return np.array_equal(self._data, other._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExpertMap(L={self.num_layers}, J={self.num_experts})"
+
+
+def aggregate_maps(maps: list[ExpertMap], k: int) -> np.ndarray:
+    """Request-level activation counts from iteration maps.
+
+    This is exactly the coarse-grained aggregation existing trackers use;
+    the paper's Fig. 3 contrasts its entropy against individual maps.
+    """
+    if not maps:
+        raise ConfigError("need at least one map to aggregate")
+    total = np.zeros((maps[0].num_layers, maps[0].num_experts))
+    for m in maps:
+        total += m.activation_counts(k)
+    return total

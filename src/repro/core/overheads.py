@@ -1,0 +1,49 @@
+"""Virtual-latency model of fMoE's own operations (paper §6.7, Fig. 15).
+
+The paper instruments five operations per iteration: context collection
+(synchronous, cheap), map matching (asynchronous), expert prefetching
+(asynchronous transfers), on-demand loading (synchronous, charged by the
+pool), and map update (asynchronous).  The constants here reproduce the
+reported magnitudes: total synchronous overhead excluding on-demand loads
+stays well under 30 ms per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Seconds charged for each fMoE operation."""
+
+    context_collect_seconds: float = 2e-3
+    """Synchronous: gathering embeddings + trajectory views per iteration."""
+
+    map_match_base_seconds: float = 5e-4
+    """Asynchronous: fixed cost of one batched store search."""
+
+    map_match_per_record_seconds: float = 2e-6
+    """Asynchronous: per-stored-record cost of one batched search."""
+
+    map_update_seconds: float = 8e-4
+    """Asynchronous: inserting one iteration's context into the store."""
+
+    def __post_init__(self) -> None:
+        for name in (
+            "context_collect_seconds",
+            "map_match_base_seconds",
+            "map_match_per_record_seconds",
+            "map_update_seconds",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+
+    def match_seconds(self, store_size: int) -> float:
+        """Latency of one batched match against ``store_size`` records."""
+        return (
+            self.map_match_base_seconds
+            + self.map_match_per_record_seconds * store_size
+        )

@@ -1,0 +1,145 @@
+"""Persistence for expert-map stores and profiled histories.
+
+A production deployment keeps the Expert Map Store across restarts (the
+paper's offline setting assumes a pre-warmed store) and ships profiled
+routing history between machines.  Both are plain NumPy payloads, stored
+as compressed ``.npz`` archives with a format-version field so future
+layouts can evolve safely.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.store import ExpertMapStore
+from repro.errors import ConfigError
+from repro.serving.request import Request
+from repro.workloads.profiler import RequestTrace
+
+STORE_FORMAT_VERSION = 1
+TRACES_FORMAT_VERSION = 1
+
+
+def save_store(store: ExpertMapStore, path: str | Path) -> None:
+    """Write a store (records + configuration) to a ``.npz`` archive."""
+    path = Path(path)
+    size = len(store)
+    embeddings = np.stack(
+        [store.record(i).embedding for i in range(size)]
+    ) if size else np.zeros((0, store.embedding_dim), dtype=np.float32)
+    maps = np.stack(
+        [store.record(i).expert_map for i in range(size)]
+    ) if size else np.zeros(
+        (0, store.num_layers, store.num_experts), dtype=np.float32
+    )
+    meta = {
+        "version": STORE_FORMAT_VERSION,
+        "capacity": store.capacity,
+        "num_layers": store.num_layers,
+        "num_experts": store.num_experts,
+        "embedding_dim": store.embedding_dim,
+        "prefetch_distance": store.prefetch_distance,
+        "total_added": store.total_added,
+    }
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        embeddings=embeddings,
+        maps=maps,
+    )
+
+
+def load_store(path: str | Path) -> ExpertMapStore:
+    """Rebuild a store from a ``.npz`` archive written by :func:`save_store`."""
+    path = Path(path)
+    with np.load(path) as payload:
+        meta = json.loads(bytes(payload["meta"].tobytes()).decode())
+        if meta.get("version") != STORE_FORMAT_VERSION:
+            raise ConfigError(
+                f"unsupported store format version {meta.get('version')!r}"
+            )
+        store = ExpertMapStore(
+            capacity=meta["capacity"],
+            num_layers=meta["num_layers"],
+            num_experts=meta["num_experts"],
+            embedding_dim=meta["embedding_dim"],
+            prefetch_distance=meta["prefetch_distance"],
+        )
+        embeddings = payload["embeddings"]
+        maps = payload["maps"]
+    for embedding, expert_map in zip(embeddings, maps):
+        store.add(embedding, expert_map)
+    return store
+
+
+def save_traces(traces: Sequence[RequestTrace], path: str | Path) -> None:
+    """Write profiled request traces to a ``.npz`` archive."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    records = []
+    for i, trace in enumerate(traces):
+        records.append(
+            {
+                "request_id": trace.request.request_id,
+                "cluster": trace.request.cluster,
+                "input_tokens": trace.request.input_tokens,
+                "output_tokens": trace.request.output_tokens,
+                "arrival_time": trace.request.arrival_time,
+                "seed": trace.request.seed,
+                "iterations": len(trace.iteration_maps),
+            }
+        )
+        arrays[f"emb_{i}"] = trace.embedding
+        arrays[f"maps_{i}"] = np.stack(trace.iteration_maps)
+        arrays[f"logits_{i}"] = np.stack(trace.iteration_logits)
+        for k, activated in enumerate(trace.iteration_activated):
+            # Ragged per-layer activation arrays flattened with offsets.
+            lengths = np.array([len(a) for a in activated])
+            arrays[f"act_{i}_{k}"] = (
+                np.concatenate(activated) if len(activated) else np.array([])
+            )
+            arrays[f"actlen_{i}_{k}"] = lengths
+    meta = {"version": TRACES_FORMAT_VERSION, "records": records}
+    arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+def load_traces(path: str | Path) -> list[RequestTrace]:
+    """Rebuild traces from an archive written by :func:`save_traces`."""
+    path = Path(path)
+    with np.load(path) as payload:
+        meta = json.loads(bytes(payload["meta"].tobytes()).decode())
+        if meta.get("version") != TRACES_FORMAT_VERSION:
+            raise ConfigError(
+                f"unsupported traces format version {meta.get('version')!r}"
+            )
+        traces = []
+        for i, record in enumerate(meta["records"]):
+            request = Request(
+                request_id=record["request_id"],
+                cluster=record["cluster"],
+                input_tokens=record["input_tokens"],
+                output_tokens=record["output_tokens"],
+                arrival_time=record["arrival_time"],
+                seed=record["seed"],
+            )
+            maps = payload[f"maps_{i}"]
+            logits = payload[f"logits_{i}"]
+            trace = RequestTrace(
+                request=request, embedding=payload[f"emb_{i}"]
+            )
+            for k in range(record["iterations"]):
+                trace.iteration_maps.append(maps[k])
+                trace.iteration_logits.append(logits[k])
+                flat = payload[f"act_{i}_{k}"].astype(np.int64)
+                lengths = payload[f"actlen_{i}_{k}"]
+                offsets = np.cumsum(lengths)[:-1]
+                trace.iteration_activated.append(
+                    tuple(np.split(flat, offsets))
+                )
+            traces.append(trace)
+    return traces

@@ -1,0 +1,293 @@
+"""The assembled fMoE offloading policy (paper §3.2 workflow, §4 design).
+
+Per iteration the policy follows the paper's five steps:
+
+1. *Context collection* (synchronous, cheap): embeddings + observed
+   trajectory views.
+2. *Expert map matching*: semantic search guides the first ``d`` layers at
+   iteration start; trajectory search fires after every revealed layer for
+   layer ``l + d``.  Matching is asynchronous — it delays when prefetch
+   instructions reach the PCIe queue but never blocks compute.
+3. *Guided prefetching*: similarity-aware thresholds δ = clip(1 − score)
+   choose how many experts to hedge with; issue order follows
+   PRI = p / (l − l_now).
+4. *Serving*: the engine resolves hits/misses against the pool; the policy
+   supplies the 1/(p·freq) eviction priority.
+5. *Map update*: the completed iteration's context is inserted into the
+   store (with redundancy-based deduplication once at capacity).
+
+Ablation switches reproduce the paper's Fig. 12a variants: trajectory-only
+(``use_semantic=False``), no dynamic threshold (``dynamic_threshold=False``
+prefetches a fixed top-K), and the full design.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import BasePolicy, LFUTracker, LRUTracker
+from repro.core.cache import FMoECacheScorer
+from repro.core.matcher import (
+    ExpertMapMatcher,
+    IncrementalTrajectoryMatch,
+    MatchResult,
+)
+from repro.core.overheads import OverheadModel
+from repro.core.prefetch import (
+    prefetch_priority,
+    select_prefetch_experts,
+    selection_threshold,
+)
+from repro.core.store import ExpertMapStore
+from repro.errors import ConfigError
+from repro.serving.engine import (
+    IterationContext,
+    PolicyAction,
+    PrefetchInstruction,
+)
+from repro.types import ExpertId
+
+
+class FMoEPolicy(BasePolicy):
+    """Fine-grained expert offloading with expert-map guidance."""
+
+    name = "fmoe"
+
+    def __init__(
+        self,
+        prefetch_distance: int = 3,
+        store_capacity: int = 1024,
+        use_semantic: bool = True,
+        use_trajectory: bool = True,
+        dynamic_threshold: bool = True,
+        max_prefetch_factor: float = 4.0,
+        overheads: OverheadModel | None = None,
+        update_store_online: bool = True,
+        eviction_algorithm: str = "fmoe",
+    ) -> None:
+        super().__init__()
+        if prefetch_distance < 1:
+            raise ConfigError("prefetch_distance must be >= 1")
+        if store_capacity < 1:
+            raise ConfigError("store_capacity must be >= 1")
+        if max_prefetch_factor < 1.0:
+            raise ConfigError("max_prefetch_factor must be >= 1")
+        if not (use_semantic or use_trajectory):
+            raise ConfigError(
+                "at least one of semantic/trajectory search must be enabled"
+            )
+        if eviction_algorithm not in ("fmoe", "lru", "lfu"):
+            raise ConfigError(
+                "eviction_algorithm must be one of 'fmoe', 'lru', 'lfu'"
+            )
+        self.prefetch_distance = prefetch_distance
+        self.store_capacity = store_capacity
+        self.use_semantic = use_semantic
+        self.use_trajectory = use_trajectory
+        self.dynamic_threshold = dynamic_threshold
+        self.max_prefetch_factor = max_prefetch_factor
+        self.overheads = overheads or OverheadModel()
+        self.update_store_online = update_store_online
+        self.eviction_algorithm = eviction_algorithm
+        self._lru = LRUTracker()
+        self._lfu = LFUTracker()
+        self.store: ExpertMapStore | None = None
+        self.matcher: ExpertMapMatcher | None = None
+        self.scorer: FMoECacheScorer | None = None
+        self._trajectory_session: IncrementalTrajectoryMatch | None = None
+        self.semantic_score_log: list[float] = []
+        self.trajectory_score_log: list[float] = []
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def attach(self, engine) -> None:
+        super().attach(engine)
+        config = engine.config
+        distance = min(self.prefetch_distance, config.num_layers)
+        self.store = ExpertMapStore(
+            capacity=self.store_capacity,
+            num_layers=config.num_layers,
+            num_experts=config.experts_per_layer,
+            embedding_dim=config.embedding_dim,
+            prefetch_distance=distance,
+        )
+        self.matcher = ExpertMapMatcher(
+            self.store,
+            base_seconds=self.overheads.map_match_base_seconds,
+            per_record_seconds=self.overheads.map_match_per_record_seconds,
+        )
+        self.scorer = FMoECacheScorer(
+            config.num_layers, config.experts_per_layer
+        )
+
+    def warm(self, traces: Sequence) -> None:
+        if self.store is None:
+            raise ConfigError("policy must be attached before warming")
+        for trace in traces:
+            for iteration_map in trace.iteration_maps:
+                self.store.add(trace.embedding, iteration_map)
+
+    # ------------------------------------------------------------------ #
+    # Selection helpers
+    # ------------------------------------------------------------------ #
+
+    def _max_prefetch_count(self) -> int:
+        return int(math.ceil(self.max_prefetch_factor * self.config.top_k))
+
+    def _select(self, row: np.ndarray, score: float) -> np.ndarray:
+        """Expert indices to prefetch for one layer given the match score."""
+        if self.dynamic_threshold:
+            threshold = selection_threshold(score)
+            return select_prefetch_experts(
+                row,
+                threshold,
+                self.config.top_k,
+                max_count=self._max_prefetch_count(),
+            )
+        top = np.argsort(row)[::-1][: self.config.top_k]
+        return top
+
+    def _instructions_for_layer(
+        self,
+        row: np.ndarray,
+        score: float,
+        target_layer: int,
+        current_layer: int,
+    ) -> list[PrefetchInstruction]:
+        assert self.scorer is not None
+        self.scorer.update_prediction_row(target_layer, row)
+        selected = self._select(row, score)
+        return [
+            PrefetchInstruction(
+                expert=ExpertId(target_layer, int(j)),
+                priority=prefetch_priority(
+                    float(row[j]), target_layer, current_layer
+                ),
+            )
+            for j in selected
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Engine hooks
+    # ------------------------------------------------------------------ #
+
+    def on_iteration_start(self, ctx: IterationContext) -> PolicyAction:
+        assert self.store is not None and self.matcher is not None
+        assert self.scorer is not None
+        self.scorer.reset_predictions()
+        # One streaming trajectory match per iteration: each layer's gate
+        # output folds in incrementally (O(C·J) per layer).
+        self._trajectory_session = (
+            self.matcher.incremental_session(ctx.batch_size)
+            if self.use_trajectory and not self.store.is_empty
+            else None
+        )
+        action = PolicyAction(
+            sync_overheads={
+                "context_collect": self.overheads.context_collect_seconds
+            }
+        )
+        if not self.use_semantic or self.store.is_empty:
+            return action
+        result = self.matcher.match_semantic(ctx.embeddings)
+        if result is None:
+            return action
+        self.semantic_score_log.extend(float(s) for s in result.scores)
+        # Semantic search covers layers [0, d); with trajectory search
+        # disabled it must carry the entire iteration.
+        horizon = (
+            min(self.prefetch_distance, self.config.num_layers)
+            if self.use_trajectory
+            else self.config.num_layers
+        )
+        instructions: list[PrefetchInstruction] = []
+        for b in range(ctx.batch_size):
+            score = float(result.scores[b])
+            for layer in range(horizon):
+                row = self.matcher.matched_row(result, b, layer)
+                instructions.extend(
+                    self._instructions_for_layer(row, score, layer, -1)
+                )
+        action.prefetch = instructions
+        action.async_overheads = {"map_match": self.matcher.match_seconds()}
+        return action
+
+    def on_gate_output(
+        self, ctx: IterationContext, layer: int
+    ) -> PolicyAction:
+        assert self.store is not None and self.matcher is not None
+        assert self.scorer is not None
+        if layer > 0:
+            # The forward pass moved past layer-1: its experts are now the
+            # least valuable residents (layer-sequential reuse, §4.5).
+            self.scorer.mark_layer_done(layer - 1)
+        if not self.use_trajectory:
+            return PolicyAction()
+        session = self._trajectory_session
+        if session is None:
+            return PolicyAction()
+        result = session.observe_layer(ctx.observed[:, layer, :])
+        target = layer + self.prefetch_distance
+        if result is None or target >= self.config.num_layers:
+            return PolicyAction()
+        self.trajectory_score_log.extend(float(s) for s in result.scores)
+        instructions: list[PrefetchInstruction] = []
+        for b in range(ctx.batch_size):
+            score = float(result.scores[b])
+            row = self.matcher.matched_row(result, b, target)
+            instructions.extend(
+                self._instructions_for_layer(row, score, target, layer)
+            )
+        return PolicyAction(
+            prefetch=instructions,
+            async_overheads={"map_match": self.matcher.match_seconds()},
+        )
+
+    def on_iteration_end(self, ctx: IterationContext) -> PolicyAction:
+        assert self.store is not None
+        if not self.update_store_online:
+            return PolicyAction()
+        for b in range(ctx.batch_size):
+            self.store.add(ctx.embeddings[b], ctx.observed[b])
+        return PolicyAction(
+            async_overheads={
+                "map_update": self.overheads.map_update_seconds
+                * ctx.batch_size
+            }
+        )
+
+    def on_expert_served(self, expert: ExpertId, hit: bool, now: float) -> None:
+        assert self.scorer is not None
+        self.scorer.touch(expert)
+        self._lru.touch(expert, now)
+        self._lfu.touch(expert, now)
+
+    def eviction_priority(self, expert: ExpertId, now: float) -> float:
+        """Dispatch on the configured cache algorithm (Fig. 12b ablation)."""
+        if self.eviction_algorithm == "lru":
+            return self._lru.eviction_priority(expert, now)
+        if self.eviction_algorithm == "lfu":
+            return self._lfu.eviction_priority(expert, now)
+        assert self.scorer is not None
+        return self.scorer.eviction_priority(expert, now)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def mean_semantic_score(self) -> float:
+        """Mean best semantic-match score over the run (Fig. 14a)."""
+        if not self.semantic_score_log:
+            return 0.0
+        return float(np.mean(self.semantic_score_log))
+
+    def mean_trajectory_score(self) -> float:
+        """Mean best trajectory-match score over the run (Fig. 14a)."""
+        if not self.trajectory_score_log:
+            return 0.0
+        return float(np.mean(self.trajectory_score_log))

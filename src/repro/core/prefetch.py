@@ -1,0 +1,71 @@
+"""Similarity-aware expert selection and prefetch priorities (§4.3, §4.5).
+
+Given a matched expert map row and the match's similarity score, fMoE
+computes a dynamic selection threshold
+
+    δ = clip(1 − score, 0, 1)
+
+and prefetches the smallest set of highest-probability experts whose summed
+probability exceeds δ (Eqs. 6–8), always more than the top-K the gate will
+activate.  Low-confidence matches therefore hedge with more experts; high
+confidence matches prefetch tightly, trimming memory traffic.
+
+Prefetch issue order follows PRI = p / (l − l_now): likely experts on near
+layers first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def selection_threshold(score: float) -> float:
+    """δ = clip(1 − score, 0, 1) for a cosine score in [−1, 1]."""
+    return float(np.clip(1.0 - score, 0.0, 1.0))
+
+
+def select_prefetch_experts(
+    distribution: np.ndarray,
+    threshold: float,
+    top_k: int,
+    max_count: int | None = None,
+) -> np.ndarray:
+    """Minimal high-probability expert set for one layer (Eqs. 6–8).
+
+    Picks experts in descending probability until the cumulative
+    probability exceeds ``threshold``, subject to the paper's constraint 8
+    (strictly more experts than the ``top_k`` the gate activates, where the
+    layer width allows) and an optional hedging cap ``max_count``.
+    """
+    distribution = np.asarray(distribution, dtype=np.float64)
+    if distribution.ndim != 1:
+        raise ConfigError("distribution must be 1-D")
+    num_experts = distribution.shape[0]
+    if not 1 <= top_k <= num_experts:
+        raise ConfigError(f"top_k must be in [1, {num_experts}]")
+    if not 0.0 <= threshold <= 1.0:
+        raise ConfigError("threshold must be in [0, 1]")
+    min_needed = min(top_k + 1, num_experts)
+    cap = num_experts if max_count is None else min(max_count, num_experts)
+    cap = max(cap, min_needed)
+    order = np.argsort(distribution)[::-1]
+    cumulative = np.cumsum(distribution[order])
+    count = int(np.searchsorted(cumulative, threshold) + 1)
+    count = max(count, min_needed)
+    count = min(count, cap)
+    return order[:count]
+
+
+def prefetch_priority(
+    probability: float, layer: int, current_layer: int
+) -> float:
+    """PRI_prefetch = p / (l − l_now): near, likely experts first (§4.5)."""
+    gap = layer - current_layer
+    if gap <= 0:
+        raise ConfigError(
+            f"prefetch target layer {layer} must be past current "
+            f"layer {current_layer}"
+        )
+    return probability / gap

@@ -1,0 +1,192 @@
+"""The Expert Map Store (paper §3.2, §4.4).
+
+A capacity-bounded collection of (semantic embedding, expert map) records
+from historical inference iterations, held in preallocated arrays so the
+matcher's batched cosine computations are single matrix products.
+
+When full, the store deduplicates: each incoming iteration computes the
+unified redundancy score against every stored record,
+
+    RDY_{x,y} = (d/L) · score_sem(x,y) + ((L−d)/L) · score_traj(x,y),
+
+and replaces the stored record it is most redundant with — keeping the
+store diverse so some useful map exists for any future prompt.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.moe.embeddings import cosine_similarity_matrix
+
+
+class StoreRecord(NamedTuple):
+    """One stored iteration context (copies, for inspection/tests)."""
+
+    embedding: np.ndarray
+    expert_map: np.ndarray
+
+
+class ExpertMapStore:
+    """Fixed-capacity store of iteration-level expert maps."""
+
+    def __init__(
+        self,
+        capacity: int,
+        num_layers: int,
+        num_experts: int,
+        embedding_dim: int,
+        prefetch_distance: int = 3,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError("store capacity must be >= 1")
+        if num_layers < 1 or num_experts < 1:
+            raise ConfigError("num_layers and num_experts must be >= 1")
+        if embedding_dim < 1:
+            raise ConfigError("embedding_dim must be >= 1")
+        if not 1 <= prefetch_distance <= num_layers:
+            raise ConfigError(
+                "prefetch_distance must be in [1, num_layers]"
+            )
+        self.capacity = capacity
+        self.num_layers = num_layers
+        self.num_experts = num_experts
+        self.embedding_dim = embedding_dim
+        self.prefetch_distance = prefetch_distance
+        self._embeddings = np.zeros((capacity, embedding_dim), dtype=np.float32)
+        self._maps = np.zeros(
+            (capacity, num_layers, num_experts), dtype=np.float32
+        )
+        self._size = 0
+        self.total_added = 0
+        self.replacements = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        return self._size >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return self._size == 0
+
+    def record(self, index: int) -> StoreRecord:
+        """Copy of the stored (embedding, map) pair at ``index``."""
+        if not 0 <= index < self._size:
+            raise ConfigError(f"record index {index} out of range")
+        return StoreRecord(
+            embedding=self._embeddings[index].copy(),
+            expert_map=self._maps[index].copy(),
+        )
+
+    def get_map(self, index: int) -> np.ndarray:
+        """Stored expert map ``(L, J)`` (read-only view)."""
+        if not 0 <= index < self._size:
+            raise ConfigError(f"record index {index} out of range")
+        return self._maps[index]
+
+    def memory_bytes(self, allocated: bool = False) -> int:
+        """CPU memory footprint (Fig. 16): maps + embeddings, float32."""
+        rows = self.capacity if allocated else self._size
+        per_record = (
+            self.num_layers * self.num_experts + self.embedding_dim
+        ) * 4
+        return rows * per_record
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def add(self, embedding: np.ndarray, expert_map: np.ndarray) -> int:
+        """Insert one record; returns the slot it landed in."""
+        embedding = np.asarray(embedding, dtype=np.float32)
+        expert_map = np.asarray(expert_map, dtype=np.float32)
+        if embedding.shape != (self.embedding_dim,):
+            raise ConfigError(
+                f"embedding shape {embedding.shape} != ({self.embedding_dim},)"
+            )
+        if expert_map.shape != (self.num_layers, self.num_experts):
+            raise ConfigError(
+                f"map shape {expert_map.shape} != "
+                f"({self.num_layers}, {self.num_experts})"
+            )
+        self.total_added += 1
+        if self._size < self.capacity:
+            slot = self._size
+            self._size += 1
+        else:
+            slot = self._most_redundant_slot(embedding, expert_map)
+            self.replacements += 1
+        self._embeddings[slot] = embedding
+        self._maps[slot] = expert_map
+        return slot
+
+    def _most_redundant_slot(
+        self, embedding: np.ndarray, expert_map: np.ndarray
+    ) -> int:
+        scores = self.redundancy_scores(
+            embedding[None, :], expert_map[None, :, :]
+        )
+        return int(np.argmax(scores[0]))
+
+    def redundancy_scores(
+        self, embeddings: np.ndarray, maps: np.ndarray
+    ) -> np.ndarray:
+        """Unified redundancy score RDY (§4.4), shape ``(B, size)``."""
+        if self.is_empty:
+            raise ConfigError("redundancy undefined for an empty store")
+        sem = cosine_similarity_matrix(
+            embeddings, self._embeddings[: self._size]
+        )
+        flat_new = maps.reshape(maps.shape[0], -1)
+        flat_old = self._maps[: self._size].reshape(self._size, -1)
+        traj = cosine_similarity_matrix(flat_new, flat_old)
+        d, total = self.prefetch_distance, self.num_layers
+        return (d / total) * sem + ((total - d) / total) * traj
+
+    # ------------------------------------------------------------------ #
+    # Search primitives (Eqs. 4 and 5)
+    # ------------------------------------------------------------------ #
+
+    def semantic_scores(self, embeddings: np.ndarray) -> np.ndarray:
+        """Cosine similarity of query embeddings vs stored: ``(B, size)``."""
+        if self.is_empty:
+            raise ConfigError("cannot search an empty store")
+        return cosine_similarity_matrix(
+            np.atleast_2d(embeddings), self._embeddings[: self._size]
+        )
+
+    def trajectory_scores(
+        self, observed: np.ndarray, num_layers: int
+    ) -> np.ndarray:
+        """Cosine similarity of observed prefixes vs stored prefixes.
+
+        ``observed`` has shape ``(B, num_layers, J)`` — the gate
+        distributions of the layers revealed so far this iteration.
+        """
+        if self.is_empty:
+            raise ConfigError("cannot search an empty store")
+        if not 1 <= num_layers <= self.num_layers:
+            raise ConfigError(
+                f"prefix length {num_layers} out of range [1, {self.num_layers}]"
+            )
+        observed = np.asarray(observed)
+        if observed.ndim != 3 or observed.shape[1] < num_layers:
+            raise ConfigError(
+                "observed must be (B, >=num_layers, J); got "
+                f"{observed.shape}"
+            )
+        flat_new = observed[:, :num_layers, :].reshape(observed.shape[0], -1)
+        flat_old = self._maps[: self._size, :num_layers, :].reshape(
+            self._size, -1
+        )
+        return cosine_similarity_matrix(flat_new, flat_old)

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the fMoE reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid model, hardware, or policy configuration."""
+
+
+class CapacityError(ReproError):
+    """A memory or cache budget cannot accommodate a required resident set."""
+
+
+class UnknownModelError(ConfigError):
+    """A model name was not found in the registry."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent state."""

@@ -1,0 +1,24 @@
+"""One module per paper table/figure (see DESIGN.md §3 for the index).
+
+Each experiment function returns plain typed rows/series that the matching
+benchmark file under ``benchmarks/`` prints, so the same code path backs
+interactive use, tests, and the regeneration harness.
+"""
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    World,
+    build_world,
+    make_policy,
+    run_system,
+    SYSTEM_NAMES,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "World",
+    "build_world",
+    "make_policy",
+    "run_system",
+    "SYSTEM_NAMES",
+]

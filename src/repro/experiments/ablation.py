@@ -1,0 +1,117 @@
+"""Fig. 12: ablation studies of fMoE's design.
+
+12a — expert pattern tracking approaches, evaluated as offline prediction
+containment at the default prefetch distance:
+
+  Speculate  — hidden-state speculation (Mixtral-Offloading / ProMoE);
+  Hit count  — request-level EAM matching (MoE-Infinity);
+  Map (T)    — expert maps with trajectory search only;
+  Map (T+S)  — + semantic search, fixed top-K selection;
+  Map (T+S+δ) — + the dynamic similarity-aware threshold (full fMoE).
+
+12b — expert caching algorithms inside the full fMoE policy: LRU
+(Mixtral-Offloading), LFU (MoE-Infinity), and fMoE's 1/(p·freq).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tracking import (
+    evaluate_coarse_grained,
+    evaluate_fine_grained,
+    evaluate_speculative,
+)
+from repro.core.policy import FMoEPolicy
+from repro.experiments.common import ExperimentConfig, build_world
+from repro.serving.engine import ServingEngine
+from repro.workloads.profiler import collect_history
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    variant: str
+    hit_rate: float
+
+
+def tracking_ablation(
+    model: str = "mixtral-8x7b",
+    dataset: str = "lmsys-chat-1m",
+    distance: int = 3,
+    num_requests: int = 24,
+    num_test: int = 6,
+    seed: int = 0,
+) -> list[AblationRow]:
+    """Fig. 12a: hit rate of five tracking approaches."""
+    world = build_world(
+        ExperimentConfig(
+            model_name=model,
+            dataset=dataset,
+            num_requests=num_requests,
+            seed=seed,
+        )
+    )
+    warm = world.warm_traces
+    test = collect_history(world.fresh_model(), world.test_requests[:num_test])
+    cfg = world.model_config
+    rows = [
+        AblationRow(
+            "speculate",
+            evaluate_speculative(cfg, test, distance=distance).hit_rate,
+        ),
+        AblationRow(
+            "hit-count",
+            evaluate_coarse_grained(cfg, warm, test, distance=distance).hit_rate,
+        ),
+        AblationRow(
+            "map-T",
+            evaluate_fine_grained(
+                cfg,
+                warm,
+                test,
+                distance=distance,
+                use_semantic=False,
+                dynamic_threshold=False,
+            ).hit_rate,
+        ),
+        AblationRow(
+            "map-T+S",
+            evaluate_fine_grained(
+                cfg, warm, test, distance=distance, dynamic_threshold=False
+            ).hit_rate,
+        ),
+        AblationRow(
+            "map-T+S+delta",
+            evaluate_fine_grained(cfg, warm, test, distance=distance).hit_rate,
+        ),
+    ]
+    return rows
+
+
+def caching_ablation(
+    model: str = "mixtral-8x7b",
+    dataset: str = "lmsys-chat-1m",
+    config: ExperimentConfig | None = None,
+) -> list[AblationRow]:
+    """Fig. 12b: LRU vs LFU vs fMoE's eviction inside the full policy."""
+    base = (config or ExperimentConfig()).with_(
+        model_name=model, dataset=dataset
+    )
+    world = build_world(base)
+    rows = []
+    for algorithm in ("lru", "lfu", "fmoe"):
+        policy = FMoEPolicy(
+            prefetch_distance=base.prefetch_distance,
+            store_capacity=base.store_capacity,
+            eviction_algorithm=algorithm,
+        )
+        engine = ServingEngine(
+            world.fresh_model(),
+            policy,
+            cache_budget_bytes=base.resolve_budget(world.model_config),
+            hardware=base.hardware,
+        )
+        policy.warm(world.warm_traces)
+        report = engine.run(world.test_requests)
+        rows.append(AblationRow(algorithm, report.hit_rate))
+    return rows

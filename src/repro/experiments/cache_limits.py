@@ -1,0 +1,66 @@
+"""Fig. 11: TPOT of the five systems under varying expert-cache limits.
+
+The paper sweeps the GPU memory allocated for caching experts from 6 GB to
+96 GB (aggregate across the six GPUs) and reports decode TPOT; fMoE should
+dominate across the sweep, with the largest margins at tight budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_world,
+    run_system,
+    SYSTEM_NAMES,
+)
+
+#: The paper's sweep points, in GB.
+DEFAULT_LIMITS_GB: tuple[float, ...] = (6, 12, 24, 48, 96)
+
+
+@dataclass(frozen=True)
+class CacheLimitRow:
+    model: str
+    system: str
+    cache_gb: float
+    tpot_seconds: float
+    hit_rate: float
+
+
+def tpot_vs_cache_limit(
+    models: tuple[str, ...] = ("mixtral-8x7b",),
+    dataset: str = "lmsys-chat-1m",
+    systems: tuple[str, ...] = SYSTEM_NAMES,
+    limits_gb: tuple[float, ...] = DEFAULT_LIMITS_GB,
+    config: ExperimentConfig | None = None,
+) -> list[CacheLimitRow]:
+    """One row per (model, system, cache-GB) point of the Fig. 11 sweep."""
+    base = config or ExperimentConfig()
+    rows = []
+    for model in models:
+        world = build_world(base.with_(model_name=model, dataset=dataset))
+        total = world.model_config.total_expert_bytes
+        min_budget = (
+            world.model_config.expert_bytes * base.hardware.num_gpus
+        )
+        for gb in limits_gb:
+            budget = int(gb * 1e9)
+            # Budgets above the full expert footprint behave identically.
+            budget = min(budget, total)
+            budget = max(budget, min_budget)
+            for system in systems:
+                report = run_system(
+                    world, system, cache_budget_bytes=budget
+                )
+                rows.append(
+                    CacheLimitRow(
+                        model=model,
+                        system=system,
+                        cache_gb=gb,
+                        tpot_seconds=report.mean_tpot(),
+                        hit_rate=report.hit_rate,
+                    )
+                )
+    return rows

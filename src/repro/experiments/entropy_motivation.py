@@ -1,0 +1,113 @@
+"""Fig. 3: entropy analysis of coarse vs fine expert patterns.
+
+3a — activation heatmaps (coarse request-aggregated vs fine per-iteration);
+3b — mean per-layer entropy for three models × two datasets;
+3c — mean entropy through inference iterations (cumulative aggregation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.entropy import (
+    activation_heatmaps,
+    coarse_fine_entropy,
+    entropy_through_iterations,
+)
+from repro.experiments.common import ExperimentConfig, build_world
+
+
+@dataclass(frozen=True)
+class EntropyRow:
+    model: str
+    dataset: str
+    coarse_mean_entropy: float
+    fine_mean_entropy: float
+    max_entropy: float
+
+
+def entropy_comparison(
+    models: tuple[str, ...] = ("mixtral-8x7b", "qwen1.5-moe", "phi-3.5-moe"),
+    datasets: tuple[str, ...] = ("lmsys-chat-1m", "sharegpt"),
+    num_requests: int = 24,
+    seed: int = 0,
+) -> list[EntropyRow]:
+    """Fig. 3b rows: coarse vs fine mean entropy per (model, dataset)."""
+    rows = []
+    for model in models:
+        for dataset in datasets:
+            world = build_world(
+                ExperimentConfig(
+                    model_name=model,
+                    dataset=dataset,
+                    num_requests=num_requests,
+                    seed=seed,
+                )
+            )
+            coarse, fine = coarse_fine_entropy(world.warm_traces)
+            rows.append(
+                EntropyRow(
+                    model=model,
+                    dataset=dataset,
+                    coarse_mean_entropy=float(np.mean(coarse)),
+                    fine_mean_entropy=float(np.mean(fine)),
+                    max_entropy=float(
+                        np.log2(world.model_config.experts_per_layer)
+                    ),
+                )
+            )
+    return rows
+
+
+@dataclass(frozen=True)
+class EntropyCurve:
+    model: str
+    dataset: str
+    entropy_by_iteration: np.ndarray
+
+
+def entropy_iteration_curves(
+    models: tuple[str, ...] = ("mixtral-8x7b", "qwen1.5-moe", "phi-3.5-moe"),
+    datasets: tuple[str, ...] = ("lmsys-chat-1m", "sharegpt"),
+    num_requests: int = 24,
+    max_iterations: int = 24,
+    seed: int = 0,
+) -> list[EntropyCurve]:
+    """Fig. 3c curves: mean entropy vs cumulative iteration count."""
+    curves = []
+    for model in models:
+        for dataset in datasets:
+            world = build_world(
+                ExperimentConfig(
+                    model_name=model,
+                    dataset=dataset,
+                    num_requests=num_requests,
+                    seed=seed,
+                )
+            )
+            curves.append(
+                EntropyCurve(
+                    model=model,
+                    dataset=dataset,
+                    entropy_by_iteration=entropy_through_iterations(
+                        world.warm_traces, max_iterations=max_iterations
+                    ),
+                )
+            )
+    return curves
+
+
+def heatmap_example(
+    model: str = "mixtral-8x7b",
+    dataset: str = "lmsys-chat-1m",
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fig. 3a: (coarse, fine) heatmaps for one request."""
+    world = build_world(
+        ExperimentConfig(
+            model_name=model, dataset=dataset, num_requests=8, seed=seed
+        )
+    )
+    return activation_heatmaps(world.warm_traces[0], iteration=0)

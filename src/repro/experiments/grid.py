@@ -1,0 +1,112 @@
+"""Generic grid sweeps over (model, dataset, system, budget) with CSV output.
+
+The per-figure experiment modules cover the paper's artifacts; this module
+is the open-ended tool: sweep any combination of models, datasets, systems,
+and cache budgets, collect one row per cell, and export CSV for external
+analysis.  Used by ``python -m repro grid``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.experiments.common import (
+    ExperimentConfig,
+    SYSTEM_NAMES,
+    build_world,
+    run_system,
+)
+
+
+@dataclass(frozen=True)
+class GridCell:
+    model: str
+    dataset: str
+    system: str
+    cache_budget_gb: float
+    ttft_seconds: float
+    tpot_seconds: float
+    hit_rate: float
+    peak_cache_gb: float
+    peak_kv_gb: float
+
+
+GRID_CSV_FIELDS = (
+    "model",
+    "dataset",
+    "system",
+    "cache_budget_gb",
+    "ttft_seconds",
+    "tpot_seconds",
+    "hit_rate",
+    "peak_cache_gb",
+    "peak_kv_gb",
+)
+
+
+def run_grid(
+    models: Sequence[str] = ("mixtral-8x7b",),
+    datasets: Sequence[str] = ("lmsys-chat-1m",),
+    systems: Sequence[str] = SYSTEM_NAMES,
+    budgets_gb: Sequence[float] | None = None,
+    config: ExperimentConfig | None = None,
+) -> list[GridCell]:
+    """Run every grid cell; ``budgets_gb=None`` uses the default budget."""
+    if not models or not datasets or not systems:
+        raise ConfigError("models, datasets, and systems must be non-empty")
+    base = config or ExperimentConfig()
+    cells = []
+    for model in models:
+        for dataset in datasets:
+            world = build_world(
+                base.with_(model_name=model, dataset=dataset)
+            )
+            budget_list: list[int | None] = (
+                [None]
+                if budgets_gb is None
+                else [int(g * 1e9) for g in budgets_gb]
+            )
+            for budget in budget_list:
+                effective = (
+                    budget
+                    if budget is not None
+                    else base.resolve_budget(world.model_config)
+                )
+                for system in systems:
+                    report = run_system(
+                        world, system, cache_budget_bytes=budget
+                    )
+                    cells.append(
+                        GridCell(
+                            model=model,
+                            dataset=dataset,
+                            system=system,
+                            cache_budget_gb=effective / 1e9,
+                            ttft_seconds=report.mean_ttft(),
+                            tpot_seconds=report.mean_tpot(),
+                            hit_rate=report.hit_rate,
+                            peak_cache_gb=report.peak_cache_bytes / 1e9,
+                            peak_kv_gb=report.peak_kv_bytes / 1e9,
+                        )
+                    )
+    return cells
+
+
+def grid_to_csv(
+    cells: Sequence[GridCell], path: str | Path | None = None
+) -> str:
+    """Render grid cells as CSV; optionally write to ``path``."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=GRID_CSV_FIELDS)
+    writer.writeheader()
+    for cell in cells:
+        writer.writerow({field: getattr(cell, field) for field in GRID_CSV_FIELDS})
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,132 @@
+"""Extension experiments: prompt heterogeneity and online learning.
+
+The paper's third design goal is adapting to heterogeneous models and
+prompts (§3.1).  Two studies quantify that on the workload side:
+
+- *cross-dataset transfer*: fMoE warmed on one corpus serving another —
+  how much of the Expert Map Store's value survives a domain shift, and
+  how much online updating recovers;
+- *online learning curve*: per-request hit rate through a cold-start
+  online run as the store fills (the mechanism behind Fig. 10's win).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.policy import FMoEPolicy
+from repro.experiments.common import ExperimentConfig, build_world
+from repro.serving.engine import ServingEngine
+from repro.workloads.azure import AzureTraceConfig, make_azure_trace
+from repro.workloads.datasets import get_dataset_profile
+
+
+@dataclass(frozen=True)
+class TransferRow:
+    warm_dataset: str
+    test_dataset: str
+    online_updates: bool
+    hit_rate: float
+    tpot_seconds: float
+
+
+def cross_dataset_transfer(
+    datasets: tuple[str, str] = ("lmsys-chat-1m", "sharegpt"),
+    config: ExperimentConfig | None = None,
+) -> list[TransferRow]:
+    """Warm on each corpus, serve each corpus, with/without online updates."""
+    base = config or ExperimentConfig()
+    worlds = {
+        name: build_world(base.with_(dataset=name)) for name in datasets
+    }
+    rows = []
+    for warm_name in datasets:
+        for test_name in datasets:
+            for online in (False, True):
+                world = worlds[test_name]
+                policy = FMoEPolicy(
+                    prefetch_distance=base.prefetch_distance,
+                    store_capacity=base.store_capacity,
+                    update_store_online=online,
+                )
+                engine = ServingEngine(
+                    world.fresh_model(),
+                    policy,
+                    cache_budget_bytes=base.resolve_budget(
+                        world.model_config
+                    ),
+                    hardware=base.hardware,
+                )
+                policy.warm(worlds[warm_name].warm_traces)
+                report = engine.run(world.test_requests)
+                rows.append(
+                    TransferRow(
+                        warm_dataset=warm_name,
+                        test_dataset=test_name,
+                        online_updates=online,
+                        hit_rate=report.hit_rate,
+                        tpot_seconds=report.mean_tpot(),
+                    )
+                )
+    return rows
+
+
+@dataclass(frozen=True)
+class LearningCurve:
+    request_hit_rates: np.ndarray
+    """Per-request hit rate in arrival order (cold start)."""
+
+    request_tpots: np.ndarray
+    """Per-request mean decode latency in arrival order."""
+
+    def early_mean(self, k: int = 5) -> float:
+        """Mean hit rate of the first ``k`` requests."""
+        return float(np.mean(self.request_hit_rates[:k]))
+
+    def late_mean(self, k: int = 5) -> float:
+        """Mean hit rate of the last ``k`` requests."""
+        return float(np.mean(self.request_hit_rates[-k:]))
+
+    def early_tpot(self, k: int = 5) -> float:
+        """Mean TPOT of the first ``k`` requests."""
+        return float(np.mean(self.request_tpots[:k]))
+
+    def late_tpot(self, k: int = 5) -> float:
+        """Mean TPOT of the last ``k`` requests."""
+        return float(np.mean(self.request_tpots[-k:]))
+
+
+def online_learning_curve(
+    num_requests: int = 24,
+    config: ExperimentConfig | None = None,
+) -> LearningCurve:
+    """Cold-start online run; per-request hit rate as the store fills."""
+    base = config or ExperimentConfig()
+    world = build_world(base.with_(num_requests=8))
+    trace = make_azure_trace(
+        AzureTraceConfig(num_requests=num_requests),
+        get_dataset_profile(base.dataset),
+        seed=base.seed + 40,
+    )
+    policy = FMoEPolicy(
+        prefetch_distance=base.prefetch_distance,
+        store_capacity=base.store_capacity,
+    )
+    engine = ServingEngine(
+        world.fresh_model(),
+        policy,
+        cache_budget_bytes=base.resolve_budget(world.model_config),
+        hardware=base.hardware,
+    )
+    report = engine.run(trace, respect_arrivals=True)
+    ordered = [
+        m
+        for m in sorted(report.requests, key=lambda m: m.start_time)
+        if m.decode_latencies
+    ]
+    return LearningCurve(
+        request_hit_rates=np.array([m.hit_rate for m in ordered]),
+        request_tpots=np.array([m.tpot for m in ordered]),
+    )

@@ -1,0 +1,95 @@
+"""Figs. 15-16: fMoE's own system overheads.
+
+15 — latency breakdown of one inference iteration (context collection and
+on-demand loading are synchronous; map matching, prefetch transfers, and
+map updates run asynchronously off the critical path);
+16 — CPU memory footprint of the Expert Map Store vs capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.store import ExpertMapStore
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_world,
+    run_system,
+)
+from repro.moe.config import get_model_config
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    model: str
+    component: str
+    seconds_per_iteration: float
+    synchronous: bool
+
+
+def latency_breakdown(
+    models: tuple[str, ...] = ("mixtral-8x7b", "qwen1.5-moe", "phi-3.5-moe"),
+    dataset: str = "lmsys-chat-1m",
+    config: ExperimentConfig | None = None,
+) -> list[BreakdownRow]:
+    """Fig. 15: per-iteration component latencies of fMoE."""
+    base = config or ExperimentConfig()
+    rows = []
+    for model in models:
+        world = build_world(base.with_(model_name=model, dataset=dataset))
+        report = run_system(world, "fmoe")
+        per_iteration = report.mean_iteration_breakdown()
+        for name, seconds in sorted(per_iteration.items()):
+            kind, _, component = name.partition(":")
+            rows.append(
+                BreakdownRow(
+                    model=model,
+                    component=component,
+                    seconds_per_iteration=seconds,
+                    synchronous=kind == "sync",
+                )
+            )
+    return rows
+
+
+def synchronous_overhead_seconds(rows: list[BreakdownRow], model: str) -> float:
+    """fMoE-added synchronous overhead (everything except model compute
+    and loading) — the quantity the paper bounds at <30 ms (§6.7)."""
+    excluded = {"compute", "ondemand_load", "prefetch_stall"}
+    return sum(
+        r.seconds_per_iteration
+        for r in rows
+        if r.model == model and r.synchronous and r.component not in excluded
+    )
+
+
+@dataclass(frozen=True)
+class StoreMemoryRow:
+    model: str
+    capacity: int
+    megabytes: float
+
+
+def store_memory_rows(
+    models: tuple[str, ...] = ("mixtral-8x7b", "qwen1.5-moe", "phi-3.5-moe"),
+    capacities: tuple[int, ...] = (1024, 4096, 8192, 16384, 32768),
+) -> list[StoreMemoryRow]:
+    """Fig. 16: Expert Map Store CPU memory vs capacity (allocated)."""
+    rows = []
+    for model in models:
+        cfg = get_model_config(model)
+        for capacity in capacities:
+            store = ExpertMapStore(
+                capacity=capacity,
+                num_layers=cfg.num_layers,
+                num_experts=cfg.experts_per_layer,
+                embedding_dim=cfg.embedding_dim,
+            )
+            rows.append(
+                StoreMemoryRow(
+                    model=model,
+                    capacity=capacity,
+                    megabytes=store.memory_bytes(allocated=True) / 1e6,
+                )
+            )
+    return rows

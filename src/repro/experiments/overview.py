@@ -1,0 +1,53 @@
+"""Fig. 1b: the latency-memory trade-off of existing solutions.
+
+Each system is one point: mean end-to-end request latency vs the GPU memory
+its expert working set occupies (peak expert-cache bytes; the no-offload
+point pins the full-model corner).  The paper's claim is that fMoE sits in
+the previously empty low-latency/low-memory corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    World,
+    build_world,
+    run_system,
+    SYSTEM_NAMES,
+)
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    system: str
+    mean_latency_seconds: float
+    memory_gb: float
+
+
+def tradeoff_points(
+    config: ExperimentConfig | None = None,
+    include_no_offload: bool = True,
+    world: World | None = None,
+) -> list[TradeoffPoint]:
+    """One (latency, memory) point per system for the Fig. 1b scatter."""
+    config = config or ExperimentConfig()
+    world = world or build_world(config)
+    systems = list(SYSTEM_NAMES)
+    if include_no_offload:
+        systems.append("no-offload")
+    points = []
+    for system in systems:
+        report = run_system(world, system)
+        memory = report.peak_cache_bytes
+        points.append(
+            TradeoffPoint(
+                system=system,
+                mean_latency_seconds=float(
+                    report.e2e_latencies().mean()
+                ),
+                memory_gb=memory / 1e9,
+            )
+        )
+    return points

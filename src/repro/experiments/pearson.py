@@ -1,0 +1,57 @@
+"""Fig. 8: Pearson correlation between match similarity and hit rate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.correlation import similarity_hitrate_correlation
+from repro.experiments.common import ExperimentConfig, build_world
+from repro.workloads.profiler import collect_history
+
+
+@dataclass(frozen=True)
+class PearsonRow:
+    model: str
+    dataset: str
+    semantic_pearson: float
+    trajectory_pearson: float
+
+
+def pearson_rows(
+    models: tuple[str, ...] = ("mixtral-8x7b", "qwen1.5-moe", "phi-3.5-moe"),
+    datasets: tuple[str, ...] = ("lmsys-chat-1m", "sharegpt"),
+    distance: int = 3,
+    num_requests: int = 24,
+    num_test: int = 6,
+    seed: int = 0,
+) -> list[PearsonRow]:
+    """Pearson coefficients per (model, dataset) cell (Fig. 8)."""
+    rows = []
+    for model in models:
+        for dataset in datasets:
+            world = build_world(
+                ExperimentConfig(
+                    model_name=model,
+                    dataset=dataset,
+                    num_requests=num_requests,
+                    seed=seed,
+                )
+            )
+            test = collect_history(
+                world.fresh_model(), world.test_requests[:num_test]
+            )
+            result = similarity_hitrate_correlation(
+                world.model_config,
+                world.warm_traces,
+                test,
+                distance=distance,
+            )
+            rows.append(
+                PearsonRow(
+                    model=model,
+                    dataset=dataset,
+                    semantic_pearson=result.semantic_pearson,
+                    trajectory_pearson=result.trajectory_pearson,
+                )
+            )
+    return rows

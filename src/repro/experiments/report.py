@@ -1,0 +1,98 @@
+"""Collate regenerated benchmark artifacts into one markdown report.
+
+The figure-regeneration benches write their rows/series to
+``benchmarks/results/<name>.txt``.  This module assembles those files into
+a single markdown document (used by ``python -m repro report``) so a full
+reproduction run leaves one reviewable artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+#: Order and titles of the known artifacts.
+ARTIFACT_TITLES: tuple[tuple[str, str], ...] = (
+    ("table1_models", "Table 1 — model characteristics"),
+    ("fig1b_tradeoff", "Fig. 1b — latency-memory trade-off"),
+    ("fig3a_heatmaps", "Fig. 3a — coarse vs fine heatmaps"),
+    ("fig3b_entropy", "Fig. 3b — entropy, coarse vs fine"),
+    ("fig3c_entropy_iters", "Fig. 3c — entropy through iterations"),
+    ("fig4_hitrate_distance", "Fig. 4 — hit rate vs prefetch distance"),
+    ("fig8_pearson", "Fig. 8 — similarity/hit-rate correlation"),
+    ("fig9_overall", "Fig. 9 — overall performance"),
+    ("fig10_online_cdf", "Fig. 10 — online serving latency"),
+    ("fig11_cache_limits", "Fig. 11 — expert-cache limits"),
+    ("fig12a_ablation_tracking", "Fig. 12a — tracking ablation"),
+    ("fig12b_ablation_caching", "Fig. 12b — caching ablation"),
+    ("fig13_prefetch_distance", "Fig. 13 — prefetch-distance sensitivity"),
+    ("fig14a_store_capacity", "Fig. 14a — store-capacity sensitivity"),
+    ("fig14b_batch_size", "Fig. 14b — batch-size sensitivity"),
+    ("fig15_latency_breakdown", "Fig. 15 — latency breakdown"),
+    ("fig16_store_memory", "Fig. 16 — map-store memory"),
+    ("ext_oracle_gap", "Extension — oracle gap & offline bounds"),
+    ("ext_async_vs_sync", "Extension — async vs sync matching"),
+    ("ext_dedup_policy", "Extension — store deduplication policy"),
+    ("ext_store_coverage", "Extension — §4.4 coverage bounds"),
+    ("ext_gpu_scaling", "Extension — GPU scaling & placement"),
+    ("ext_layer_profile", "Extension — per-layer hit profile"),
+    ("ext_scheduling", "Extension — admission scheduling"),
+    ("ext_continuous_batching", "Extension — continuous batching"),
+    ("ext_heterogeneity", "Extension — heterogeneity & online learning"),
+)
+
+
+def collate_results(
+    results_dir: str | Path,
+    include_missing: bool = True,
+) -> str:
+    """Render all known artifacts under ``results_dir`` as markdown."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise ConfigError(f"{results_dir} is not a directory")
+    sections = [
+        "# Regenerated evaluation artifacts",
+        "",
+        "Produced by `pytest benchmarks/ --benchmark-only`; see"
+        " EXPERIMENTS.md for the paper-vs-measured discussion.",
+        "",
+    ]
+    known = set()
+    for name, title in ARTIFACT_TITLES:
+        known.add(name)
+        path = results_dir / f"{name}.txt"
+        if not path.exists():
+            if include_missing:
+                sections += [f"## {title}", "", "*(not regenerated yet)*", ""]
+            continue
+        sections += [
+            f"## {title}",
+            "",
+            "```",
+            path.read_text().rstrip("\n"),
+            "```",
+            "",
+        ]
+    # Unknown extra artifacts (user-added benches) go at the end.
+    for path in sorted(results_dir.glob("*.txt")):
+        if path.stem in known:
+            continue
+        sections += [
+            f"## {path.stem}",
+            "",
+            "```",
+            path.read_text().rstrip("\n"),
+            "```",
+            "",
+        ]
+    return "\n".join(sections)
+
+
+def write_report(
+    results_dir: str | Path, output_path: str | Path
+) -> Path:
+    """Collate and write the markdown report; returns the output path."""
+    output_path = Path(output_path)
+    output_path.write_text(collate_results(results_dir))
+    return output_path

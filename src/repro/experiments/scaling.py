@@ -1,0 +1,97 @@
+"""Extension experiments: GPU scaling and expert-placement strategies.
+
+Not figures from the paper, but ablations of deployment choices its §5
+implementation makes: how performance scales with the number of GPUs
+(more parallel PCIe links and cache shards), and how the round-robin
+expert placement compares with layer-sharding and random hashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.policy import FMoEPolicy
+from repro.experiments.common import ExperimentConfig, World, build_world
+from repro.serving.engine import ServingEngine
+
+
+@dataclass(frozen=True)
+class GpuScalingRow:
+    num_gpus: int
+    ttft_seconds: float
+    tpot_seconds: float
+    hit_rate: float
+
+
+def _run_fmoe(
+    world: World,
+    config: ExperimentConfig,
+    num_gpus: int | None = None,
+    placement: str = "round-robin",
+):
+    hardware = config.hardware
+    if num_gpus is not None:
+        hardware = replace(hardware, num_gpus=num_gpus)
+    policy = FMoEPolicy(
+        prefetch_distance=config.prefetch_distance,
+        store_capacity=config.store_capacity,
+    )
+    engine = ServingEngine(
+        world.fresh_model(),
+        policy,
+        cache_budget_bytes=config.resolve_budget(world.model_config),
+        hardware=hardware,
+        placement=placement,
+    )
+    policy.warm(world.warm_traces)
+    return engine.run(world.test_requests)
+
+
+def gpu_scaling(
+    gpu_counts: tuple[int, ...] = (1, 2, 4, 6, 8),
+    config: ExperimentConfig | None = None,
+) -> list[GpuScalingRow]:
+    """fMoE performance as the GPU (PCIe link) count grows."""
+    base = config or ExperimentConfig()
+    world = build_world(base)
+    rows = []
+    for num_gpus in gpu_counts:
+        report = _run_fmoe(world, base, num_gpus=num_gpus)
+        rows.append(
+            GpuScalingRow(
+                num_gpus=num_gpus,
+                ttft_seconds=report.mean_ttft(),
+                tpot_seconds=report.mean_tpot(),
+                hit_rate=report.hit_rate,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class PlacementRow:
+    placement: str
+    ttft_seconds: float
+    tpot_seconds: float
+    hit_rate: float
+
+
+def placement_comparison(
+    placements: tuple[str, ...] = ("round-robin", "layer-sharded", "hashed"),
+    config: ExperimentConfig | None = None,
+) -> list[PlacementRow]:
+    """Expert-placement strategies under the same policy and budget."""
+    base = config or ExperimentConfig()
+    world = build_world(base)
+    rows = []
+    for placement in placements:
+        report = _run_fmoe(world, base, placement=placement)
+        rows.append(
+            PlacementRow(
+                placement=placement,
+                ttft_seconds=report.mean_ttft(),
+                tpot_seconds=report.mean_tpot(),
+                hit_rate=report.hit_rate,
+            )
+        )
+    return rows

@@ -1,0 +1,42 @@
+"""Table 1: characteristics of the three evaluated MoE models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.moe.config import EVALUATED_MODELS
+
+
+@dataclass(frozen=True)
+class ModelRow:
+    name: str
+    active_params_b: float
+    total_params_b: float
+    active_experts: int
+    total_experts_per_layer: int
+    num_layers: int
+    expert_mb: float
+
+    def format(self) -> str:
+        """One printable Table-1 row."""
+        return (
+            f"{self.name:14s} {self.active_params_b:5.1f}B/{self.total_params_b:5.1f}B  "
+            f"{self.active_experts}/{self.total_experts_per_layer:-3d} experts  "
+            f"{self.num_layers} layers  {self.expert_mb:7.1f} MB/expert"
+        )
+
+
+def table1_rows() -> list[ModelRow]:
+    """One row per evaluated model, mirroring the paper's Table 1."""
+    return [
+        ModelRow(
+            name=m.name,
+            active_params_b=m.active_params / 1e9,
+            total_params_b=m.total_params / 1e9,
+            active_experts=m.top_k,
+            total_experts_per_layer=m.experts_per_layer,
+            num_layers=m.num_layers,
+            expert_mb=m.expert_bytes / 1e6,
+        )
+        for m in EVALUATED_MODELS
+    ]

@@ -1,0 +1,38 @@
+"""Synthetic MoE model substrate.
+
+The paper's system consumes four things from a real MoE checkpoint: the gate
+networks' per-layer probability distributions, the resulting top-K expert
+activations, the embedding-layer output for each prompt, and the byte size of
+each expert's weights.  This subpackage provides all four from a calibrated
+stochastic model (no GPUs, no checkpoints), with the exact architecture
+shapes of the three models the paper evaluates (its Table 1).
+"""
+
+from repro.moe.config import (
+    MIXTRAL_8X7B,
+    PHI35_MOE,
+    QWEN15_MOE,
+    EVALUATED_MODELS,
+    MoEModelConfig,
+    RoutingProfile,
+    get_model_config,
+)
+from repro.moe.embeddings import EmbeddingModel
+from repro.moe.gating import SyntheticGate, PhaseProcess
+from repro.moe.model import IterationRouting, MoEModel, RequestSession
+
+__all__ = [
+    "MIXTRAL_8X7B",
+    "QWEN15_MOE",
+    "PHI35_MOE",
+    "EVALUATED_MODELS",
+    "MoEModelConfig",
+    "RoutingProfile",
+    "get_model_config",
+    "EmbeddingModel",
+    "SyntheticGate",
+    "PhaseProcess",
+    "MoEModel",
+    "RequestSession",
+    "IterationRouting",
+]

@@ -1,0 +1,252 @@
+"""Model configurations for the three MoE LLMs the paper evaluates (Table 1).
+
+Architecture shapes (layers, experts per layer, top-K, hidden sizes) come
+from the published model cards; parameter counts match the paper's Table 1.
+Expert byte sizes are derived from the standard gated-FFN expert layout
+(three weight matrices of ``hidden_size x intermediate_size``) at the given
+weight precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError, UnknownModelError
+
+
+@dataclass(frozen=True)
+class RoutingProfile:
+    """Statistical knobs of the synthetic gate.
+
+    The defaults are calibrated so the substrate matches what the paper
+    measures on real checkpoints:
+
+    - iteration-level routing distributions are peaked (low Shannon entropy)
+      while request-level aggregates are near-uniform (Fig. 3), which is the
+      signature of the load-balancing loss the paper discusses in §2.3;
+    - the per-layer peak-expert random walk makes distance-1 speculation
+      accurate and longer-distance speculation decay (Fig. 4);
+    - the cluster/phase structure makes semantically similar prompts route
+      similarly (Fig. 8).
+    """
+
+    num_clusters: int = 32
+    """Semantic topic clusters in the workload; each has its own archetypes."""
+
+    phases_per_cluster: int = 8
+    """Routing phases a generation drifts through within one cluster."""
+
+    peak_logit: float = 4.0
+    """Gate logit of the archetype's primary expert at each layer."""
+
+    second_logit: float = 2.5
+    """Gate logit of the archetype's secondary expert at each layer."""
+
+    tail_logit_scale: float = 1.0
+    """Std of persistent per-(cluster, phase) logits for non-peak experts.
+
+    Wide MoE layers (e.g. Qwen's 60 experts, top-4) activate more experts
+    than an archetype has peaks; a persistent tail ordering keeps those
+    lower top-K slots predictable across iterations, as measured on real
+    checkpoints, instead of reshuffling with pure iteration noise."""
+
+    iteration_noise: float = 0.55
+    """Scale of per-iteration Gumbel noise added to archetype logits."""
+
+    walk_stay_prob: float = 0.85
+    """Probability the peak expert persists from layer ``l`` to ``l+1``."""
+
+    phase_stay_prob: float = 0.92
+    """Probability the routing phase persists across decode iterations."""
+
+    speculation_noise: float = 1.3
+    """Per-distance noise growth for the speculative-prediction oracle."""
+
+    prompt_deviation: float = 0.6
+    """Std of the per-prompt persistent gate bias derived from the prompt's
+    embedding residual (semantically close prompts route similarly)."""
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on out-of-range knobs."""
+        if self.num_clusters < 1:
+            raise ConfigError("num_clusters must be >= 1")
+        if self.phases_per_cluster < 1:
+            raise ConfigError("phases_per_cluster must be >= 1")
+        if not 0.0 <= self.walk_stay_prob <= 1.0:
+            raise ConfigError("walk_stay_prob must be in [0, 1]")
+        if not 0.0 <= self.phase_stay_prob <= 1.0:
+            raise ConfigError("phase_stay_prob must be in [0, 1]")
+        if self.iteration_noise < 0:
+            raise ConfigError("iteration_noise must be >= 0")
+
+
+@dataclass(frozen=True)
+class MoEModelConfig:
+    """Architecture and size description of one MoE-based LLM."""
+
+    name: str
+    num_layers: int
+    experts_per_layer: int
+    top_k: int
+    hidden_size: int
+    expert_intermediate_size: int
+    total_params: float
+    active_params: float
+    always_on_experts: int = 0
+    """Shared experts per layer that are never offloaded (Qwen1.5-MoE)."""
+
+    dtype_bytes: int = 2
+    embedding_dim: int = 64
+    """Dimension of the simulated semantic-embedding space."""
+
+    routing: RoutingProfile = field(default_factory=RoutingProfile)
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 1:
+            raise ConfigError(f"{self.name}: num_layers must be >= 1")
+        if self.experts_per_layer < 1:
+            raise ConfigError(f"{self.name}: experts_per_layer must be >= 1")
+        if not 1 <= self.top_k <= self.experts_per_layer:
+            raise ConfigError(
+                f"{self.name}: top_k must be in [1, experts_per_layer]"
+            )
+        if self.always_on_experts < 0:
+            raise ConfigError(f"{self.name}: always_on_experts must be >= 0")
+        self.routing.validate()
+
+    @property
+    def expert_params(self) -> int:
+        """Parameter count of a single expert (gated FFN: 3 matrices)."""
+        return 3 * self.hidden_size * self.expert_intermediate_size
+
+    @property
+    def expert_bytes(self) -> int:
+        """Weight bytes of a single offloadable expert."""
+        return self.expert_params * self.dtype_bytes
+
+    @property
+    def total_experts(self) -> int:
+        """Offloadable experts across all layers."""
+        return self.num_layers * self.experts_per_layer
+
+    @property
+    def total_expert_bytes(self) -> int:
+        return self.total_experts * self.expert_bytes
+
+    @property
+    def non_expert_params(self) -> float:
+        """Attention, norms, embeddings, and always-on experts (resident)."""
+        return max(self.total_params - self.total_experts * self.expert_params, 0.0)
+
+    @property
+    def non_expert_bytes(self) -> int:
+        return int(self.non_expert_params) * self.dtype_bytes
+
+    @property
+    def active_expert_params(self) -> int:
+        """Expert parameters touched per token per forward pass."""
+        return self.num_layers * self.top_k * self.expert_params
+
+    @property
+    def activations_per_iteration(self) -> int:
+        """Offloadable expert activations in one decode iteration."""
+        return self.num_layers * self.top_k
+
+    def with_routing(self, **changes: object) -> "MoEModelConfig":
+        """Return a copy with modified routing-profile fields."""
+        return replace(self, routing=replace(self.routing, **changes))
+
+
+MIXTRAL_8X7B = MoEModelConfig(
+    name="mixtral-8x7b",
+    num_layers=32,
+    experts_per_layer=8,
+    top_k=2,
+    hidden_size=4096,
+    expert_intermediate_size=14336,
+    total_params=46.7e9,
+    active_params=12.9e9,
+)
+
+QWEN15_MOE = MoEModelConfig(
+    name="qwen1.5-moe",
+    num_layers=24,
+    experts_per_layer=60,
+    top_k=4,
+    hidden_size=2048,
+    expert_intermediate_size=1408,
+    total_params=14.3e9,
+    active_params=2.7e9,
+    always_on_experts=4,
+)
+
+PHI35_MOE = MoEModelConfig(
+    name="phi-3.5-moe",
+    num_layers=32,
+    experts_per_layer=16,
+    top_k=2,
+    hidden_size=4096,
+    expert_intermediate_size=6400,
+    total_params=42.0e9,
+    active_params=6.6e9,
+)
+
+#: DeepSeek-MoE 16B: not in the paper's testbed, but cited throughout its
+#: motivation (83% inactive parameters, §2.2) — included for extension
+#: studies.  64 routed + 2 shared experts per layer, top-6 routing.
+DEEPSEEK_MOE = MoEModelConfig(
+    name="deepseek-moe",
+    num_layers=28,
+    experts_per_layer=64,
+    top_k=6,
+    hidden_size=2048,
+    expert_intermediate_size=1408,
+    total_params=16.4e9,
+    active_params=2.8e9,
+    always_on_experts=2,
+)
+
+#: The three models of the paper's Table 1.
+EVALUATED_MODELS: tuple[MoEModelConfig, ...] = (
+    MIXTRAL_8X7B,
+    QWEN15_MOE,
+    PHI35_MOE,
+)
+
+#: Everything the registry serves, including extension models.
+ALL_MODELS: tuple[MoEModelConfig, ...] = EVALUATED_MODELS + (DEEPSEEK_MOE,)
+
+_REGISTRY: dict[str, MoEModelConfig] = {m.name: m for m in ALL_MODELS}
+
+
+def get_model_config(name: str) -> MoEModelConfig:
+    """Look up one of the evaluated model configurations by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownModelError(f"unknown model {name!r}; known: {known}") from None
+
+
+def tiny_test_model(
+    name: str = "tiny-moe",
+    num_layers: int = 6,
+    experts_per_layer: int = 4,
+    top_k: int = 2,
+    **routing_changes: object,
+) -> MoEModelConfig:
+    """A small configuration for fast unit tests."""
+    config = MoEModelConfig(
+        name=name,
+        num_layers=num_layers,
+        experts_per_layer=experts_per_layer,
+        top_k=top_k,
+        hidden_size=64,
+        expert_intermediate_size=128,
+        total_params=3e6,
+        active_params=1e6,
+        embedding_dim=16,
+    )
+    if routing_changes:
+        config = config.with_routing(**routing_changes)
+    return config

@@ -1,0 +1,169 @@
+"""The simulated MoE model: sessions, iterations, and routing outputs.
+
+:class:`MoEModel` plays the role of the HuggingFace checkpoint in the
+paper's prototype.  A serving engine opens a :class:`RequestSession` per
+request and pulls one :class:`IterationRouting` per inference iteration
+(first the prefill, then one per decode token).  Each routing carries the
+gate's per-layer probability distributions — the raw material of fMoE's
+expert maps — plus the activated expert sets the cache is judged against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.moe.config import MoEModelConfig
+from repro.moe.embeddings import EmbeddingModel
+from repro.moe.gating import PhaseProcess, SampledIteration, SyntheticGate
+from repro.types import Stage
+
+
+@dataclass(frozen=True)
+class IterationRouting:
+    """Everything the gate reveals during one inference iteration."""
+
+    stage: Stage
+    index: int
+    """0 for prefill; 1, 2, ... for decode iterations."""
+
+    distributions: np.ndarray
+    """Per-layer routing probabilities, shape ``(L, J)``."""
+
+    activated: tuple[np.ndarray, ...]
+    """Per-layer sorted arrays of activated (offloadable) expert indices."""
+
+    logits: np.ndarray
+    """Sampled gate logits; consumed only by the speculation oracle."""
+
+    num_tokens: int
+    """Tokens processed this iteration (prompt length for prefill, else 1)."""
+
+
+class RequestSession:
+    """Iterates one request's routing through prefill and decode."""
+
+    def __init__(
+        self,
+        model: "MoEModel",
+        cluster: int,
+        input_tokens: int,
+        output_tokens: int,
+        seed: int,
+    ) -> None:
+        if input_tokens < 1:
+            raise ConfigError("input_tokens must be >= 1")
+        if output_tokens < 1:
+            raise ConfigError("output_tokens must be >= 1")
+        self.model = model
+        self.cluster = cluster
+        self.input_tokens = input_tokens
+        self.output_tokens = output_tokens
+        self._rng = np.random.default_rng(seed)
+        profile = model.config.routing
+        initial_phase = int(self._rng.integers(profile.phases_per_cluster))
+        self._phases = PhaseProcess(
+            profile.phases_per_cluster,
+            profile.phase_stay_prob,
+            initial_phase,
+            self._rng,
+        )
+        self.embedding, residual = model.embedder.embed_with_residual(
+            cluster, self._rng
+        )
+        self._prompt_bias = model.gate.prompt_bias(residual)
+        self._next_index = 0
+
+    @property
+    def total_iterations(self) -> int:
+        """Prefill plus one decode iteration per additional output token."""
+        return 1 + max(self.output_tokens - 1, 0)
+
+    @property
+    def finished(self) -> bool:
+        return self._next_index >= self.total_iterations
+
+    def next_iteration(self) -> IterationRouting:
+        """Run the gate for the next iteration and return its routing."""
+        if self.finished:
+            raise SimulationError("session already produced all iterations")
+        index = self._next_index
+        self._next_index += 1
+        phase = self._phases.phase
+        if index == 0:
+            sample = self.model.gate.sample_prefill(
+                self.cluster,
+                phase,
+                self.input_tokens,
+                self._rng,
+                prompt_bias=self._prompt_bias,
+            )
+            stage, tokens = Stage.PREFILL, self.input_tokens
+        else:
+            sample = self.model.gate.sample_decode(
+                self.cluster, phase, self._rng, prompt_bias=self._prompt_bias
+            )
+            stage, tokens = Stage.DECODE, 1
+        self._phases.advance()
+        return IterationRouting(
+            stage=stage,
+            index=index,
+            distributions=sample.distributions,
+            activated=sample.activated,
+            logits=sample.logits,
+            num_tokens=tokens,
+        )
+
+    def speculate(
+        self,
+        routing: IterationRouting,
+        target_layer: int,
+        distance: int,
+        noise_multiplier: float = 1.0,
+    ) -> np.ndarray:
+        """Speculative distribution for ``target_layer`` of this iteration."""
+        return self.model.gate.speculate(
+            routing.logits,
+            target_layer,
+            distance,
+            self._rng,
+            noise_multiplier=noise_multiplier,
+        )
+
+
+class MoEModel:
+    """A simulated MoE checkpoint: gate + embedding layer + sizes."""
+
+    def __init__(self, config: MoEModelConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+        self.gate = SyntheticGate(config, seed=seed)
+        self.embedder = EmbeddingModel(
+            num_clusters=config.routing.num_clusters,
+            dim=config.embedding_dim,
+            seed=seed + 1,
+        )
+
+    def start_session(
+        self,
+        cluster: int,
+        input_tokens: int,
+        output_tokens: int,
+        seed: int,
+    ) -> RequestSession:
+        """Open a routing session for one request."""
+        if not 0 <= cluster < self.config.routing.num_clusters:
+            raise ConfigError(
+                f"cluster {cluster} out of range "
+                f"[0, {self.config.routing.num_clusters})"
+            )
+        return RequestSession(self, cluster, input_tokens, output_tokens, seed)
+
+    def sample_reference(
+        self, cluster: int, phase: int, seed: int
+    ) -> SampledIteration:
+        """One standalone decode-style sample (analysis helpers)."""
+        rng = np.random.default_rng(seed)
+        return self.gate.sample_decode(cluster, phase, rng)

@@ -1,0 +1,39 @@
+"""Virtual-time MoE serving substrate.
+
+Replaces the paper's six-GPU testbed with an analytic discrete-event model:
+per-layer compute latencies derived from published parameter counts and GPU
+memory bandwidth, expert host-to-device copies charged against per-GPU PCIe
+channels, and a serving engine that walks each iteration layer by layer,
+consulting an offloading policy exactly where the paper's runtime hooks do.
+"""
+
+from repro.serving.hardware import HardwareConfig
+from repro.serving.memory import TransferChannel, TransferTask
+from repro.serving.pool import ExpertPool
+from repro.serving.request import Request
+from repro.serving.metrics import RequestMetrics, ServingReport
+from repro.serving.engine import ServingEngine, IterationContext, PolicyAction
+from repro.serving.kvcache import KVCacheTracker, expert_budget_after_kv
+from repro.serving.scheduler import FCFSScheduler, SJFScheduler, run_scheduled
+from repro.serving.export import report_to_dict, report_to_json, reports_to_csv
+
+__all__ = [
+    "HardwareConfig",
+    "TransferChannel",
+    "TransferTask",
+    "ExpertPool",
+    "Request",
+    "RequestMetrics",
+    "ServingReport",
+    "ServingEngine",
+    "IterationContext",
+    "PolicyAction",
+    "KVCacheTracker",
+    "expert_budget_after_kv",
+    "FCFSScheduler",
+    "SJFScheduler",
+    "run_scheduled",
+    "report_to_dict",
+    "report_to_json",
+    "reports_to_csv",
+]

@@ -1,0 +1,616 @@
+"""The discrete-event serving engine.
+
+Walks every inference iteration layer by layer on a virtual clock, charging:
+
+- per-layer base compute (attention, norms, always-on experts),
+- per-expert compute for each activated expert,
+- blocking on-demand loads for expert misses,
+- stalls when an activated expert's prefetch is still in flight,
+- synchronous policy overheads (prediction, context collection).
+
+Policies receive hooks at exactly the points the paper's runtime exposes:
+once before each iteration (semantic context is available), once after each
+layer's gate output (the trajectory grows by one layer), and once after the
+iteration completes (map update).  Policies never see future gate outputs;
+baselines that model hidden-state speculation go through the bounded-noise
+:meth:`IterationContext.speculate` oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.moe.model import IterationRouting, MoEModel, RequestSession
+from repro.serving.hardware import DEFAULT_HARDWARE, HardwareConfig
+from repro.serving.events import Event, EventKind, EventRecorder
+from repro.serving.kvcache import KVCacheTracker
+from repro.serving.metrics import LatencyBreakdown, RequestMetrics, ServingReport
+from repro.serving.pool import ExpertPool
+from repro.serving.request import Request
+from repro.types import ExpertId, Stage
+
+
+@dataclass
+class PrefetchInstruction:
+    """One policy-requested expert prefetch with its issue priority."""
+
+    expert: ExpertId
+    priority: float = 0.0
+
+
+@dataclass
+class PolicyAction:
+    """What a policy hook asks the engine to do.
+
+    ``sync_overheads`` name → seconds added to the critical path (used by
+    synchronous baselines and for fMoE's context collection).
+    ``async_overheads`` name → seconds that delay when the prefetch
+    instructions reach the PCIe queue but do not block compute (fMoE's
+    asynchronous matcher).
+    """
+
+    prefetch: list[PrefetchInstruction] = field(default_factory=list)
+    sync_overheads: dict[str, float] = field(default_factory=dict)
+    async_overheads: dict[str, float] = field(default_factory=dict)
+    block_until_arrival: bool = False
+    """Synchronous-prefetch semantics: compute stalls until every prefetch
+    issued by this action has landed (Mixtral-Offloading, MoE-Infinity)."""
+
+
+class IterationContext:
+    """Progressively revealed view of the current iteration for policies."""
+
+    def __init__(
+        self,
+        stage: Stage,
+        iteration_index: int,
+        requests: Sequence[Request],
+        sessions: Sequence[RequestSession],
+        routings: Sequence[IterationRouting],
+        num_layers: int,
+        num_experts: int,
+    ) -> None:
+        self.stage = stage
+        self.iteration_index = iteration_index
+        self.requests = list(requests)
+        self._sessions = list(sessions)
+        self._routings = list(routings)
+        self.batch_size = len(requests)
+        self.embeddings = np.stack([s.embedding for s in sessions])
+        self.num_tokens = [r.num_tokens for r in routings]
+        self.observed = np.zeros((self.batch_size, num_layers, num_experts))
+        self.observed_layers = 0
+
+    def reveal_layer(self, layer: int) -> None:
+        """Engine-only: copy layer ``layer`` gate outputs into view."""
+        for b, routing in enumerate(self._routings):
+            self.observed[b, layer] = routing.distributions[layer]
+        self.observed_layers = layer + 1
+
+    def activated_at(self, layer: int) -> list[np.ndarray]:
+        """Per-request activated expert indices for a revealed layer."""
+        if layer >= self.observed_layers:
+            raise ConfigError(
+                f"layer {layer} not yet revealed ({self.observed_layers})"
+            )
+        return [r.activated[layer] for r in self._routings]
+
+    def oracle_activated_at(self, layer: int) -> list[np.ndarray]:
+        """Ground-truth activations for any layer, revealed or not.
+
+        For hindsight upper-bound policies only; real policies must use
+        :meth:`activated_at`, which enforces progressive reveal.
+        """
+        return [r.activated[layer] for r in self._routings]
+
+    def speculate(
+        self,
+        request_pos: int,
+        target_layer: int,
+        distance: int,
+        noise_multiplier: float = 1.0,
+    ) -> np.ndarray:
+        """Noisy hidden-state speculation oracle (baselines only)."""
+        session = self._sessions[request_pos]
+        routing = self._routings[request_pos]
+        return session.speculate(
+            routing, target_layer, distance, noise_multiplier=noise_multiplier
+        )
+
+
+class Policy(Protocol):
+    """Structural interface every offloading policy implements."""
+
+    name: str
+
+    def attach(self, engine: "ServingEngine") -> None:
+        """Bind the policy to its engine (config, pool access)."""
+        ...
+
+    def on_request_start(
+        self, request: Request, embedding: np.ndarray
+    ) -> None:
+        """Observe a new request and its semantic embedding."""
+        ...
+
+    def on_iteration_start(self, ctx: IterationContext) -> PolicyAction:
+        """Act before layer 0 (the semantic-search point)."""
+        ...
+
+    def on_gate_output(
+        self, ctx: IterationContext, layer: int
+    ) -> PolicyAction:
+        """Act on a newly revealed layer (the trajectory-search point)."""
+        ...
+
+    def on_expert_served(
+        self, expert: ExpertId, hit: bool, now: float
+    ) -> None:
+        """Observe one activated expert's hit/miss outcome."""
+        ...
+
+    def on_iteration_end(self, ctx: IterationContext) -> PolicyAction:
+        """Act after the last layer (the map-update point)."""
+        ...
+
+    def eviction_priority(self, expert: ExpertId, now: float) -> float:
+        """Score an eviction candidate; higher is evicted first."""
+        ...
+
+
+@dataclass
+class _ActiveRequest:
+    request: Request
+    session: RequestSession
+    metrics: RequestMetrics
+    iterations_done: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.iterations_done >= self.request.total_iterations
+
+
+class ServingEngine:
+    """Serves batches of requests under one offloading policy."""
+
+    def __init__(
+        self,
+        model: MoEModel,
+        policy: Policy,
+        cache_budget_bytes: int,
+        hardware: HardwareConfig = DEFAULT_HARDWARE,
+        placement: str = "round-robin",
+    ) -> None:
+        self.model = model
+        self.config = model.config
+        self.policy = policy
+        self.hardware = hardware
+        self.pool = ExpertPool(
+            model.config, hardware, cache_budget_bytes, placement=placement
+        )
+        self.pool.set_eviction_oracle(policy)
+        self.pool.evict_listener = lambda expert: self._emit(
+            EventKind.EVICTION, expert=expert
+        )
+        self.kv_tracker = KVCacheTracker(model.config)
+        self._recorder: EventRecorder | None = None
+        self._iteration_counter = 0
+        policy.attach(self)
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def set_recorder(self, recorder: EventRecorder | None) -> None:
+        """Attach (or detach) a structured event recorder."""
+        self._recorder = recorder
+
+    def _emit(
+        self,
+        kind: EventKind,
+        layer: int | None = None,
+        expert: ExpertId | None = None,
+        detail: float | None = None,
+    ) -> None:
+        if self._recorder is not None:
+            self._recorder.emit(
+                Event(
+                    kind=kind,
+                    time=self._now,
+                    iteration=self._iteration_counter,
+                    layer=layer,
+                    expert=expert,
+                    detail=detail,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # Top-level runs
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        requests: Sequence[Request],
+        batch_size: int = 1,
+        respect_arrivals: bool = False,
+    ) -> ServingReport:
+        """Serve ``requests`` in order, batching greedily.
+
+        With ``respect_arrivals`` the engine idles until every request of
+        the next batch has arrived (online-trace replay, Fig. 10);
+        otherwise requests are served back to back (offline, Fig. 9).
+        """
+        if batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        report = ServingReport(policy_name=self.policy.name)
+        for start in range(0, len(requests), batch_size):
+            batch = requests[start : start + batch_size]
+            if respect_arrivals:
+                ready_at = max(r.arrival_time for r in batch)
+                self._now = max(self._now, ready_at)
+            self._serve_batch(batch, report, respect_arrivals)
+        report.peak_cache_bytes = self.pool.used_bytes()
+        report.peak_kv_bytes = self.kv_tracker.peak_bytes
+        return report
+
+    def run_continuous(
+        self,
+        requests: Sequence[Request],
+        max_batch_size: int = 4,
+    ) -> ServingReport:
+        """Continuous batching: requests join at iteration boundaries.
+
+        Instead of forming static batches, arrived requests are admitted
+        into the running batch (up to ``max_batch_size``) between
+        iterations; a newly admitted request's prefill shares the iteration
+        with the others' decode steps.  Requests leave as they finish.
+        Latencies are measured from trace arrival (queueing included).
+        """
+        if max_batch_size < 1:
+            raise ConfigError("max_batch_size must be >= 1")
+        report = ServingReport(policy_name=self.policy.name)
+        backlog = sorted(requests, key=lambda r: r.arrival_time)
+        index = 0
+        active: list[_ActiveRequest] = []
+        iteration = 0
+        while index < len(backlog) or active:
+            if not active and backlog[index].arrival_time > self._now:
+                self._now = backlog[index].arrival_time
+            while (
+                index < len(backlog)
+                and backlog[index].arrival_time <= self._now
+                and len(active) < max_batch_size
+            ):
+                request = backlog[index]
+                index += 1
+                session = self.model.start_session(
+                    request.cluster,
+                    request.input_tokens,
+                    request.output_tokens,
+                    seed=request.seed,
+                )
+                metrics = RequestMetrics(
+                    request_id=request.request_id,
+                    arrival_time=request.arrival_time,
+                    start_time=self._now,
+                    ttft=0.0,
+                )
+                self.policy.on_request_start(request, session.embedding)
+                active.append(_ActiveRequest(request, session, metrics))
+
+            start_time = self._now
+            hits_before, misses_before = report.hits, report.misses
+            self._run_iteration(active, iteration, report)
+            self._attribute_counts(
+                active, report, hits_before, misses_before
+            )
+            elapsed = self._now - start_time
+            for entry in list(active):
+                entry.iterations_done += 1
+                if entry.iterations_done == 1:
+                    entry.metrics.ttft = (
+                        self._now - entry.metrics.arrival_time
+                    )
+                    self.kv_tracker.admit(
+                        entry.request.request_id, entry.request.input_tokens
+                    )
+                else:
+                    entry.metrics.decode_latencies.append(elapsed)
+                    self.kv_tracker.append_token(entry.request.request_id)
+                if entry.finished:
+                    entry.metrics.finish_time = self._now
+                    self.kv_tracker.release(entry.request.request_id)
+                    self.policy.on_request_end(entry.request)
+                    report.requests.append(entry.metrics)
+                    active.remove(entry)
+            iteration += 1
+            report.iterations += 1
+        report.peak_cache_bytes = self.pool.used_bytes()
+        report.peak_kv_bytes = self.kv_tracker.peak_bytes
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Batch serving
+    # ------------------------------------------------------------------ #
+
+    def _serve_batch(
+        self,
+        batch: Sequence[Request],
+        report: ServingReport,
+        respect_arrivals: bool = False,
+    ) -> None:
+        active: list[_ActiveRequest] = []
+        for request in batch:
+            session = self.model.start_session(
+                request.cluster,
+                request.input_tokens,
+                request.output_tokens,
+                seed=request.seed,
+            )
+            # Online runs measure latency from the trace arrival time
+            # (queueing included, Fig. 10); offline runs measure from the
+            # moment the request starts being served (Fig. 9 methodology).
+            arrival = request.arrival_time if respect_arrivals else self._now
+            metrics = RequestMetrics(
+                request_id=request.request_id,
+                arrival_time=arrival,
+                start_time=self._now,
+                ttft=0.0,
+            )
+            self.policy.on_request_start(request, session.embedding)
+            active.append(_ActiveRequest(request, session, metrics))
+
+        iteration = 0
+        while any(not a.finished for a in active):
+            current = [a for a in active if not a.finished]
+            start_time = self._now
+            hits_before, misses_before = report.hits, report.misses
+            self._run_iteration(current, iteration, report)
+            self._attribute_counts(
+                current, report, hits_before, misses_before
+            )
+            elapsed = self._now - start_time
+            for entry in current:
+                entry.iterations_done += 1
+                if iteration == 0:
+                    entry.metrics.ttft = self._now - entry.metrics.arrival_time
+                    self.kv_tracker.admit(
+                        entry.request.request_id, entry.request.input_tokens
+                    )
+                else:
+                    entry.metrics.decode_latencies.append(elapsed)
+                    self.kv_tracker.append_token(entry.request.request_id)
+                if entry.finished:
+                    entry.metrics.finish_time = self._now
+                    self.kv_tracker.release(entry.request.request_id)
+                    self.policy.on_request_end(entry.request)
+            iteration += 1
+            report.iterations += 1
+
+        report.requests.extend(a.metrics for a in active)
+
+    def _run_iteration(
+        self,
+        active: list[_ActiveRequest],
+        iteration: int,
+        report: ServingReport,
+    ) -> None:
+        routings = [entry.session.next_iteration() for entry in active]
+        # Continuous batching mixes stages: a request in prefill can share
+        # an iteration with decoding requests.  The context's stage is
+        # PREFILL only for pure-prefill iterations.
+        prefill_tokens = sum(
+            r.num_tokens for r in routings if r.stage is Stage.PREFILL
+        )
+        has_decode = any(r.stage is Stage.DECODE for r in routings)
+        stage = Stage.DECODE if has_decode else Stage.PREFILL
+        ctx = IterationContext(
+            stage=stage,
+            iteration_index=iteration,
+            requests=[entry.request for entry in active],
+            sessions=[entry.session for entry in active],
+            routings=routings,
+            num_layers=self.config.num_layers,
+            num_experts=self.config.experts_per_layer,
+        )
+        breakdown = report.breakdown
+
+        self._iteration_counter = iteration
+        self._emit(EventKind.ITERATION_START, detail=float(len(active)))
+        self._apply(self.policy.on_iteration_start(ctx), breakdown)
+
+        for layer in range(self.config.num_layers):
+            self._now += self._mixed_layer_base_seconds(
+                prefill_tokens, has_decode
+            )
+            self._emit(EventKind.LAYER_START, layer=layer)
+            ctx.reveal_layer(layer)
+            # Hit/miss is decided the moment the gate names its experts
+            # (§3.2 step 4): anything a same-layer action loads afterwards
+            # is an on-demand load, not a hit.
+            hits_at_gate = self._snapshot_hits(ctx, layer)
+            # Protect the named experts before the policy action so
+            # same-layer loads cannot evict what is about to be served.
+            self.pool.protected = set(hits_at_gate)
+            self._apply(self.policy.on_gate_output(ctx, layer), breakdown)
+            self._serve_layer(
+                ctx,
+                layer,
+                prefill_tokens,
+                has_decode,
+                report,
+                hits_at_gate,
+            )
+
+        self._apply(self.policy.on_iteration_end(ctx), breakdown)
+        self._emit(EventKind.ITERATION_END)
+        breakdown.add_sync("compute", 0.0)  # ensure key exists
+
+    @staticmethod
+    def _attribute_counts(
+        active: list["_ActiveRequest"],
+        report: ServingReport,
+        hits_before: int,
+        misses_before: int,
+    ) -> None:
+        """Split an iteration's hit/miss counts across its requests.
+
+        Exact for single-request iterations; an even split otherwise (the
+        engine resolves residency on the batch's activation union).
+        """
+        if not active:
+            return
+        share = 1.0 / len(active)
+        hit_delta = (report.hits - hits_before) * share
+        miss_delta = (report.misses - misses_before) * share
+        for entry in active:
+            entry.metrics.hits += hit_delta
+            entry.metrics.misses += miss_delta
+
+    def _layer_union(self, ctx: IterationContext, layer: int) -> list[ExpertId]:
+        union: set[int] = set()
+        for activated in ctx.activated_at(layer):
+            union.update(int(j) for j in activated)
+        return [ExpertId(layer, j) for j in sorted(union)]
+
+    def _snapshot_hits(
+        self, ctx: IterationContext, layer: int
+    ) -> dict[ExpertId, bool]:
+        return {
+            expert: self.pool.is_ready(expert, self._now)
+            for expert in self._layer_union(ctx, layer)
+        }
+
+    def _serve_layer(
+        self,
+        ctx: IterationContext,
+        layer: int,
+        prefill_tokens: int,
+        has_decode: bool,
+        report: ServingReport,
+        hits_at_gate: dict[ExpertId, bool],
+    ) -> None:
+        experts = list(hits_at_gate)
+        self.pool.protected = set(experts)
+        expert_seconds = self._mixed_expert_seconds(
+            prefill_tokens, has_decode, len(experts)
+        )
+        breakdown = report.breakdown
+        for expert in experts:
+            hit = hits_at_gate[expert]
+            if hit:
+                report.hits += 1
+                report.layer_hits[layer] += 1
+                self._emit(EventKind.EXPERT_HIT, layer=layer, expert=expert)
+            else:
+                report.misses += 1
+                report.layer_misses[layer] += 1
+                self._emit(EventKind.EXPERT_MISS, layer=layer, expert=expert)
+            if not self.pool.is_ready(expert, self._now):
+                arrival = self.pool.arrival_time(expert)
+                if arrival is not None:
+                    # Prefetched but still on the wire: stall until arrival.
+                    breakdown.add_sync("prefetch_stall", arrival - self._now)
+                    report.prefetch_stall_misses += 1
+                    self._emit(
+                        EventKind.PREFETCH_STALL,
+                        layer=layer,
+                        expert=expert,
+                        detail=arrival - self._now,
+                    )
+                    self._now = arrival
+                else:
+                    done = self.pool.load_on_demand(expert, self._now)
+                    breakdown.add_sync("ondemand_load", done - self._now)
+                    self._emit(
+                        EventKind.ONDEMAND_LOAD,
+                        layer=layer,
+                        expert=expert,
+                        detail=done - self._now,
+                    )
+                    self._now = done
+            self.policy.on_expert_served(expert, hit, self._now)
+            self._now += expert_seconds
+            breakdown.add_sync("compute", expert_seconds)
+            # A computed expert no longer needs pinning; releasing it keeps
+            # tight per-device budgets feasible for the rest of the layer.
+            self.pool.protected.discard(expert)
+        self.pool.protected = set()
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def _mixed_layer_base_seconds(
+        self, prefill_tokens: int, has_decode: bool
+    ) -> float:
+        """Per-layer base compute for a possibly mixed-stage iteration."""
+        seconds = 0.0
+        if has_decode:
+            seconds += self.hardware.decode_layer_base_seconds(self.config)
+        if prefill_tokens:
+            seconds += self.hardware.prefill_layer_base_seconds(
+                self.config, prefill_tokens
+            )
+            if has_decode:
+                # Both components carry the per-layer framework overhead;
+                # one fused layer pays it once.
+                seconds -= self.hardware.framework_layer_overhead_seconds
+        return seconds
+
+    def _mixed_expert_seconds(
+        self, prefill_tokens: int, has_decode: bool, num_experts: int
+    ) -> float:
+        """Per-expert compute for a possibly mixed-stage iteration."""
+        if num_experts == 0:
+            return 0.0
+        seconds = 0.0
+        if has_decode:
+            seconds += self.hardware.decode_expert_seconds(self.config)
+        if prefill_tokens:
+            seconds += (
+                self.hardware.prefill_expert_layer_seconds(
+                    self.config, prefill_tokens
+                )
+                / num_experts
+            )
+        return seconds
+
+    def _apply(
+        self, action: PolicyAction | None, breakdown: LatencyBreakdown
+    ) -> None:
+        if action is None:
+            return
+        for name, seconds in action.sync_overheads.items():
+            breakdown.add_sync(name, seconds)
+            self._now += seconds
+        issue_time = self._now
+        for name, seconds in action.async_overheads.items():
+            breakdown.add_async(name, seconds)
+            issue_time += seconds
+        if not action.prefetch:
+            return
+        ordered = sorted(
+            action.prefetch, key=lambda ins: ins.priority, reverse=True
+        )
+        load_seconds = self.hardware.expert_load_seconds(self.config)
+        latest_arrival = self._now
+        scheduled = 0
+        for instruction in ordered:
+            status = self.pool.prefetch(instruction.expert, issue_time)
+            if status == "scheduled":
+                scheduled += 1
+                breakdown.add_async("prefetch_transfer", load_seconds)
+                arrival = self.pool.arrival_time(instruction.expert)
+                if arrival is not None:
+                    latest_arrival = max(latest_arrival, arrival)
+        if scheduled:
+            self._emit(EventKind.PREFETCH_ISSUED, detail=float(scheduled))
+        if action.block_until_arrival and latest_arrival > self._now:
+            breakdown.add_sync("sync_prefetch_wait", latest_arrival - self._now)
+            self._now = latest_arrival

@@ -1,0 +1,83 @@
+"""Structured event tracing for the serving engine.
+
+A recorder can be attached to a :class:`~repro.serving.engine.ServingEngine`
+to capture the exact sequence of simulation events — iteration boundaries,
+layer serves, hits/misses, on-demand loads, prefetch issues, evictions —
+with virtual timestamps.  Useful for debugging policies, building custom
+analyses, and asserting engine semantics in tests.
+
+Recording is off by default and costs nothing when disabled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.types import ExpertId
+
+
+class EventKind(enum.Enum):
+    """What happened: the discriminator of every recorded event."""
+
+    ITERATION_START = "iteration_start"
+    ITERATION_END = "iteration_end"
+    LAYER_START = "layer_start"
+    EXPERT_HIT = "expert_hit"
+    EXPERT_MISS = "expert_miss"
+    ONDEMAND_LOAD = "ondemand_load"
+    PREFETCH_STALL = "prefetch_stall"
+    PREFETCH_ISSUED = "prefetch_issued"
+    EVICTION = "eviction"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One recorded simulation event."""
+
+    kind: EventKind
+    time: float
+    iteration: int
+    layer: int | None = None
+    expert: ExpertId | None = None
+    detail: float | None = None
+    """Kind-specific payload: stall/load seconds, instruction count, ..."""
+
+
+@dataclass
+class EventRecorder:
+    """Accumulates events; attach with ``engine.set_recorder(recorder)``."""
+
+    events: list[Event] = field(default_factory=list)
+    max_events: int = 1_000_000
+
+    def emit(self, event: Event) -> None:
+        """Append an event (dropped silently past ``max_events``)."""
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        """All recorded events of one kind, in order."""
+        return [e for e in self.events if e.kind is kind]
+
+    def iter_expert_events(self, expert: ExpertId) -> Iterator[Event]:
+        """Events touching one expert, in order."""
+        return (e for e in self.events if e.expert == expert)
+
+    def timeline(self) -> list[str]:
+        """Human-readable one-line-per-event rendering."""
+        out = []
+        for e in self.events:
+            parts = [f"{e.time:12.6f}s", f"iter={e.iteration}", e.kind.value]
+            if e.layer is not None:
+                parts.append(f"layer={e.layer}")
+            if e.expert is not None:
+                parts.append(str(e.expert))
+            if e.detail is not None:
+                parts.append(f"detail={e.detail:.6f}")
+            out.append(" ".join(parts))
+        return out

@@ -1,0 +1,94 @@
+"""Serialization of serving reports to JSON and CSV.
+
+Serving systems feed dashboards and offline analysis; these exporters turn
+:class:`~repro.serving.metrics.ServingReport` objects into plain payloads
+(JSON for structured consumers, CSV rows for spreadsheets) without any
+external dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.serving.metrics import ServingReport
+
+
+def report_to_dict(report: ServingReport) -> dict:
+    """A JSON-serializable summary of one run."""
+    return {
+        "policy": report.policy_name,
+        "requests": len(report.requests),
+        "iterations": report.iterations,
+        "hits": report.hits,
+        "misses": report.misses,
+        "prefetch_stall_misses": report.prefetch_stall_misses,
+        "hit_rate": report.hit_rate,
+        "mean_ttft_seconds": report.mean_ttft(),
+        "mean_tpot_seconds": report.mean_tpot(),
+        "peak_cache_bytes": report.peak_cache_bytes,
+        "peak_kv_bytes": report.peak_kv_bytes,
+        "breakdown": report.breakdown.as_dict(),
+        "per_request": [
+            {
+                "request_id": r.request_id,
+                "arrival_time": r.arrival_time,
+                "start_time": r.start_time,
+                "ttft_seconds": r.ttft,
+                "tpot_seconds": r.tpot,
+                "e2e_seconds": r.e2e_latency,
+                "decode_iterations": len(r.decode_latencies),
+            }
+            for r in report.requests
+        ],
+    }
+
+
+def report_to_json(report: ServingReport, path: str | Path | None = None) -> str:
+    """Serialize a report to JSON; optionally also write it to ``path``."""
+    text = json.dumps(report_to_dict(report), indent=2, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text + "\n")
+    return text
+
+
+REQUEST_CSV_FIELDS = (
+    "policy",
+    "request_id",
+    "arrival_time",
+    "start_time",
+    "ttft_seconds",
+    "tpot_seconds",
+    "e2e_seconds",
+    "decode_iterations",
+)
+
+
+def reports_to_csv(
+    reports: Sequence[ServingReport], path: str | Path | None = None
+) -> str:
+    """One CSV row per served request across any number of reports."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=REQUEST_CSV_FIELDS)
+    writer.writeheader()
+    for report in reports:
+        for r in report.requests:
+            writer.writerow(
+                {
+                    "policy": report.policy_name,
+                    "request_id": r.request_id,
+                    "arrival_time": r.arrival_time,
+                    "start_time": r.start_time,
+                    "ttft_seconds": r.ttft,
+                    "tpot_seconds": r.tpot,
+                    "e2e_seconds": r.e2e_latency,
+                    "decode_iterations": len(r.decode_latencies),
+                }
+            )
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

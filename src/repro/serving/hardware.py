@@ -1,0 +1,120 @@
+"""Hardware model of the paper's testbed (§6.1).
+
+Six NVIDIA RTX 3090s (24 GB each, ~936 GB/s memory bandwidth, ~35 effective
+TFLOPS fp16 with tensor cores at realistic utilization), connected to host
+memory over PCIe 4.0 x16 at 32 GB/s.  Latency terms:
+
+- *decode* is memory-bound: per-layer latency = bytes of weights read /
+  GPU memory bandwidth (non-expert weights once per layer, plus one read
+  per activated expert);
+- *prefill* is compute-bound: per-layer latency = 2 · params · tokens /
+  effective FLOPS;
+- *expert loading* = expert weight bytes / PCIe bandwidth, serialized per
+  GPU link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.moe.config import MoEModelConfig
+from repro.types import GiB
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Testbed description used to derive all latency constants."""
+
+    num_gpus: int = 6
+    gpu_memory_bytes: int = 24 * GiB
+    pcie_bandwidth_bps: float = 32e9
+    gpu_memory_bandwidth_bps: float = 936e9
+    gpu_flops: float = 35e12
+    cpu_memory_bytes: int = 480 * GiB
+    framework_layer_overhead_seconds: float = 5e-3
+    """Per-layer runtime overhead of the serving stack.
+
+    The paper notes (§6.2) that all systems inherit the HuggingFace +
+    MoE-Infinity codebase's latency: its measured iteration latencies
+    (Fig. 15, ~600 ms for Mixtral over 32 layers) imply a per-layer cost far
+    above the raw-hardware roofline.  This constant reproduces that floor;
+    it also recreates the regime the paper's prefetch distance analysis
+    assumes, where one expert copy (~11 ms) can be hidden behind roughly
+    three layers of compute."""
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ConfigError("num_gpus must be >= 1")
+        for field_name in (
+            "pcie_bandwidth_bps",
+            "gpu_memory_bandwidth_bps",
+            "gpu_flops",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ConfigError(f"{field_name} must be > 0")
+
+    # ------------------------------------------------------------------ #
+    # Transfers
+    # ------------------------------------------------------------------ #
+
+    def expert_load_seconds(self, model: MoEModelConfig) -> float:
+        """Host-to-device copy time of one expert's weights."""
+        return model.expert_bytes / self.pcie_bandwidth_bps
+
+    # ------------------------------------------------------------------ #
+    # Decode (memory-bound)
+    # ------------------------------------------------------------------ #
+
+    def decode_layer_base_seconds(self, model: MoEModelConfig) -> float:
+        """Attention + norms + always-on experts for one layer, one token."""
+        per_layer_bytes = model.non_expert_bytes / model.num_layers
+        return (
+            per_layer_bytes / self.gpu_memory_bandwidth_bps
+            + self.framework_layer_overhead_seconds
+        )
+
+    def decode_expert_seconds(self, model: MoEModelConfig) -> float:
+        """One expert's weight read serving a decode layer."""
+        return model.expert_bytes / self.gpu_memory_bandwidth_bps
+
+    def decode_iteration_floor_seconds(self, model: MoEModelConfig) -> float:
+        """Ideal (all-resident) decode iteration latency."""
+        return model.num_layers * (
+            self.decode_layer_base_seconds(model)
+            + model.top_k * self.decode_expert_seconds(model)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Prefill (compute-bound)
+    # ------------------------------------------------------------------ #
+
+    def prefill_layer_base_seconds(
+        self, model: MoEModelConfig, num_tokens: int
+    ) -> float:
+        """Attention/shared compute for one layer over ``num_tokens``."""
+        per_layer_params = model.non_expert_params / model.num_layers
+        flops = 2.0 * per_layer_params * num_tokens
+        return flops / self.gpu_flops + self.framework_layer_overhead_seconds
+
+    def prefill_expert_layer_seconds(
+        self, model: MoEModelConfig, num_tokens: int
+    ) -> float:
+        """Total expert compute for one prefill layer (all routed tokens)."""
+        flops = 2.0 * model.expert_params * model.top_k * num_tokens
+        return flops / self.gpu_flops
+
+    # ------------------------------------------------------------------ #
+    # Memory envelopes
+    # ------------------------------------------------------------------ #
+
+    def total_gpu_memory_bytes(self) -> int:
+        """Aggregate GPU memory across the fleet."""
+        return self.num_gpus * self.gpu_memory_bytes
+
+    def max_expert_cache_bytes(self, model: MoEModelConfig) -> int:
+        """GPU memory left for experts after resident non-expert weights."""
+        return max(self.total_gpu_memory_bytes() - model.non_expert_bytes, 0)
+
+
+DEFAULT_HARDWARE = HardwareConfig()

@@ -1,0 +1,121 @@
+"""PCIe transfer channels with pausable prefetch scheduling.
+
+Each GPU owns one host-to-device link.  Prefetches queue behind one another;
+an on-demand (miss) load *pauses* every queued-but-not-started prefetch on
+its link — they are pushed back by the urgent copy's duration — waits for
+at most the one transfer already on the wire, and then occupies the link.
+This matches fMoE's "pause all prefetching on a miss, resume after" rule
+(§4.5) and the contention behaviour that penalizes over-prefetching.
+
+Callers keep references to the returned :class:`TransferTask` objects and
+read ``task.end`` live, so pauses are visible without extra bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.types import ExpertId
+
+
+@dataclass
+class TransferTask:
+    """One scheduled host-to-device expert copy (times may shift on pause)."""
+
+    expert: ExpertId
+    start: float
+    end: float
+
+
+class TransferChannel:
+    """Serializes expert weight copies over one PCIe link."""
+
+    def __init__(self, bandwidth_bps: float) -> None:
+        if bandwidth_bps <= 0:
+            raise ConfigError("bandwidth must be > 0")
+        self.bandwidth_bps = bandwidth_bps
+        self._tasks: list[TransferTask] = []
+        self._busy_until = 0.0
+        self.bytes_transferred = 0
+        self.urgent_loads = 0
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """Wire time of a copy of ``num_bytes`` on this link."""
+        return num_bytes / self.bandwidth_bps
+
+    def schedule(
+        self, issue_time: float, num_bytes: int, expert: ExpertId
+    ) -> TransferTask:
+        """Queue a prefetch copy; it starts when the link frees up."""
+        start = max(issue_time, self._busy_until)
+        end = start + self.transfer_seconds(num_bytes)
+        task = TransferTask(expert=expert, start=start, end=end)
+        self._tasks.append(task)
+        self._busy_until = end
+        self.bytes_transferred += num_bytes
+        return task
+
+    def load_urgent(
+        self, now: float, num_bytes: int, expert: ExpertId
+    ) -> TransferTask:
+        """Preempting on-demand load.
+
+        Pauses all queued tasks that have not started by ``now`` (shifting
+        them back by the urgent copy's duration), waits for the in-flight
+        transfer if any, then performs the copy.
+        """
+        duration = self.transfer_seconds(num_bytes)
+        inflight_end = now
+        for task in self._tasks:
+            if task.end > now and task.start <= now:
+                inflight_end = max(inflight_end, task.end)
+        for task in self._tasks:
+            if task.start > now:
+                task.start += duration
+                task.end += duration
+        start = max(now, inflight_end)
+        task = TransferTask(expert=expert, start=start, end=start + duration)
+        self._tasks.append(task)
+        self._busy_until = max(
+            (t.end for t in self._tasks), default=start + duration
+        )
+        self.bytes_transferred += num_bytes
+        self.urgent_loads += 1
+        self._compact(now)
+        return task
+
+    def cancel(self, task: TransferTask, now: float) -> bool:
+        """Cancel a queued transfer that has not started; True on success.
+
+        Used when an urgent load needs cache space and the only reclaimable
+        bytes are reservations of queued prefetches.  Transfers already on
+        the wire cannot be cancelled.  Later queued tasks are left in place
+        (their start times stay conservative).
+        """
+        if task.start <= now:
+            return False
+        try:
+            self._tasks.remove(task)
+        except ValueError:
+            return False
+        self.bytes_transferred -= int(
+            (task.end - task.start) * self.bandwidth_bps
+        )
+        self._busy_until = max(
+            (t.end for t in self._tasks), default=now
+        )
+        return True
+
+    def _compact(self, now: float) -> None:
+        """Drop bookkeeping for transfers that finished long ago."""
+        if len(self._tasks) > 512:
+            self._tasks = [t for t in self._tasks if t.end > now]
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    def pending_tasks(self, now: float) -> list[TransferTask]:
+        """Transfers scheduled but not finished at ``now`` (for tests)."""
+        return [t for t in self._tasks if t.end > now]

@@ -1,0 +1,180 @@
+"""Serving metrics: per-request latencies and run-level aggregation.
+
+Follows the paper's methodology (§6.1): Time-To-First-Token for the prefill
+stage, Time-Per-Output-Token for the decode stage, expert hit rate, and a
+per-operation latency breakdown for the overhead study (Fig. 15).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class LatencyBreakdown:
+    """Accumulates seconds per named operation.
+
+    ``sync`` components sit on the critical path (compute, on-demand
+    loading, synchronous prediction); ``async`` components run off the
+    critical path (map matching, prefetch transfers, map updates) and are
+    reported for the Fig. 15 breakdown without contributing to latency.
+    """
+
+    def __init__(self) -> None:
+        self.sync: dict[str, float] = defaultdict(float)
+        self.asynchronous: dict[str, float] = defaultdict(float)
+
+    def add_sync(self, name: str, seconds: float) -> None:
+        """Accumulate critical-path seconds under ``name``."""
+        self.sync[name] += seconds
+
+    def add_async(self, name: str, seconds: float) -> None:
+        """Accumulate off-critical-path seconds under ``name``."""
+        self.asynchronous[name] += seconds
+
+    def merge(self, other: "LatencyBreakdown") -> None:
+        """Fold another breakdown's components into this one."""
+        for name, s in other.sync.items():
+            self.sync[name] += s
+        for name, s in other.asynchronous.items():
+            self.asynchronous[name] += s
+
+    def total_sync(self) -> float:
+        """Sum of all critical-path components."""
+        return sum(self.sync.values())
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat ``sync:*`` / ``async:*`` mapping for reporting."""
+        out = {f"sync:{k}": v for k, v in sorted(self.sync.items())}
+        out.update(
+            {f"async:{k}": v for k, v in sorted(self.asynchronous.items())}
+        )
+        return out
+
+
+@dataclass
+class RequestMetrics:
+    """Latency record of one served request."""
+
+    request_id: int
+    arrival_time: float
+    start_time: float
+    ttft: float
+    decode_latencies: list[float] = field(default_factory=list)
+    finish_time: float = 0.0
+    hits: float = 0.0
+    misses: float = 0.0
+    """Expert hits/misses attributed to this request.  Exact for batch
+    size 1; under batching, an iteration's counts are split evenly across
+    the active requests (the engine resolves residency per batch union)."""
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    @property
+    def tpot(self) -> float:
+        """Mean decode-iteration latency (0 for single-token outputs)."""
+        if not self.decode_latencies:
+            return 0.0
+        return float(np.mean(self.decode_latencies))
+
+    @property
+    def e2e_latency(self) -> float:
+        return self.finish_time - self.arrival_time
+
+
+@dataclass
+class ServingReport:
+    """Aggregated outcome of one engine run."""
+
+    requests: list[RequestMetrics] = field(default_factory=list)
+    hits: int = 0
+    misses: int = 0
+    prefetch_stall_misses: int = 0
+    breakdown: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    iterations: int = 0
+    policy_name: str = ""
+    peak_cache_bytes: int = 0
+    peak_kv_bytes: int = 0
+    layer_hits: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    layer_misses: dict[int, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+
+    @property
+    def activations(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.activations == 0:
+            return 0.0
+        return self.hits / self.activations
+
+    def mean_ttft(self) -> float:
+        """Mean Time-To-First-Token across served requests."""
+        if not self.requests:
+            return 0.0
+        return float(np.mean([r.ttft for r in self.requests]))
+
+    def mean_tpot(self) -> float:
+        """Mean Time-Per-Output-Token across requests that decoded."""
+        tpots = [r.tpot for r in self.requests if r.decode_latencies]
+        if not tpots:
+            return 0.0
+        return float(np.mean(tpots))
+
+    def e2e_latencies(self) -> np.ndarray:
+        """End-to-end latency per request, in report order."""
+        return np.array([r.e2e_latency for r in self.requests])
+
+    def latency_cdf(self, points: int = 100) -> tuple[np.ndarray, np.ndarray]:
+        """(latency, cumulative fraction) pairs for CDF plots (Fig. 10)."""
+        lat = np.sort(self.e2e_latencies())
+        if lat.size == 0:
+            return np.array([]), np.array([])
+        fractions = np.arange(1, lat.size + 1) / lat.size
+        if lat.size <= points:
+            return lat, fractions
+        idx = np.linspace(0, lat.size - 1, points).astype(int)
+        return lat[idx], fractions[idx]
+
+    def percentile_latency(self, q: float) -> float:
+        """The ``q``-th percentile of end-to-end request latency."""
+        lat = self.e2e_latencies()
+        if lat.size == 0:
+            return 0.0
+        return float(np.percentile(lat, q))
+
+    def layer_hit_rates(self, num_layers: int) -> np.ndarray:
+        """Per-layer hit rate, shape ``(num_layers,)``.
+
+        Layers with no recorded activations return NaN; callers typically
+        plot or assert over the populated range.
+        """
+        if num_layers < 1:
+            raise ConfigError("num_layers must be >= 1")
+        out = np.full(num_layers, np.nan)
+        for layer in range(num_layers):
+            hits = self.layer_hits.get(layer, 0)
+            misses = self.layer_misses.get(layer, 0)
+            if hits + misses:
+                out[layer] = hits / (hits + misses)
+        return out
+
+    def mean_iteration_breakdown(self) -> dict[str, float]:
+        """Per-iteration mean seconds for each breakdown component."""
+        if self.iterations == 0:
+            return {}
+        return {
+            name: seconds / self.iterations
+            for name, seconds in self.breakdown.as_dict().items()
+        }

@@ -1,0 +1,321 @@
+"""GPU-resident expert pool: residency, placement, prefetch, eviction.
+
+The pool is the mechanism layer shared by every offloading policy.  It
+tracks which experts' weights are resident (or in flight) on which GPU,
+enforces the expert-cache byte budget, and charges all copies to per-GPU
+PCIe channels.  *What* to prefetch and *whom* to evict are policy
+decisions: the pool consults an eviction oracle (the policy) whenever it
+must make room.
+
+Expert placement follows the paper's implementation (§5): experts are
+assigned to GPUs with a round-robin hash so loads spread evenly across
+links, and the cache budget is split evenly per device.  In-flight
+transfer arrival times are read live from the channel's task objects, so
+an on-demand load that pauses queued prefetches automatically delays their
+visibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol
+
+from repro.errors import CapacityError, ConfigError
+from repro.moe.config import MoEModelConfig
+from repro.serving.hardware import HardwareConfig
+from repro.serving.memory import TransferChannel, TransferTask
+from repro.types import ExpertId
+
+
+class EvictionOracle(Protocol):
+    """Scores eviction candidates; higher scores are evicted first."""
+
+    def eviction_priority(self, expert: ExpertId, now: float) -> float:
+        """Score an eviction candidate; higher is evicted first."""
+        ...
+
+
+class _EvictNothing:
+    """Fallback oracle that refuses to evict (used before policy attach)."""
+
+    def eviction_priority(self, expert: ExpertId, now: float) -> float:
+        raise CapacityError(
+            "pool must evict but no eviction oracle is attached"
+        )
+
+
+@dataclass
+class _Device:
+    index: int
+    budget_bytes: int
+    channel: TransferChannel
+    used_bytes: int = 0
+    resident: set[ExpertId] = field(default_factory=set)
+
+    def free_bytes(self) -> int:
+        return self.budget_bytes - self.used_bytes
+
+
+@dataclass
+class PoolStats:
+    """Counters for reporting and tests."""
+
+    prefetch_issued: int = 0
+    prefetch_rejected: int = 0
+    prefetch_cancelled: int = 0
+    ondemand_loads: int = 0
+    evictions: int = 0
+
+
+#: Supported expert-to-GPU placement strategies.
+PLACEMENT_STRATEGIES = ("round-robin", "layer-sharded", "hashed")
+
+
+class ExpertPool:
+    """Residency manager for all offloadable experts of one model."""
+
+    def __init__(
+        self,
+        model: MoEModelConfig,
+        hardware: HardwareConfig,
+        cache_budget_bytes: int,
+        placement: str = "round-robin",
+    ) -> None:
+        if cache_budget_bytes <= 0:
+            raise ConfigError("cache budget must be > 0")
+        if placement not in PLACEMENT_STRATEGIES:
+            raise ConfigError(
+                f"placement must be one of {PLACEMENT_STRATEGIES}"
+            )
+        self.placement = placement
+        per_device = cache_budget_bytes // hardware.num_gpus
+        if per_device < model.expert_bytes:
+            raise ConfigError(
+                "per-GPU expert cache budget smaller than one expert "
+                f"({per_device} < {model.expert_bytes} bytes)"
+            )
+        self.model = model
+        self.hardware = hardware
+        self.cache_budget_bytes = cache_budget_bytes
+        self.devices = [
+            _Device(
+                index=i,
+                budget_bytes=per_device,
+                channel=TransferChannel(hardware.pcie_bandwidth_bps),
+            )
+            for i in range(hardware.num_gpus)
+        ]
+        # Tracked experts: value is the transfer task (live arrival time)
+        # or None for experts placed without a copy (preload).
+        self._tasks: dict[ExpertId, TransferTask | None] = {}
+        self._oracle: EvictionOracle = _EvictNothing()
+        self.protected: set[ExpertId] = set()
+        self.stats = PoolStats()
+        self.evict_listener = None
+        """Optional callable(expert) invoked on every eviction."""
+
+    # ------------------------------------------------------------------ #
+    # Placement / residency queries
+    # ------------------------------------------------------------------ #
+
+    def set_eviction_oracle(self, oracle: EvictionOracle) -> None:
+        """Install the policy that scores eviction candidates."""
+        self._oracle = oracle
+
+    def device_of(self, expert: ExpertId) -> _Device:
+        """Stable expert-to-GPU assignment under the chosen strategy.
+
+        ``round-robin`` (the paper's §5 scheme) interleaves experts across
+        GPUs so one layer's loads spread over all links; ``layer-sharded``
+        pins whole layers to a GPU (simple, but a layer's transfers
+        serialize on one link); ``hashed`` scatters pseudo-randomly.
+        """
+        n = len(self.devices)
+        if self.placement == "round-robin":
+            flat = expert.layer * self.model.experts_per_layer + expert.expert
+            return self.devices[flat % n]
+        if self.placement == "layer-sharded":
+            return self.devices[expert.layer % n]
+        # Deterministic scatter (multiplicative hashing).
+        flat = expert.layer * self.model.experts_per_layer + expert.expert
+        return self.devices[(flat * 2654435761) % 2**32 % n]
+
+    def is_tracked(self, expert: ExpertId) -> bool:
+        """Resident or in flight."""
+        return expert in self._tasks
+
+    def arrival_time(self, expert: ExpertId) -> float | None:
+        """When the expert is/was usable; None if not tracked."""
+        if expert not in self._tasks:
+            return None
+        task = self._tasks[expert]
+        return 0.0 if task is None else task.end
+
+    def is_ready(self, expert: ExpertId, now: float) -> bool:
+        """True when the expert's weights are usable at time ``now``."""
+        arrival = self.arrival_time(expert)
+        return arrival is not None and arrival <= now
+
+    def used_bytes(self) -> int:
+        """Total bytes of resident + in-flight expert reservations."""
+        return sum(d.used_bytes for d in self.devices)
+
+    def resident_experts(self) -> set[ExpertId]:
+        """All tracked experts (resident or in flight)."""
+        return set(self._tasks)
+
+    # ------------------------------------------------------------------ #
+    # Mutations
+    # ------------------------------------------------------------------ #
+
+    def preload(self, experts: Iterable[ExpertId]) -> None:
+        """Place experts as resident at time 0 without charging a channel."""
+        for expert in experts:
+            if expert in self._tasks:
+                continue
+            device = self.device_of(expert)
+            if device.free_bytes() < self.model.expert_bytes:
+                raise CapacityError(
+                    f"preload of {expert} exceeds GPU {device.index} budget"
+                )
+            device.used_bytes += self.model.expert_bytes
+            device.resident.add(expert)
+            self._tasks[expert] = None
+
+    def prefetch(self, expert: ExpertId, issue_time: float) -> str:
+        """Queue a prefetch copy.
+
+        Returns ``"scheduled"`` when a new transfer was queued,
+        ``"present"`` when the expert is already resident or in flight, and
+        ``"rejected"`` when no space could be made.
+        """
+        if expert in self._tasks:
+            return "present"
+        device = self.device_of(expert)
+        if not self._make_space(device, self.model.expert_bytes, issue_time):
+            self.stats.prefetch_rejected += 1
+            return "rejected"
+        task = device.channel.schedule(
+            issue_time, self.model.expert_bytes, expert
+        )
+        device.used_bytes += self.model.expert_bytes
+        device.resident.add(expert)
+        self._tasks[expert] = task
+        self.stats.prefetch_issued += 1
+        return "scheduled"
+
+    def insert_blocking(self, expert: ExpertId, now: float) -> bool:
+        """Place an expert as resident at ``now`` without using a channel.
+
+        Models policies whose transfers are charged as synchronous critical-
+        path time by the caller (DeepSpeed's serial layer streaming) instead
+        of occupying the per-GPU prefetch links.  Returns False when no
+        space can be made.
+        """
+        if expert in self._tasks:
+            return True
+        device = self.device_of(expert)
+        if not self._make_space(
+            device, self.model.expert_bytes, now, urgent=True
+        ):
+            return False
+        device.used_bytes += self.model.expert_bytes
+        device.resident.add(expert)
+        self._tasks[expert] = TransferTask(expert=expert, start=now, end=now)
+        return True
+
+    def load_on_demand(self, expert: ExpertId, now: float) -> float:
+        """Blocking miss load; returns the time the expert becomes usable."""
+        arrival = self.arrival_time(expert)
+        if arrival is not None:
+            # Already resident or in flight: caller stalls until arrival.
+            return max(arrival, now)
+        device = self.device_of(expert)
+        while not self._make_space(
+            device, self.model.expert_bytes, now, urgent=True
+        ):
+            # Everything evictable is still on the wire: wait for the
+            # earliest unprotected transfer to land, then it is fair game.
+            pending = [
+                t.end
+                for e, t in self._tasks.items()
+                if t is not None
+                and e in device.resident
+                and e not in self.protected
+                and t.end > now
+            ]
+            if not pending:
+                raise CapacityError(
+                    f"cannot make room for on-demand load of {expert} "
+                    f"on GPU {device.index}"
+                )
+            now = min(pending)
+        task = device.channel.load_urgent(
+            now, self.model.expert_bytes, expert
+        )
+        device.used_bytes += self.model.expert_bytes
+        device.resident.add(expert)
+        self._tasks[expert] = task
+        self.stats.ondemand_loads += 1
+        return task.end
+
+    def evict(self, expert: ExpertId) -> None:
+        """Drop an expert's weights and free its reservation."""
+        if expert not in self._tasks:
+            return
+        device = self.device_of(expert)
+        device.resident.discard(expert)
+        device.used_bytes -= self.model.expert_bytes
+        del self._tasks[expert]
+        self.stats.evictions += 1
+        if self.evict_listener is not None:
+            self.evict_listener(expert)
+
+    def _make_space(
+        self,
+        device: _Device,
+        needed_bytes: int,
+        now: float,
+        urgent: bool = False,
+    ) -> bool:
+        """Evict ready, unprotected experts (oracle order) until it fits.
+
+        Urgent (on-demand) loads may additionally cancel queued prefetches
+        that have not started transferring, reclaiming their reservations.
+        """
+        if device.free_bytes() >= needed_bytes:
+            return True
+        candidates = [
+            e
+            for e in device.resident
+            if e not in self.protected and self.is_ready(e, now)
+        ]
+        candidates.sort(
+            key=lambda e: self._oracle.eviction_priority(e, now), reverse=True
+        )
+        for victim in candidates:
+            self.evict(victim)
+            if device.free_bytes() >= needed_bytes:
+                return True
+        if urgent:
+            # Reclaim queued-but-not-started prefetch reservations,
+            # furthest arrival first.
+            queued = [
+                (e, t)
+                for e, t in self._tasks.items()
+                if t is not None
+                and t.start > now
+                and e in device.resident
+                and e not in self.protected
+            ]
+            queued.sort(key=lambda item: item[1].end, reverse=True)
+            for expert, task in queued:
+                if not device.channel.cancel(task, now):
+                    continue
+                device.resident.discard(expert)
+                device.used_bytes -= self.model.expert_bytes
+                del self._tasks[expert]
+                self.stats.prefetch_cancelled += 1
+                if device.free_bytes() >= needed_bytes:
+                    return True
+        return device.free_bytes() >= needed_bytes

@@ -1,0 +1,38 @@
+"""Request descriptions fed to the serving engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request.
+
+    ``cluster`` is the semantic topic the prompt belongs to (drives both the
+    embedding vector and the routing archetypes).  ``input_tokens`` is the
+    prompt length; ``output_tokens`` the generation length (so the request
+    spans one prefill and ``output_tokens - 1`` decode iterations).
+    ``arrival_time`` matters only for online-trace runs.
+    """
+
+    request_id: int
+    cluster: int
+    input_tokens: int
+    output_tokens: int
+    arrival_time: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_tokens < 1:
+            raise ConfigError("input_tokens must be >= 1")
+        if self.output_tokens < 1:
+            raise ConfigError("output_tokens must be >= 1")
+        if self.arrival_time < 0:
+            raise ConfigError("arrival_time must be >= 0")
+
+    @property
+    def total_iterations(self) -> int:
+        return 1 + max(self.output_tokens - 1, 0)

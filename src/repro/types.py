@@ -1,0 +1,27 @@
+"""Shared lightweight types used across substrates and policies."""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+
+class ExpertId(NamedTuple):
+    """Identifies one expert: layer index and expert index within the layer."""
+
+    layer: int
+    expert: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"E[{self.layer},{self.expert}]"
+
+
+class Stage(enum.Enum):
+    """LLM serving stage of an inference iteration."""
+
+    PREFILL = "prefill"
+    DECODE = "decode"
+
+
+GiB = 1024**3
+MiB = 1024**2

@@ -1,0 +1,111 @@
+"""Dependency-free terminal visualization of regenerated figures.
+
+The benchmark harness regenerates the paper's data series; these helpers
+render them in the terminal — horizontal bar charts for Fig. 9/12-style
+comparisons, line plots for Fig. 11/13-style sweeps, and sparklines for
+quick glances — without pulling in matplotlib (the environment is
+offline).  Used by the ``figures`` CLI command and available to users.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigError
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart, one row per labeled value."""
+    if not values:
+        raise ConfigError("bar_chart needs at least one value")
+    if width < 1:
+        raise ConfigError("width must be >= 1")
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(k) for k in values)
+    lines = []
+    for label, value in values.items():
+        filled = value / peak * width
+        whole = int(filled)
+        frac = filled - whole
+        bar = "█" * whole
+        if frac > 0 and whole < width:
+            bar += _BLOCKS[int(frac * (len(_BLOCKS) - 1))]
+        rendered = fmt.format(value)
+        lines.append(
+            f"{label:<{label_width}} |{bar:<{width}}| {rendered}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(series: Sequence[float]) -> str:
+    """One-line sparkline of a numeric series."""
+    values = [float(v) for v in series]
+    if not values:
+        raise ConfigError("sparkline needs at least one value")
+    lo, hi = min(values), max(values)
+    if math.isclose(lo, hi):
+        return _SPARKS[3] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / (hi - lo) * (len(_SPARKS) - 1))
+        out.append(_SPARKS[idx])
+    return "".join(out)
+
+
+def line_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Multi-series ASCII scatter/line plot with shared axes.
+
+    ``series`` maps a label to (x, y) points; each series is drawn with a
+    distinct glyph and the legend is appended below the axes.
+    """
+    if not series:
+        raise ConfigError("line_plot needs at least one series")
+    if width < 4 or height < 3:
+        raise ConfigError("plot must be at least 4x3")
+    glyphs = "ox+*#@%&"
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        raise ConfigError("line_plot needs at least one point")
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if math.isclose(x_lo, x_hi):
+        x_hi = x_lo + 1.0
+    if math.isclose(y_lo, y_hi):
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (label, points), glyph in zip(series.items(), glyphs):
+        for x, y in points:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = height - 1 - int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[row][col] = glyph
+    lines = [f"{y_hi:10.3g} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:10.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<.3g}" + " " * max(width - 12, 1) + f"{x_hi:>.3g}"
+    )
+    legend = "   ".join(
+        f"{glyph}={label}"
+        for (label, _), glyph in zip(series.items(), glyphs)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

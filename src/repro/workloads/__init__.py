@@ -1,0 +1,35 @@
+"""Workload generators standing in for the paper's datasets and traces.
+
+- :mod:`repro.workloads.datasets` — synthetic prompt corpora shaped like
+  LMSYS-Chat-1M and ShareGPT (topic clusters with Zipf popularity,
+  log-normal prompt/output lengths).
+- :mod:`repro.workloads.azure` — bursty online arrival traces shaped like
+  the Microsoft Azure LLM inference traces used for Fig. 10.
+- :mod:`repro.workloads.split` — the paper's 7:3 warm/test split.
+"""
+
+from repro.workloads.datasets import (
+    DatasetProfile,
+    LMSYS_LIKE,
+    SHAREGPT_LIKE,
+    DATASET_PROFILES,
+    get_dataset_profile,
+    make_dataset,
+)
+from repro.workloads.azure import AzureTraceConfig, make_azure_trace
+from repro.workloads.split import warm_test_split
+from repro.workloads.tracefile import read_trace_csv, write_trace_csv
+
+__all__ = [
+    "DatasetProfile",
+    "LMSYS_LIKE",
+    "SHAREGPT_LIKE",
+    "DATASET_PROFILES",
+    "get_dataset_profile",
+    "make_dataset",
+    "AzureTraceConfig",
+    "make_azure_trace",
+    "warm_test_split",
+    "read_trace_csv",
+    "write_trace_csv",
+]

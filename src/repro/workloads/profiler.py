@@ -1,0 +1,71 @@
+"""Offline profiling: collect routing history used to warm policies.
+
+The paper warms fMoE's Expert Map Store (and, for fairness, MoE-Infinity's
+Expert Activation Matrix collection) with 70% of each dataset before the
+offline experiments.  This module runs requests through the model substrate
+*without* a serving engine and records what each policy's tracker would
+have observed: the prompt embedding and every iteration's routing
+distributions and activated experts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.moe.model import MoEModel
+from repro.serving.request import Request
+
+
+@dataclass
+class RequestTrace:
+    """Observed routing history of one profiled request."""
+
+    request: Request
+    embedding: np.ndarray
+    iteration_maps: list[np.ndarray] = field(default_factory=list)
+    """Per-iteration gate distributions, each shape ``(L, J)``."""
+
+    iteration_activated: list[tuple[np.ndarray, ...]] = field(
+        default_factory=list
+    )
+    """Per-iteration tuples of per-layer activated expert indices."""
+
+    iteration_logits: list[np.ndarray] = field(default_factory=list)
+    """Per-iteration sampled gate logits (speculation-oracle analyses)."""
+
+    def activation_counts(self) -> np.ndarray:
+        """Request-level Expert Activation Matrix (MoE-Infinity's tracker)."""
+        if not self.iteration_activated:
+            raise ValueError("trace has no iterations")
+        layers = len(self.iteration_activated[0])
+        first = self.iteration_maps[0]
+        counts = np.zeros((layers, first.shape[1]))
+        for activated in self.iteration_activated:
+            for layer, experts in enumerate(activated):
+                counts[layer, experts] += 1.0
+        return counts
+
+
+def collect_history(
+    model: MoEModel, requests: Sequence[Request]
+) -> list[RequestTrace]:
+    """Run requests through the substrate and record their routing."""
+    traces: list[RequestTrace] = []
+    for request in requests:
+        session = model.start_session(
+            request.cluster,
+            request.input_tokens,
+            request.output_tokens,
+            seed=request.seed,
+        )
+        trace = RequestTrace(request=request, embedding=session.embedding)
+        while not session.finished:
+            routing = session.next_iteration()
+            trace.iteration_maps.append(routing.distributions)
+            trace.iteration_activated.append(routing.activated)
+            trace.iteration_logits.append(routing.logits)
+        traces.append(trace)
+    return traces

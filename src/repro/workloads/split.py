@@ -1,0 +1,34 @@
+"""The paper's 7:3 warm/test split (§6.1).
+
+70% of sampled prompts populate fMoE's Expert Map Store (and the baselines'
+equivalent history structures) before evaluation; the remaining 30% are
+served and measured.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+T = TypeVar("T")
+
+
+def warm_test_split(
+    items: Sequence[T],
+    warm_fraction: float = 0.7,
+    seed: int = 0,
+    shuffle: bool = True,
+) -> tuple[list[T], list[T]]:
+    """Split ``items`` into (warm, test) lists."""
+    if not 0.0 <= warm_fraction <= 1.0:
+        raise ConfigError("warm_fraction must be in [0, 1]")
+    order = np.arange(len(items))
+    if shuffle:
+        np.random.default_rng(seed).shuffle(order)
+    cut = int(round(len(items) * warm_fraction))
+    warm = [items[i] for i in order[:cut]]
+    test = [items[i] for i in order[cut:]]
+    return warm, test

@@ -1,0 +1,111 @@
+"""Reading and writing arrival traces in the Azure-trace CSV schema.
+
+The Microsoft Azure LLM inference traces the paper replays (Patel et al.,
+Stojkovic et al.) are CSV files with a timestamp and per-request context
+and generation token counts.  This module reads that schema into
+:class:`~repro.serving.request.Request` objects — assigning topic clusters
+(which real traces do not carry) from a seeded Zipf draw — and writes
+traces back out, so experiments can run against trace files checked into a
+repo or exported from production.
+
+Schema::
+
+    timestamp,input_tokens,output_tokens
+    0.000,128,42
+    1.532,64,7
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.serving.request import Request
+from repro.workloads.datasets import DatasetProfile, LMSYS_LIKE
+
+HEADER = ("timestamp", "input_tokens", "output_tokens")
+
+
+def write_trace_csv(requests: Sequence[Request], path: str | Path) -> None:
+    """Write requests (sorted by arrival) in the trace schema."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(HEADER)
+        for request in sorted(requests, key=lambda r: r.arrival_time):
+            writer.writerow(
+                [
+                    f"{request.arrival_time:.3f}",
+                    request.input_tokens,
+                    request.output_tokens,
+                ]
+            )
+
+
+def read_trace_csv(
+    path: str | Path,
+    profile: DatasetProfile = LMSYS_LIKE,
+    seed: int = 0,
+    start_id: int = 0,
+    max_requests: int | None = None,
+) -> list[Request]:
+    """Parse a trace CSV into requests.
+
+    Clusters are sampled from ``profile``'s Zipf weights (real traces carry
+    no prompt semantics); per-request routing seeds derive from the same
+    generator so replays are deterministic.
+    """
+    path = Path(path)
+    rng = np.random.default_rng(seed)
+    weights = profile.cluster_weights()
+    requests: list[Request] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ConfigError(f"{path}: empty trace file") from None
+        if tuple(h.strip().lower() for h in header) != HEADER:
+            raise ConfigError(
+                f"{path}: expected header {','.join(HEADER)}, "
+                f"got {','.join(header)}"
+            )
+        for line_no, row in enumerate(reader, start=2):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if len(row) != 3:
+                raise ConfigError(
+                    f"{path}:{line_no}: expected 3 columns, got {len(row)}"
+                )
+            try:
+                timestamp = float(row[0])
+                input_tokens = int(row[1])
+                output_tokens = int(row[2])
+            except ValueError as exc:
+                raise ConfigError(f"{path}:{line_no}: {exc}") from None
+            if timestamp < 0:
+                raise ConfigError(
+                    f"{path}:{line_no}: negative timestamp {timestamp}"
+                )
+            requests.append(
+                Request(
+                    request_id=start_id + len(requests),
+                    cluster=int(
+                        rng.choice(profile.effective_clusters(), p=weights)
+                    ),
+                    input_tokens=max(input_tokens, 1),
+                    output_tokens=max(output_tokens, 1),
+                    arrival_time=timestamp,
+                    seed=int(rng.integers(2**31)),
+                )
+            )
+            if max_requests is not None and len(requests) >= max_requests:
+                break
+    if not requests:
+        raise ConfigError(f"{path}: trace contains no requests")
+    requests.sort(key=lambda r: r.arrival_time)
+    return requests

@@ -1,0 +1,69 @@
+"""Shared fixtures: tiny models and worlds so the suite stays fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.moe.config import MoEModelConfig, tiny_test_model
+from repro.moe.model import MoEModel
+from repro.serving.hardware import HardwareConfig
+from repro.serving.request import Request
+from repro.workloads.datasets import DatasetProfile, make_dataset
+from repro.workloads.profiler import collect_history
+from repro.workloads.split import warm_test_split
+
+
+@pytest.fixture
+def tiny_config() -> MoEModelConfig:
+    return tiny_test_model()
+
+
+@pytest.fixture
+def tiny_model(tiny_config: MoEModelConfig) -> MoEModel:
+    return MoEModel(tiny_config, seed=0)
+
+
+@pytest.fixture
+def small_hardware() -> HardwareConfig:
+    """Two GPUs with fast-but-finite transfers; keeps timing interesting."""
+    return HardwareConfig(
+        num_gpus=2,
+        gpu_memory_bytes=2 * 1024**3,
+        pcie_bandwidth_bps=1e9,
+        gpu_memory_bandwidth_bps=100e9,
+        gpu_flops=1e12,
+        framework_layer_overhead_seconds=1e-3,
+    )
+
+
+@pytest.fixture
+def tiny_profile(tiny_config: MoEModelConfig) -> DatasetProfile:
+    return DatasetProfile(
+        name="tiny",
+        num_clusters=tiny_config.routing.num_clusters,
+        input_log_mean=3.0,
+        input_log_sigma=0.4,
+        input_max=64,
+        output_log_mean=2.0,
+        output_log_sigma=0.3,
+        output_max=16,
+    )
+
+
+@pytest.fixture
+def tiny_requests(tiny_profile: DatasetProfile) -> list[Request]:
+    return make_dataset(tiny_profile, 16, seed=3)
+
+
+@pytest.fixture
+def tiny_world(tiny_model, tiny_requests):
+    """(model, warm_traces, test_requests) built from the tiny substrate."""
+    warm, test = warm_test_split(tiny_requests, 0.7, seed=5)
+    traces = collect_history(tiny_model, warm)
+    return tiny_model, traces, test
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,62 @@
+"""Tests for the substrate calibration report."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    calibration_report,
+    measure_load_balance,
+    measure_routing_stability,
+    measure_semantic_separation,
+    measure_speculation_accuracy,
+)
+from repro.errors import ConfigError
+from repro.moe.config import EVALUATED_MODELS, tiny_test_model
+
+
+class TestMeasurements:
+    def test_stability_in_range(self, tiny_config):
+        value = measure_routing_stability(tiny_config, trials=50)
+        assert 0.0 <= value <= 1.0
+
+    def test_balance_fractions(self, tiny_config):
+        mx, mn = measure_load_balance(tiny_config, trials=100)
+        assert mx >= 1.0 >= mn > 0.0
+
+    def test_speculation_shape(self, tiny_config):
+        acc = measure_speculation_accuracy(
+            tiny_config, distances=(1, 3), trials=80
+        )
+        assert set(acc) == {1, 3}
+        assert acc[1] > acc[3] - 0.05
+
+    def test_speculation_validation(self, tiny_config):
+        with pytest.raises(ConfigError):
+            measure_speculation_accuracy(tiny_config, distances=())
+        with pytest.raises(ConfigError):
+            measure_speculation_accuracy(tiny_config, distances=(999,))
+
+    def test_semantic_separation(self, tiny_config):
+        same, cross = measure_semantic_separation(tiny_config, trials=60)
+        assert same > cross
+
+
+class TestReports:
+    def test_tiny_model_passes_calibration(self, tiny_config):
+        report = calibration_report(tiny_config)
+        failing = {k for k, ok in report.checks().items() if not ok}
+        assert report.passed(), f"failed checks: {failing}"
+
+    @pytest.mark.parametrize(
+        "config", EVALUATED_MODELS, ids=lambda c: c.name
+    )
+    def test_evaluated_models_pass_calibration(self, config):
+        """The three paper models satisfy every calibration target."""
+        report = calibration_report(config)
+        failing = {k for k, ok in report.checks().items() if not ok}
+        assert report.passed(), f"{config.name} failed: {failing}"
+
+    def test_miscalibrated_substrate_is_caught(self):
+        """Destroying routing structure must fail the stability check."""
+        noisy = tiny_test_model(iteration_noise=25.0)
+        report = calibration_report(noisy)
+        assert not report.checks()["stable_routing"]

@@ -1,0 +1,55 @@
+"""Tests for the §4.4 coverage analysis."""
+
+import pytest
+
+from repro.analysis.coverage import (
+    CoveragePoint,
+    coverage_curve,
+    paper_capacity_bounds,
+)
+from repro.errors import ConfigError
+from repro.moe.config import MIXTRAL_8X7B, tiny_test_model
+
+
+class TestCapacityBounds:
+    def test_formulas(self):
+        import math
+
+        config = tiny_test_model(num_layers=8, experts_per_layer=6)
+        b75, b98 = paper_capacity_bounds(config)
+        assert b75 == 2 * 48
+        assert b98 == math.ceil(0.5 * 48 * math.log(48))
+
+    def test_paper_scale_estimate(self):
+        """§4.4: the maximal requirement stays below 50K maps."""
+        _, b98 = paper_capacity_bounds(MIXTRAL_8X7B)
+        assert b98 < 50_000
+
+
+class TestCoverageCurve:
+    @pytest.fixture(scope="class")
+    def points(self):
+        config = tiny_test_model(num_layers=6, experts_per_layer=4)
+        return coverage_curve(config, (4, 16, 64), num_probes=32, seed=0)
+
+    def test_returns_one_point_per_capacity(self, points):
+        assert [p.capacity for p in points] == [4, 16, 64]
+        assert all(isinstance(p, CoveragePoint) for p in points)
+
+    def test_similarity_in_range(self, points):
+        for p in points:
+            assert -1.0 <= p.mean_best_similarity <= 1.0
+            assert 0.0 <= p.fraction_above_75 <= 1.0
+            assert 0.0 <= p.fraction_above_98 <= 1.0
+
+    def test_coverage_improves_with_capacity(self, points):
+        assert (
+            points[-1].mean_best_similarity >= points[0].mean_best_similarity
+        )
+
+    def test_validation(self):
+        config = tiny_test_model()
+        with pytest.raises(ConfigError):
+            coverage_curve(config, ())
+        with pytest.raises(ConfigError):
+            coverage_curve(config, (4,), num_probes=0)

@@ -1,0 +1,81 @@
+"""Tests for the entropy analysis (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.entropy import (
+    activation_entropy_per_layer,
+    activation_heatmaps,
+    coarse_fine_entropy,
+    entropy_through_iterations,
+    shannon_entropy,
+)
+from repro.errors import ConfigError
+from repro.workloads.profiler import collect_history
+
+
+class TestShannonEntropy:
+    def test_uniform_is_log2(self):
+        assert shannon_entropy(np.full(8, 0.125)) == pytest.approx(3.0)
+
+    def test_point_mass_is_zero(self):
+        assert shannon_entropy(np.array([1.0, 0, 0, 0])) == 0.0
+
+    def test_unnormalized_inputs_are_normalized(self):
+        assert shannon_entropy(np.array([2.0, 2.0])) == pytest.approx(1.0)
+
+    def test_peaked_below_uniform(self):
+        peaked = shannon_entropy(np.array([0.7, 0.2, 0.05, 0.05]))
+        assert peaked < 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            shannon_entropy(np.zeros(4))
+        with pytest.raises(ConfigError):
+            shannon_entropy(np.array([-0.5, 1.5]))
+        with pytest.raises(ConfigError):
+            shannon_entropy(np.ones((2, 2)))
+
+
+class TestGridEntropy:
+    def test_per_layer_shape(self):
+        grid = np.array([[1.0, 1.0], [3.0, 1.0]])
+        entropies = activation_entropy_per_layer(grid)
+        assert entropies.shape == (2,)
+        assert entropies[0] == pytest.approx(1.0)
+        assert entropies[1] < 1.0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigError):
+            activation_entropy_per_layer(np.ones(4))
+
+
+class TestPaperClaims:
+    def test_coarse_entropy_exceeds_fine(self, tiny_model, tiny_requests):
+        """Fig. 3b: request-level aggregation erases predictability."""
+        traces = collect_history(tiny_model, tiny_requests[:8])
+        coarse, fine = coarse_fine_entropy(traces)
+        assert coarse.mean() > fine.mean()
+
+    def test_entropy_rises_through_iterations(self, tiny_model, tiny_requests):
+        """Fig. 3c: cumulative aggregation gets less predictable."""
+        requests = [r for r in tiny_requests if r.output_tokens >= 6]
+        traces = collect_history(tiny_model, requests[:6])
+        curve = entropy_through_iterations(traces, max_iterations=6)
+        assert curve[-1] > curve[0]
+
+    def test_empty_traces_raise(self):
+        with pytest.raises(ConfigError):
+            coarse_fine_entropy([])
+        with pytest.raises(ConfigError):
+            entropy_through_iterations([])
+
+    def test_heatmaps(self, tiny_model, tiny_requests):
+        trace = collect_history(tiny_model, tiny_requests[:1])[0]
+        coarse, fine = activation_heatmaps(trace, iteration=0)
+        L = tiny_model.config.num_layers
+        J = tiny_model.config.experts_per_layer
+        assert coarse.shape == (L, J)
+        assert fine.shape == (L, J)
+        with pytest.raises(ConfigError):
+            activation_heatmaps(trace, iteration=999)

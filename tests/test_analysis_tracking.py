@@ -1,0 +1,87 @@
+"""Tests for the offline tracker evaluations (Figs. 4, 12a)."""
+
+import pytest
+
+from repro.analysis.tracking import (
+    build_store,
+    evaluate_coarse_grained,
+    evaluate_fine_grained,
+    evaluate_speculative,
+)
+from repro.errors import ConfigError
+from repro.workloads.profiler import collect_history
+from repro.workloads.split import warm_test_split
+
+
+@pytest.fixture
+def tracking_world(tiny_model, tiny_requests):
+    warm_reqs, test_reqs = warm_test_split(tiny_requests, 0.7, seed=5)
+    warm = collect_history(tiny_model, warm_reqs)
+    test = collect_history(tiny_model, test_reqs[:4])
+    return tiny_model.config, warm, test
+
+
+class TestBuildStore:
+    def test_store_populated(self, tracking_world):
+        config, warm, _ = tracking_world
+        store = build_store(config, warm, distance=2, capacity=256)
+        assert len(store) == min(
+            256, sum(len(t.iteration_maps) for t in warm)
+        )
+
+
+class TestFineGrained:
+    def test_hit_rate_in_range(self, tracking_world):
+        config, warm, test = tracking_world
+        result = evaluate_fine_grained(config, warm, test, distance=2)
+        assert 0.0 <= result.hit_rate <= 1.0
+        assert result.samples > 0
+        assert result.name == "fine-grained"
+
+    def test_beats_coarse_at_default_distance(self, tracking_world):
+        """The paper's central tracking claim (Fig. 4)."""
+        config, warm, test = tracking_world
+        fine = evaluate_fine_grained(config, warm, test, distance=2)
+        coarse = evaluate_coarse_grained(config, warm, test, distance=2)
+        assert fine.hit_rate > coarse.hit_rate
+
+    def test_semantic_search_helps(self, tracking_world):
+        config, warm, test = tracking_world
+        with_sem = evaluate_fine_grained(
+            config, warm, test, distance=2, use_semantic=True
+        )
+        without = evaluate_fine_grained(
+            config, warm, test, distance=2, use_semantic=False
+        )
+        assert with_sem.hit_rate >= without.hit_rate
+
+    def test_invalid_distance(self, tracking_world):
+        config, warm, test = tracking_world
+        with pytest.raises(ConfigError):
+            evaluate_fine_grained(config, warm, test, distance=0)
+
+
+class TestCoarseGrained:
+    def test_hit_rate_in_range(self, tracking_world):
+        config, warm, test = tracking_world
+        result = evaluate_coarse_grained(config, warm, test, distance=2)
+        assert 0.0 <= result.hit_rate <= 1.0
+
+    def test_requires_warm_history(self, tracking_world):
+        config, _, test = tracking_world
+        with pytest.raises(ConfigError):
+            evaluate_coarse_grained(config, [], test, distance=2)
+
+
+class TestSpeculative:
+    def test_accuracy_decays_with_distance(self, tracking_world):
+        config, _, test = tracking_world
+        near = evaluate_speculative(config, test, distance=1)
+        far = evaluate_speculative(config, test, distance=4)
+        assert near.hit_rate > far.hit_rate
+
+    def test_deterministic_given_seed(self, tracking_world):
+        config, _, test = tracking_world
+        a = evaluate_speculative(config, test, distance=2, seed=3)
+        b = evaluate_speculative(config, test, distance=2, seed=3)
+        assert a.hit_rate == b.hit_rate

@@ -1,0 +1,66 @@
+"""Guard against bitrot: every bench file must at least compile, and every
+experiment module must import cleanly."""
+
+import importlib
+import py_compile
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = sorted(
+    (Path(__file__).parent.parent / "benchmarks").glob("*.py")
+)
+
+EXPERIMENT_MODULES = [
+    "repro.experiments.table1",
+    "repro.experiments.overview",
+    "repro.experiments.entropy_motivation",
+    "repro.experiments.prefetch_distance",
+    "repro.experiments.pearson",
+    "repro.experiments.overall",
+    "repro.experiments.online",
+    "repro.experiments.cache_limits",
+    "repro.experiments.ablation",
+    "repro.experiments.sensitivity",
+    "repro.experiments.overheads",
+    "repro.experiments.scaling",
+    "repro.experiments.heterogeneity",
+    "repro.experiments.grid",
+    "repro.experiments.report",
+]
+
+
+@pytest.mark.parametrize("path", BENCHMARKS, ids=lambda p: p.name)
+def test_benchmark_file_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("module", EXPERIMENT_MODULES)
+def test_experiment_module_imports(module):
+    importlib.import_module(module)
+
+
+def test_every_paper_artifact_has_a_bench():
+    """DESIGN.md's experiment index must be fully backed by bench files."""
+    names = {p.stem for p in BENCHMARKS}
+    required = {
+        "test_table1_models",
+        "test_fig1b_tradeoff",
+        "test_fig3a_heatmaps",
+        "test_fig3b_entropy",
+        "test_fig3c_entropy_iters",
+        "test_fig4_hitrate_distance",
+        "test_fig8_pearson",
+        "test_fig9_overall",
+        "test_fig10_online_cdf",
+        "test_fig11_cache_limits",
+        "test_fig12a_ablation_tracking",
+        "test_fig12b_ablation_caching",
+        "test_fig13_prefetch_distance",
+        "test_fig14a_store_capacity",
+        "test_fig14b_batch_size",
+        "test_fig15_latency_breakdown",
+        "test_fig16_store_memory",
+    }
+    missing = required - names
+    assert not missing, missing

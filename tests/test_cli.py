@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize(
+        "command",
+        ["models", "compare", "online", "sweep", "entropy", "pearson"],
+    )
+    def test_known_commands_parse(self, command):
+        args = build_parser().parse_args([command])
+        assert callable(args.func)
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--model", "gpt-4"])
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "mixtral-8x7b" in out
+        assert "qwen1.5-moe" in out
+
+    def test_compare_small(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--requests", "8",
+                "--test-requests", "1",
+                "--systems", "fmoe",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fmoe" in out and "TTFT" in out
+
+    def test_entropy_small(self, capsys):
+        assert main(["entropy", "--requests", "6"]) == 0
+        assert "coarse=" in capsys.readouterr().out
+
+    def test_profile_requires_output(self, capsys):
+        code = main(["profile", "--requests", "6"])
+        assert code == 2
+
+    def test_profile_writes_files(self, tmp_path, capsys):
+        traces = tmp_path / "t.npz"
+        store = tmp_path / "s.npz"
+        code = main(
+            [
+                "profile",
+                "--requests", "6",
+                "--traces-out", str(traces),
+                "--store-out", str(store),
+            ]
+        )
+        assert code == 0
+        assert traces.exists() and store.exists()

@@ -1,0 +1,101 @@
+"""Tests for the newer CLI commands (grid, report, tune, charts)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGridCommand:
+    def test_grid_to_stdout(self, capsys):
+        code = main(
+            [
+                "grid",
+                "--requests", "8",
+                "--test-requests", "1",
+                "--systems", "fmoe",
+                "--budgets", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("model,dataset,system")
+        assert "fmoe" in out
+
+    def test_grid_to_file(self, tmp_path, capsys):
+        path = tmp_path / "grid.csv"
+        code = main(
+            [
+                "grid",
+                "--requests", "8",
+                "--test-requests", "1",
+                "--systems", "fmoe",
+                "--output", str(path),
+            ]
+        )
+        assert code == 0
+        assert path.exists()
+        assert "wrote 1 cells" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_from_results(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig9_overall.txt").write_text("hello rows\n")
+        out = tmp_path / "REPORT.md"
+        code = main(
+            [
+                "report",
+                "--results-dir", str(results),
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert "hello rows" in out.read_text()
+
+
+class TestTuneCommand:
+    def test_tune_prints_best(self, capsys):
+        code = main(["tune", "--requests", "10", "--test-requests", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "<== best" in out
+        assert "coverage=" in out
+
+
+class TestCompareChart:
+    def test_chart_flag(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--requests", "8",
+                "--test-requests", "1",
+                "--systems", "fmoe",
+                "--chart",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TPOT (ms):" in out
+        assert "█" in out
+
+
+class TestOnlineTraceFile:
+    def test_replay_from_csv(self, tmp_path, capsys):
+        from repro.workloads.azure import AzureTraceConfig, make_azure_trace
+        from repro.workloads.tracefile import write_trace_csv
+
+        trace = make_azure_trace(AzureTraceConfig(num_requests=4), seed=0)
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+        code = main(
+            [
+                "online",
+                "--requests", "6",
+                "--systems", "fmoe",
+                "--trace-file", str(path),
+                "--trace-requests", "3",
+            ]
+        )
+        assert code == 0
+        assert "p50=" in capsys.readouterr().out

@@ -1,0 +1,111 @@
+"""Tests for the expert map data structure (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.expert_map import ExpertMap, aggregate_maps
+from repro.errors import ConfigError
+from repro.moe.gating import softmax_rows
+
+
+def random_map(rng, layers=6, experts=4):
+    return ExpertMap(softmax_rows(rng.standard_normal((layers, experts))))
+
+
+class TestConstruction:
+    def test_shapes(self, rng):
+        m = random_map(rng)
+        assert m.num_layers == 6
+        assert m.num_experts == 4
+        assert m.data.dtype == np.float32
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigError):
+            ExpertMap(np.ones(4))
+
+    def test_rejects_negative_probabilities(self):
+        bad = np.full((2, 2), 0.5)
+        bad[0, 0] = -0.5
+        bad[0, 1] = 1.5
+        with pytest.raises(ConfigError, match=">= 0"):
+            ExpertMap(bad)
+
+    def test_rejects_unnormalized_rows(self):
+        with pytest.raises(ConfigError, match="sum to 1"):
+            ExpertMap(np.full((2, 4), 0.5))
+
+    def test_validation_can_be_skipped(self):
+        m = ExpertMap(np.full((2, 4), 0.5), validate=False)
+        assert m.num_layers == 2
+
+
+class TestAccess:
+    def test_layer_row(self, rng):
+        m = random_map(rng)
+        assert m.layer(2).shape == (4,)
+        assert m.layer(2).sum() == pytest.approx(1.0, abs=1e-3)
+
+    def test_layer_out_of_range(self, rng):
+        m = random_map(rng)
+        with pytest.raises(ConfigError):
+            m.layer(6)
+
+    def test_prefix_flattening(self, rng):
+        m = random_map(rng)
+        prefix = m.prefix(3)
+        assert prefix.shape == (12,)
+        assert np.allclose(prefix[:4], m.layer(0))
+
+    def test_prefix_bounds(self, rng):
+        m = random_map(rng)
+        assert m.prefix(0).shape == (0,)
+        with pytest.raises(ConfigError):
+            m.prefix(7)
+
+    def test_flattened(self, rng):
+        m = random_map(rng)
+        assert m.flattened().shape == (24,)
+
+    def test_equality(self, rng):
+        data = softmax_rows(rng.standard_normal((3, 4)))
+        assert ExpertMap(data) == ExpertMap(data.copy())
+        assert ExpertMap(data) != "not a map"
+
+
+class TestCoarseRecovery:
+    def test_top_k(self):
+        data = np.array([[0.5, 0.3, 0.1, 0.1], [0.1, 0.1, 0.2, 0.6]])
+        m = ExpertMap(data)
+        top = m.top_k(2)
+        assert top[0].tolist() == [0, 1]
+        assert top[1].tolist() == [2, 3]
+
+    def test_top_k_bounds(self, rng):
+        m = random_map(rng)
+        with pytest.raises(ConfigError):
+            m.top_k(0)
+        with pytest.raises(ConfigError):
+            m.top_k(5)
+
+    def test_activation_counts_binary(self, rng):
+        m = random_map(rng)
+        counts = m.activation_counts(2)
+        assert set(np.unique(counts)) <= {0.0, 1.0}
+        assert counts.sum() == 2 * m.num_layers
+
+    def test_aggregate_maps_recovers_request_level(self, rng):
+        """The §4.1 generalization claim: maps recover coarse counts."""
+        maps = [random_map(rng) for _ in range(5)]
+        total = aggregate_maps(maps, k=2)
+        assert total.sum() == 2 * 6 * 5
+        assert total.shape == (6, 4)
+
+    def test_aggregate_maps_empty_raises(self):
+        with pytest.raises(ConfigError):
+            aggregate_maps([], k=2)
+
+
+class TestSizes:
+    def test_nbytes_float32(self, rng):
+        m = random_map(rng, layers=8, experts=16)
+        assert m.nbytes == 8 * 16 * 4

@@ -1,0 +1,126 @@
+"""Tests for store/trace persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import (
+    load_store,
+    load_traces,
+    save_store,
+    save_traces,
+)
+from repro.core.store import ExpertMapStore
+from repro.errors import ConfigError
+from repro.moe.gating import softmax_rows
+from repro.workloads.profiler import collect_history
+
+
+def make_store(rng, size=5):
+    store = ExpertMapStore(8, 6, 4, 8, prefetch_distance=2)
+    for _ in range(size):
+        emb = rng.standard_normal(8)
+        store.add(emb, softmax_rows(rng.standard_normal((6, 4))))
+    return store
+
+
+class TestStoreRoundTrip:
+    def test_records_preserved(self, rng, tmp_path):
+        store = make_store(rng)
+        path = tmp_path / "store.npz"
+        save_store(store, path)
+        loaded = load_store(path)
+        assert len(loaded) == len(store)
+        assert loaded.capacity == store.capacity
+        assert loaded.prefetch_distance == store.prefetch_distance
+        for i in range(len(store)):
+            a, b = store.record(i), loaded.record(i)
+            assert np.allclose(a.embedding, b.embedding)
+            assert np.allclose(a.expert_map, b.expert_map)
+
+    def test_empty_store(self, rng, tmp_path):
+        store = ExpertMapStore(4, 3, 2, 5, prefetch_distance=1)
+        path = tmp_path / "empty.npz"
+        save_store(store, path)
+        loaded = load_store(path)
+        assert len(loaded) == 0
+        assert loaded.num_experts == 2
+
+    def test_search_equivalence(self, rng, tmp_path):
+        store = make_store(rng)
+        path = tmp_path / "store.npz"
+        save_store(store, path)
+        loaded = load_store(path)
+        query = rng.standard_normal((2, 8))
+        assert np.allclose(
+            store.semantic_scores(query), loaded.semantic_scores(query)
+        )
+
+    def test_version_check(self, rng, tmp_path):
+        import json
+
+        store = make_store(rng)
+        path = tmp_path / "store.npz"
+        save_store(store, path)
+        with np.load(path) as payload:
+            data = dict(payload)
+        meta = json.loads(bytes(data["meta"].tobytes()).decode())
+        meta["version"] = 999
+        data["meta"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **data)
+        with pytest.raises(ConfigError, match="unsupported store format"):
+            load_store(path)
+
+
+class TestTraceRoundTrip:
+    def test_traces_preserved(self, tiny_model, tiny_requests, tmp_path):
+        traces = collect_history(tiny_model, tiny_requests[:3])
+        path = tmp_path / "traces.npz"
+        save_traces(traces, path)
+        loaded = load_traces(path)
+        assert len(loaded) == 3
+        for a, b in zip(traces, loaded):
+            assert a.request == b.request
+            assert np.allclose(a.embedding, b.embedding)
+            assert len(a.iteration_maps) == len(b.iteration_maps)
+            for ma, mb in zip(a.iteration_maps, b.iteration_maps):
+                assert np.allclose(ma, mb)
+            for aa, ab in zip(a.iteration_activated, b.iteration_activated):
+                for xa, xb in zip(aa, ab):
+                    assert np.array_equal(xa, xb)
+            assert np.allclose(
+                a.activation_counts(), b.activation_counts()
+            )
+
+    def test_empty_traces(self, tmp_path):
+        path = tmp_path / "none.npz"
+        save_traces([], path)
+        assert load_traces(path) == []
+
+    def test_loaded_traces_warm_policies(
+        self, tiny_model, tiny_requests, tmp_path
+    ):
+        from repro.baselines import MoEInfinityPolicy
+        from repro.core.policy import FMoEPolicy
+        from repro.serving.engine import ServingEngine
+        from repro.serving.hardware import HardwareConfig
+
+        traces = collect_history(tiny_model, tiny_requests[:3])
+        path = tmp_path / "traces.npz"
+        save_traces(traces, path)
+        loaded = load_traces(path)
+
+        policy = FMoEPolicy(prefetch_distance=2)
+        ServingEngine(
+            tiny_model,
+            policy,
+            cache_budget_bytes=12 * tiny_model.config.expert_bytes,
+            hardware=HardwareConfig(num_gpus=2),
+        )
+        policy.warm(loaded)
+        assert len(policy.store) > 0
+
+        mi = MoEInfinityPolicy(prefetch_distance=2)
+        mi.warm(loaded)
+        assert len(mi._eams) == 3

@@ -1,0 +1,105 @@
+"""Unit tests for mixed-stage (continuous batching) timing math."""
+
+import pytest
+
+from repro.baselines.base import BasePolicy
+from repro.moe.model import MoEModel
+from repro.serving.engine import ServingEngine
+
+
+@pytest.fixture
+def engine(tiny_config, small_hardware):
+    return ServingEngine(
+        MoEModel(tiny_config, seed=0),
+        BasePolicy(),
+        cache_budget_bytes=12 * tiny_config.expert_bytes,
+        hardware=small_hardware,
+    )
+
+
+class TestMixedLayerBase:
+    def test_decode_only(self, engine, tiny_config, small_hardware):
+        assert engine._mixed_layer_base_seconds(
+            0, True
+        ) == small_hardware.decode_layer_base_seconds(tiny_config)
+
+    def test_prefill_only(self, engine, tiny_config, small_hardware):
+        assert engine._mixed_layer_base_seconds(
+            32, False
+        ) == small_hardware.prefill_layer_base_seconds(tiny_config, 32)
+
+    def test_mixed_pays_framework_overhead_once(
+        self, engine, tiny_config, small_hardware
+    ):
+        mixed = engine._mixed_layer_base_seconds(32, True)
+        decode = small_hardware.decode_layer_base_seconds(tiny_config)
+        prefill = small_hardware.prefill_layer_base_seconds(tiny_config, 32)
+        overhead = small_hardware.framework_layer_overhead_seconds
+        assert mixed == pytest.approx(decode + prefill - overhead)
+        assert mixed > max(decode, prefill)
+
+
+class TestMixedExpertSeconds:
+    def test_zero_experts(self, engine):
+        assert engine._mixed_expert_seconds(10, True, 0) == 0.0
+
+    def test_decode_only(self, engine, tiny_config, small_hardware):
+        assert engine._mixed_expert_seconds(
+            0, True, 3
+        ) == small_hardware.decode_expert_seconds(tiny_config)
+
+    def test_prefill_splits_across_experts(
+        self, engine, tiny_config, small_hardware
+    ):
+        layer_total = small_hardware.prefill_expert_layer_seconds(
+            tiny_config, 16
+        )
+        assert engine._mixed_expert_seconds(16, False, 4) == pytest.approx(
+            layer_total / 4
+        )
+
+    def test_mixed_is_sum(self, engine, tiny_config, small_hardware):
+        mixed = engine._mixed_expert_seconds(16, True, 4)
+        decode = small_hardware.decode_expert_seconds(tiny_config)
+        prefill = small_hardware.prefill_expert_layer_seconds(
+            tiny_config, 16
+        ) / 4
+        assert mixed == pytest.approx(decode + prefill)
+
+
+class TestPerRequestAttribution:
+    def test_single_request_exact(self, tiny_config, small_hardware):
+        from repro.core.policy import FMoEPolicy
+        from repro.serving.request import Request
+
+        policy = FMoEPolicy(prefetch_distance=2)
+        engine = ServingEngine(
+            MoEModel(tiny_config, seed=0),
+            policy,
+            cache_budget_bytes=12 * tiny_config.expert_bytes,
+            hardware=small_hardware,
+        )
+        report = engine.run([Request(0, 0, 4, 3)])
+        metrics = report.requests[0]
+        assert metrics.hits == pytest.approx(report.hits)
+        assert metrics.misses == pytest.approx(report.misses)
+        assert metrics.hit_rate == pytest.approx(report.hit_rate)
+
+    def test_batch_counts_conserved(self, tiny_config, small_hardware):
+        from repro.core.policy import FMoEPolicy
+        from repro.serving.request import Request
+
+        policy = FMoEPolicy(prefetch_distance=2)
+        engine = ServingEngine(
+            MoEModel(tiny_config, seed=0),
+            policy,
+            cache_budget_bytes=12 * tiny_config.expert_bytes,
+            hardware=small_hardware,
+        )
+        report = engine.run(
+            [Request(i, 0, 4, 2 + i) for i in range(3)], batch_size=3
+        )
+        total_hits = sum(m.hits for m in report.requests)
+        total_misses = sum(m.misses for m in report.requests)
+        assert total_hits == pytest.approx(report.hits)
+        assert total_misses == pytest.approx(report.misses)

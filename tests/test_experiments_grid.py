@@ -1,0 +1,87 @@
+"""Tests for the grid-sweep utility and the DeepSeek extension model."""
+
+import csv
+import io
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.grid import GridCell, grid_to_csv, run_grid
+from repro.moe.config import ALL_MODELS, DEEPSEEK_MOE, get_model_config
+
+SMALL = ExperimentConfig(num_requests=10, num_test_requests=2)
+
+
+class TestRunGrid:
+    def test_cell_count(self):
+        cells = run_grid(
+            systems=("fmoe",),
+            budgets_gb=(8, 24),
+            config=SMALL,
+        )
+        assert len(cells) == 2
+        assert {c.cache_budget_gb for c in cells} == {8.0, 24.0}
+
+    def test_default_budget_cells(self):
+        cells = run_grid(systems=("fmoe",), config=SMALL)
+        assert len(cells) == 1
+        expected = SMALL.resolve_budget(get_model_config("mixtral-8x7b"))
+        assert cells[0].cache_budget_gb == pytest.approx(expected / 1e9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            run_grid(models=(), config=SMALL)
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        cells = [
+            GridCell(
+                model="m",
+                dataset="d",
+                system="s",
+                cache_budget_gb=1.0,
+                ttft_seconds=0.5,
+                tpot_seconds=0.1,
+                hit_rate=0.9,
+                peak_cache_gb=0.8,
+                peak_kv_gb=0.05,
+            )
+        ]
+        path = tmp_path / "grid.csv"
+        text = grid_to_csv(cells, path)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["system"] == "s"
+        assert float(rows[0]["hit_rate"]) == pytest.approx(0.9)
+        assert path.exists()
+
+
+class TestDeepSeekExtensionModel:
+    def test_registered(self):
+        assert get_model_config("deepseek-moe") is DEEPSEEK_MOE
+        assert DEEPSEEK_MOE in ALL_MODELS
+
+    def test_matches_paper_inactive_fraction(self):
+        """§2.2: DeepSeek-MoE has 83% inactive parameters."""
+        inactive = 1.0 - DEEPSEEK_MOE.active_params / DEEPSEEK_MOE.total_params
+        assert inactive == pytest.approx(0.83, abs=0.01)
+
+    def test_shared_experts_not_offloadable(self):
+        assert DEEPSEEK_MOE.always_on_experts == 2
+        assert DEEPSEEK_MOE.experts_per_layer == 64
+
+    def test_calibration_passes(self):
+        from repro.analysis.calibration import calibration_report
+
+        report = calibration_report(DEEPSEEK_MOE)
+        failing = {k for k, ok in report.checks().items() if not ok}
+        assert report.passed(), failing
+
+    def test_serves_end_to_end(self):
+        from repro.experiments.common import build_world, run_system
+
+        world = build_world(SMALL.with_(model_name="deepseek-moe"))
+        report = run_system(world, "fmoe")
+        assert report.activations > 0
+        assert report.mean_tpot() > 0

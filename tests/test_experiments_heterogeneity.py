@@ -1,0 +1,57 @@
+"""Tests for the heterogeneity and online-learning experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.heterogeneity import (
+    cross_dataset_transfer,
+    online_learning_curve,
+)
+
+SMALL = ExperimentConfig(num_requests=12, num_test_requests=2)
+
+
+class TestCrossDatasetTransfer:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return cross_dataset_transfer(config=SMALL)
+
+    def test_full_grid(self, rows):
+        combos = {
+            (r.warm_dataset, r.test_dataset, r.online_updates) for r in rows
+        }
+        assert len(combos) == 8
+
+    def test_rates_in_range(self, rows):
+        for r in rows:
+            assert 0.0 <= r.hit_rate <= 1.0
+            assert r.tpot_seconds > 0
+
+    def test_online_updates_never_hurt(self, rows):
+        for warm in ("lmsys-chat-1m", "sharegpt"):
+            for test in ("lmsys-chat-1m", "sharegpt"):
+                offline = next(
+                    r
+                    for r in rows
+                    if (r.warm_dataset, r.test_dataset, r.online_updates)
+                    == (warm, test, False)
+                )
+                online = next(
+                    r
+                    for r in rows
+                    if (r.warm_dataset, r.test_dataset, r.online_updates)
+                    == (warm, test, True)
+                )
+                assert online.hit_rate >= offline.hit_rate - 0.05
+
+
+class TestOnlineLearningCurve:
+    def test_curve_shape(self):
+        curve = online_learning_curve(num_requests=8, config=SMALL)
+        assert curve.request_hit_rates.shape == curve.request_tpots.shape
+        assert np.all(curve.request_hit_rates >= 0)
+        assert np.all(curve.request_hit_rates <= 1)
+        assert np.all(curve.request_tpots > 0)
+        assert 0 < curve.early_mean(3) <= 1
+        assert curve.late_tpot(3) > 0

@@ -1,0 +1,64 @@
+"""Tests for the report collator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.report import (
+    ARTIFACT_TITLES,
+    collate_results,
+    write_report,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "fig9_overall.txt").write_text("row one\nrow two\n")
+    (d / "custom_extra.txt").write_text("extra data\n")
+    return d
+
+
+class TestCollate:
+    def test_includes_present_artifacts(self, results_dir):
+        text = collate_results(results_dir)
+        assert "Fig. 9 — overall performance" in text
+        assert "row one" in text
+
+    def test_missing_artifacts_marked(self, results_dir):
+        text = collate_results(results_dir)
+        assert "*(not regenerated yet)*" in text
+
+    def test_missing_can_be_omitted(self, results_dir):
+        text = collate_results(results_dir, include_missing=False)
+        assert "*(not regenerated yet)*" not in text
+
+    def test_unknown_artifacts_appended(self, results_dir):
+        text = collate_results(results_dir)
+        assert "custom_extra" in text
+        assert "extra data" in text
+
+    def test_every_known_name_unique(self):
+        names = [name for name, _ in ARTIFACT_TITLES]
+        assert len(names) == len(set(names))
+
+    def test_bad_directory(self, tmp_path):
+        with pytest.raises(ConfigError):
+            collate_results(tmp_path / "nope")
+
+
+class TestWrite:
+    def test_writes_file(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "report.md")
+        assert out.exists()
+        assert out.read_text().startswith("# Regenerated")
+
+    def test_real_results_collate(self, tmp_path):
+        """The repo's own regenerated results render without error."""
+        from pathlib import Path
+
+        results = Path(__file__).parent.parent / "benchmarks" / "results"
+        if not results.is_dir():
+            pytest.skip("benches not run yet")
+        text = collate_results(results)
+        assert "Fig. 9" in text

@@ -1,0 +1,197 @@
+"""Smoke tests for every experiment module at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.table1 import table1_rows
+
+SMALL = ExperimentConfig(num_requests=10, num_test_requests=2)
+
+
+class TestTable1:
+    def test_three_models(self):
+        rows = table1_rows()
+        assert [r.name for r in rows] == [
+            "mixtral-8x7b",
+            "qwen1.5-moe",
+            "phi-3.5-moe",
+        ]
+        for row in rows:
+            assert row.active_params_b < row.total_params_b
+            assert "experts" in row.format()
+
+
+class TestOverview:
+    def test_tradeoff_points(self):
+        from repro.experiments.overview import tradeoff_points
+
+        points = tradeoff_points(SMALL)
+        names = {p.system for p in points}
+        assert "fmoe" in names and "no-offload" in names
+        no_offload = next(p for p in points if p.system == "no-offload")
+        fmoe = next(p for p in points if p.system == "fmoe")
+        # fMoE must use far less memory than keeping everything resident.
+        assert fmoe.memory_gb < no_offload.memory_gb / 2
+
+
+class TestEntropyMotivation:
+    def test_rows_and_curves(self):
+        from repro.experiments.entropy_motivation import (
+            entropy_comparison,
+            entropy_iteration_curves,
+            heatmap_example,
+        )
+
+        rows = entropy_comparison(
+            models=("mixtral-8x7b",),
+            datasets=("lmsys-chat-1m",),
+            num_requests=8,
+        )
+        assert rows[0].coarse_mean_entropy > rows[0].fine_mean_entropy
+        curves = entropy_iteration_curves(
+            models=("mixtral-8x7b",),
+            datasets=("lmsys-chat-1m",),
+            num_requests=8,
+            max_iterations=8,
+        )
+        assert curves[0].entropy_by_iteration.size > 1
+        coarse, fine = heatmap_example()
+        assert coarse.shape == fine.shape
+
+
+class TestOverall:
+    def test_rows_for_two_systems(self):
+        from repro.experiments.overall import overall_rows
+
+        rows = overall_rows(
+            models=("mixtral-8x7b",),
+            datasets=("lmsys-chat-1m",),
+            systems=("fmoe", "moe-infinity"),
+            config=SMALL,
+        )
+        assert len(rows) == 2
+        assert all(r.ttft_seconds > 0 for r in rows)
+
+    def test_improvement_summary(self):
+        from repro.experiments.overall import (
+            OverallRow,
+            improvement_summary,
+        )
+
+        rows = [
+            OverallRow("m", "d", "fmoe", 1.0, 0.1, 0.9),
+            OverallRow("m", "d", "moe-infinity", 2.0, 0.2, 0.45),
+        ]
+        summary = improvement_summary(rows)
+        assert summary["moe-infinity"]["ttft"] == pytest.approx(0.5)
+        assert summary["moe-infinity"]["tpot"] == pytest.approx(0.5)
+        assert summary["moe-infinity"]["hit"] == pytest.approx(1.0)
+
+
+class TestOnline:
+    def test_cdfs(self):
+        from repro.experiments.online import online_cdfs
+
+        cdfs = online_cdfs(
+            systems=("fmoe",),
+            num_requests=4,
+            config=SMALL,
+        )
+        assert len(cdfs) == 1
+        assert cdfs[0].latencies.size == 4
+        assert np.all(np.diff(cdfs[0].latencies) >= 0)
+        assert cdfs[0].fractions[-1] == pytest.approx(1.0)
+        assert cdfs[0].percentile(50) > 0
+
+
+class TestCacheLimits:
+    def test_tpot_improves_with_budget(self):
+        from repro.experiments.cache_limits import tpot_vs_cache_limit
+
+        rows = tpot_vs_cache_limit(
+            systems=("fmoe",),
+            limits_gb=(8, 64),
+            config=SMALL,
+        )
+        small = next(r for r in rows if r.cache_gb == 8)
+        large = next(r for r in rows if r.cache_gb == 64)
+        assert large.tpot_seconds <= small.tpot_seconds
+        assert large.hit_rate >= small.hit_rate
+
+
+class TestAblation:
+    def test_tracking_variants_ordered(self):
+        from repro.experiments.ablation import tracking_ablation
+
+        rows = tracking_ablation(num_requests=10, num_test=2)
+        by_name = {r.variant: r.hit_rate for r in rows}
+        assert set(by_name) == {
+            "speculate",
+            "hit-count",
+            "map-T",
+            "map-T+S",
+            "map-T+S+delta",
+        }
+        # The paper's incremental claim: full map design beats hit counts.
+        assert by_name["map-T+S+delta"] > by_name["hit-count"]
+
+    def test_caching_variants(self):
+        from repro.experiments.ablation import caching_ablation
+
+        rows = caching_ablation(config=SMALL)
+        by_name = {r.variant: r.hit_rate for r in rows}
+        assert set(by_name) == {"lru", "lfu", "fmoe"}
+
+
+class TestSensitivity:
+    def test_distance_rows(self):
+        from repro.experiments.sensitivity import (
+            prefetch_distance_sensitivity,
+        )
+
+        rows = prefetch_distance_sensitivity(
+            distances=(1, 3), config=SMALL
+        )
+        assert {r.distance for r in rows} == {1, 3}
+
+    def test_capacity_scores_monotone(self):
+        from repro.experiments.sensitivity import store_capacity_sensitivity
+
+        rows = store_capacity_sensitivity(
+            capacities=(16, 256), num_requests=16, num_test=2
+        )
+        assert rows[1].mean_semantic_score >= rows[0].mean_semantic_score
+
+    def test_batch_rows(self):
+        from repro.experiments.sensitivity import batch_size_sensitivity
+
+        rows = batch_size_sensitivity(
+            systems=("fmoe",), batch_sizes=(1, 2), config=SMALL
+        )
+        assert {r.batch_size for r in rows} == {1, 2}
+
+
+class TestOverheads:
+    def test_breakdown_rows(self):
+        from repro.experiments.overheads import (
+            latency_breakdown,
+            synchronous_overhead_seconds,
+        )
+
+        rows = latency_breakdown(models=("mixtral-8x7b",), config=SMALL)
+        components = {r.component for r in rows}
+        assert "compute" in components
+        assert "map_match" in components
+        # fMoE-added synchronous overhead < 30 ms/iteration (paper §6.7).
+        assert synchronous_overhead_seconds(rows, "mixtral-8x7b") < 0.03
+
+    def test_store_memory_rows(self):
+        from repro.experiments.overheads import store_memory_rows
+
+        rows = store_memory_rows(capacities=(1024, 32768))
+        qwen = [r for r in rows if r.model == "qwen1.5-moe"]
+        mixtral = [r for r in rows if r.model == "mixtral-8x7b"]
+        # Qwen's maps are larger (more experts per layer): Fig. 16.
+        assert qwen[0].megabytes > mixtral[0].megabytes
+        assert all(r.megabytes < 220 for r in rows)

@@ -1,0 +1,63 @@
+"""Tests for the wide-layer noise normalization and logit gain."""
+
+import numpy as np
+import pytest
+
+from repro.moe.config import tiny_test_model
+from repro.moe.gating import SyntheticGate
+
+
+def gate_for(experts, top_k=2):
+    return SyntheticGate(
+        tiny_test_model(experts_per_layer=experts, top_k=top_k), seed=0
+    )
+
+
+class TestWidthFactor:
+    def test_eight_experts_is_unit(self):
+        assert gate_for(8)._width_factor() == pytest.approx(1.0)
+
+    def test_wider_layers_get_less_noise(self):
+        assert gate_for(60, top_k=4)._width_factor() < gate_for(
+            16
+        )._width_factor() < 1.0 + 1e-9
+
+    def test_narrower_layers_get_more(self):
+        assert gate_for(4)._width_factor() > 1.0
+
+
+class TestLogitGain:
+    def test_eight_experts_is_unit(self):
+        assert gate_for(8)._logit_gain() == pytest.approx(1.0)
+
+    def test_wider_layers_sharper(self):
+        assert gate_for(60, top_k=4)._logit_gain() > 1.0
+
+    def test_gain_preserves_activation_choices(self, rng):
+        """Scaling all logits must not change which experts win."""
+        gate = gate_for(16)
+        sample = gate.sample_decode(0, 0, np.random.default_rng(5))
+        # Recompute top-k from distributions vs from raw logits.
+        for layer in range(gate.config.num_layers):
+            from repro.moe.gating import top_k_indices
+
+            from_dist = top_k_indices(sample.distributions[layer], 2)
+            from_logits = top_k_indices(sample.logits[layer], 2)
+            assert np.array_equal(from_dist, from_logits)
+
+
+class TestNumPaths:
+    def test_at_least_top_k(self):
+        assert gate_for(60, top_k=4)._num_paths() >= 4
+        assert gate_for(8, top_k=2)._num_paths() >= 2
+
+    def test_path_logits_decay(self):
+        gate = gate_for(60, top_k=4)
+        heights = [gate._path_logit(r) for r in range(gate._num_paths())]
+        assert heights == sorted(heights, reverse=True)
+        assert heights[0] == pytest.approx(
+            gate.config.routing.peak_logit
+        )
+        assert heights[1] == pytest.approx(
+            gate.config.routing.second_logit
+        )

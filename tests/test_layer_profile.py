@@ -1,0 +1,45 @@
+"""Tests for per-layer hit accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving.metrics import ServingReport
+
+
+class TestLayerHitRates:
+    def test_rates_computed_per_layer(self):
+        report = ServingReport()
+        report.layer_hits.update({0: 3, 1: 1})
+        report.layer_misses.update({0: 1, 1: 3})
+        rates = report.layer_hit_rates(3)
+        assert rates[0] == pytest.approx(0.75)
+        assert rates[1] == pytest.approx(0.25)
+        assert np.isnan(rates[2])
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ServingReport().layer_hit_rates(0)
+
+    def test_engine_populates_all_layers(
+        self, tiny_model, tiny_world, small_hardware
+    ):
+        from repro.core.policy import FMoEPolicy
+        from repro.serving.engine import ServingEngine
+
+        _, traces, test = tiny_world
+        policy = FMoEPolicy(prefetch_distance=2)
+        engine = ServingEngine(
+            tiny_model,
+            policy,
+            cache_budget_bytes=12 * tiny_model.config.expert_bytes,
+            hardware=small_hardware,
+        )
+        policy.warm(traces)
+        report = engine.run(test[:2])
+        rates = report.layer_hit_rates(tiny_model.config.num_layers)
+        assert not np.isnan(rates).any()
+        total = sum(report.layer_hits.values()) + sum(
+            report.layer_misses.values()
+        )
+        assert total == report.activations

@@ -1,0 +1,124 @@
+"""Tests for model configurations (paper Table 1)."""
+
+import pytest
+
+from repro.errors import ConfigError, UnknownModelError
+from repro.moe.config import (
+    EVALUATED_MODELS,
+    MIXTRAL_8X7B,
+    PHI35_MOE,
+    QWEN15_MOE,
+    MoEModelConfig,
+    RoutingProfile,
+    get_model_config,
+    tiny_test_model,
+)
+
+
+class TestTable1Shapes:
+    def test_mixtral_architecture(self):
+        assert MIXTRAL_8X7B.num_layers == 32
+        assert MIXTRAL_8X7B.experts_per_layer == 8
+        assert MIXTRAL_8X7B.top_k == 2
+        assert MIXTRAL_8X7B.always_on_experts == 0
+
+    def test_qwen_architecture(self):
+        assert QWEN15_MOE.num_layers == 24
+        assert QWEN15_MOE.experts_per_layer == 60
+        assert QWEN15_MOE.top_k == 4
+        assert QWEN15_MOE.always_on_experts == 4
+
+    def test_phi_architecture(self):
+        assert PHI35_MOE.num_layers == 32
+        assert PHI35_MOE.experts_per_layer == 16
+        assert PHI35_MOE.top_k == 2
+
+    @pytest.mark.parametrize("config", EVALUATED_MODELS, ids=lambda c: c.name)
+    def test_expert_bytes_positive(self, config):
+        assert config.expert_bytes > 0
+        assert config.expert_bytes == config.expert_params * config.dtype_bytes
+
+    @pytest.mark.parametrize("config", EVALUATED_MODELS, ids=lambda c: c.name)
+    def test_offloadable_fraction_matches_paper(self, config):
+        """Paper §2.2: Mixtral 72%, DeepSeek-style models >80% inactive."""
+        inactive = 1.0 - config.active_params / config.total_params
+        assert 0.65 < inactive < 0.90
+
+    @pytest.mark.parametrize("config", EVALUATED_MODELS, ids=lambda c: c.name)
+    def test_derived_active_params_consistent(self, config):
+        """non-expert + K experts/layer ≈ published active parameters."""
+        derived = config.non_expert_params + config.active_expert_params
+        assert derived == pytest.approx(config.active_params, rel=0.06)
+
+    @pytest.mark.parametrize("config", EVALUATED_MODELS, ids=lambda c: c.name)
+    def test_total_experts(self, config):
+        assert config.total_experts == config.num_layers * config.experts_per_layer
+        assert (
+            config.total_expert_bytes
+            == config.total_experts * config.expert_bytes
+        )
+
+    def test_qwen_expert_much_smaller_than_mixtral(self):
+        """Fig. 16's premise: Qwen has many small experts."""
+        assert QWEN15_MOE.expert_bytes < MIXTRAL_8X7B.expert_bytes / 10
+        assert QWEN15_MOE.total_experts > MIXTRAL_8X7B.total_experts * 5
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        for config in EVALUATED_MODELS:
+            assert get_model_config(config.name) is config
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(UnknownModelError, match="unknown model"):
+            get_model_config("gpt-5-moe")
+
+
+class TestValidation:
+    def test_top_k_must_not_exceed_experts(self):
+        with pytest.raises(ConfigError):
+            MoEModelConfig(
+                name="bad",
+                num_layers=4,
+                experts_per_layer=4,
+                top_k=5,
+                hidden_size=16,
+                expert_intermediate_size=16,
+                total_params=1e6,
+                active_params=5e5,
+            )
+
+    def test_zero_layers_rejected(self):
+        with pytest.raises(ConfigError):
+            MoEModelConfig(
+                name="bad",
+                num_layers=0,
+                experts_per_layer=4,
+                top_k=2,
+                hidden_size=16,
+                expert_intermediate_size=16,
+                total_params=1e6,
+                active_params=5e5,
+            )
+
+    def test_routing_profile_validation(self):
+        with pytest.raises(ConfigError):
+            RoutingProfile(walk_stay_prob=1.5).validate()
+        with pytest.raises(ConfigError):
+            RoutingProfile(num_clusters=0).validate()
+        with pytest.raises(ConfigError):
+            RoutingProfile(iteration_noise=-0.1).validate()
+
+    def test_with_routing_returns_modified_copy(self):
+        modified = MIXTRAL_8X7B.with_routing(iteration_noise=0.1)
+        assert modified.routing.iteration_noise == 0.1
+        assert MIXTRAL_8X7B.routing.iteration_noise != 0.1
+        assert modified.num_layers == MIXTRAL_8X7B.num_layers
+
+    def test_tiny_test_model_accepts_routing_overrides(self):
+        config = tiny_test_model(phases_per_cluster=2)
+        assert config.routing.phases_per_cluster == 2
+
+    def test_activations_per_iteration(self):
+        config = tiny_test_model(num_layers=6, top_k=2)
+        assert config.activations_per_iteration == 12

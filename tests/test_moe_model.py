@@ -1,0 +1,96 @@
+"""Tests for MoEModel sessions and iteration routing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.types import Stage
+
+
+class TestRequestSession:
+    def test_iteration_count(self, tiny_model):
+        session = tiny_model.start_session(0, 10, 5, seed=1)
+        assert session.total_iterations == 5
+        routings = []
+        while not session.finished:
+            routings.append(session.next_iteration())
+        assert len(routings) == 5
+
+    def test_first_iteration_is_prefill(self, tiny_model):
+        session = tiny_model.start_session(0, 12, 3, seed=1)
+        first = session.next_iteration()
+        assert first.stage is Stage.PREFILL
+        assert first.num_tokens == 12
+        second = session.next_iteration()
+        assert second.stage is Stage.DECODE
+        assert second.num_tokens == 1
+
+    def test_single_token_output_is_prefill_only(self, tiny_model):
+        session = tiny_model.start_session(0, 4, 1, seed=1)
+        assert session.total_iterations == 1
+        session.next_iteration()
+        assert session.finished
+
+    def test_exhausted_session_raises(self, tiny_model):
+        session = tiny_model.start_session(0, 4, 1, seed=1)
+        session.next_iteration()
+        with pytest.raises(SimulationError):
+            session.next_iteration()
+
+    def test_iteration_indices_increment(self, tiny_model):
+        session = tiny_model.start_session(1, 4, 4, seed=2)
+        indices = [session.next_iteration().index for _ in range(4)]
+        assert indices == [0, 1, 2, 3]
+
+    def test_embedding_is_unit_norm(self, tiny_model):
+        session = tiny_model.start_session(2, 4, 2, seed=3)
+        assert np.linalg.norm(session.embedding) == pytest.approx(1.0)
+
+    def test_same_seed_same_routing(self, tiny_model):
+        a = tiny_model.start_session(0, 8, 3, seed=9)
+        b = tiny_model.start_session(0, 8, 3, seed=9)
+        ra = [a.next_iteration() for _ in range(3)]
+        rb = [b.next_iteration() for _ in range(3)]
+        for x, y in zip(ra, rb):
+            assert np.allclose(x.distributions, y.distributions)
+        assert np.allclose(a.embedding, b.embedding)
+
+    def test_different_seeds_differ(self, tiny_model):
+        a = tiny_model.start_session(0, 8, 2, seed=9)
+        b = tiny_model.start_session(0, 8, 2, seed=10)
+        assert not np.allclose(
+            a.next_iteration().distributions,
+            b.next_iteration().distributions,
+        )
+
+    def test_validation(self, tiny_model):
+        with pytest.raises(ConfigError):
+            tiny_model.start_session(999, 4, 2, seed=0)
+        with pytest.raises(ConfigError):
+            tiny_model.start_session(0, 0, 2, seed=0)
+        with pytest.raises(ConfigError):
+            tiny_model.start_session(0, 4, 0, seed=0)
+
+    def test_speculate_returns_distribution(self, tiny_model, tiny_config):
+        session = tiny_model.start_session(0, 4, 3, seed=4)
+        routing = session.next_iteration()
+        predicted = session.speculate(routing, target_layer=3, distance=2)
+        assert predicted.shape == (tiny_config.experts_per_layer,)
+        assert predicted.sum() == pytest.approx(1.0)
+
+
+class TestMoEModel:
+    def test_sample_reference(self, tiny_model, tiny_config):
+        sample = tiny_model.sample_reference(0, 0, seed=11)
+        assert sample.distributions.shape == (
+            tiny_config.num_layers,
+            tiny_config.experts_per_layer,
+        )
+
+    def test_same_cluster_sessions_have_similar_embeddings(self, tiny_model):
+        a = tiny_model.start_session(1, 4, 2, seed=1)
+        b = tiny_model.start_session(1, 4, 2, seed=2)
+        c = tiny_model.start_session(2, 4, 2, seed=3)
+        same = float(a.embedding @ b.embedding)
+        cross = float(a.embedding @ c.embedding)
+        assert same > cross

@@ -1,0 +1,102 @@
+"""Property-based tests for workload generation and KV accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.moe.config import tiny_test_model
+from repro.serving.kvcache import KVCacheTracker, kv_bytes_per_token
+from repro.workloads.datasets import DatasetProfile, make_dataset
+
+
+@st.composite
+def profiles(draw):
+    num_clusters = draw(st.integers(1, 32))
+    lo = draw(st.integers(0, num_clusters - 1))
+    hi = draw(st.integers(lo + 1, num_clusters))
+    input_min = draw(st.integers(1, 16))
+    input_max = draw(st.integers(input_min, 256))
+    output_min = draw(st.integers(1, 4))
+    output_max = draw(st.integers(output_min, 32))
+    return DatasetProfile(
+        name="hypo",
+        num_clusters=num_clusters,
+        zipf_alpha=draw(st.floats(0.1, 3.0)),
+        cluster_range=(lo, hi),
+        input_log_mean=draw(st.floats(1.0, 6.0)),
+        input_log_sigma=draw(st.floats(0.1, 1.5)),
+        input_min=input_min,
+        input_max=input_max,
+        output_log_mean=draw(st.floats(0.5, 4.0)),
+        output_log_sigma=draw(st.floats(0.1, 1.0)),
+        output_min=output_min,
+        output_max=output_max,
+    )
+
+
+class TestDatasetProperties:
+    @given(profile=profiles(), size=st.integers(0, 40), seed=st.integers(0, 99))
+    @settings(max_examples=50, deadline=None)
+    def test_requests_respect_profile_bounds(self, profile, size, seed):
+        requests = make_dataset(profile, size, seed=seed)
+        assert len(requests) == size
+        lo, hi = profile.cluster_range
+        for request in requests:
+            assert lo <= request.cluster < hi
+            assert (
+                profile.input_min
+                <= request.input_tokens
+                <= profile.input_max
+            )
+            assert (
+                profile.output_min
+                <= request.output_tokens
+                <= profile.output_max
+            )
+            assert request.arrival_time == 0.0
+
+    @given(profile=profiles())
+    @settings(max_examples=30, deadline=None)
+    def test_weights_match_range(self, profile):
+        weights = profile.cluster_weights()
+        clusters = profile.effective_clusters()
+        assert len(weights) == len(clusters)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(weights > 0)
+        # Zipf: non-increasing in rank.
+        assert np.all(np.diff(weights) <= 1e-12)
+
+
+class TestKVCacheProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["admit", "append", "release"]),
+                st.integers(0, 5),
+                st.integers(1, 64),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tracker_never_negative_and_peak_monotone(self, ops):
+        config = tiny_test_model()
+        tracker = KVCacheTracker(config)
+        admitted: dict[int, int] = {}
+        peak_seen = 0
+        for kind, rid, tokens in ops:
+            if kind == "admit" and rid not in admitted:
+                tracker.admit(rid, tokens)
+                admitted[rid] = tokens
+            elif kind == "append" and rid in admitted:
+                tracker.append_token(rid)
+                admitted[rid] += 1
+            elif kind == "release" and rid in admitted:
+                tracker.release(rid)
+                del admitted[rid]
+            expected = sum(admitted.values()) * kv_bytes_per_token(config)
+            assert tracker.current_bytes() == expected
+            assert tracker.peak_bytes >= peak_seen
+            peak_seen = tracker.peak_bytes
+        assert tracker.peak_bytes >= tracker.current_bytes()

@@ -1,0 +1,88 @@
+"""Qwen1.5-MoE specifics: always-on experts and wide-layer behavior.
+
+The paper's footnote 3: some models keep always-on (shared) experts that
+are never offloadable; fMoE only manages the selective experts.  These
+tests pin down how the substrate models that, plus the wide-layer noise
+normalization that keeps 60-expert routing realistically predictable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.moe.config import MIXTRAL_8X7B, QWEN15_MOE
+from repro.moe.gating import SyntheticGate
+from repro.moe.model import MoEModel
+
+
+class TestAlwaysOnExperts:
+    def test_always_on_not_in_offloadable_space(self):
+        """Routed experts number J; shared experts live outside them."""
+        assert QWEN15_MOE.always_on_experts == 4
+        assert QWEN15_MOE.experts_per_layer == 60
+        # Shared experts' parameters are accounted as resident weights.
+        shared_params = (
+            QWEN15_MOE.num_layers
+            * QWEN15_MOE.always_on_experts
+            * QWEN15_MOE.expert_params
+        )
+        assert QWEN15_MOE.non_expert_params >= shared_params
+
+    def test_gate_distributions_cover_routed_experts_only(self, rng):
+        gate = SyntheticGate(QWEN15_MOE, seed=0)
+        sample = gate.sample_decode(0, 0, rng)
+        assert sample.distributions.shape == (24, 60)
+        for activated in sample.activated:
+            assert len(activated) == QWEN15_MOE.top_k
+            assert np.all(activated < 60)
+
+    def test_always_on_compute_in_layer_base_latency(self):
+        """Shared experts make Qwen's per-layer base compute nontrivial."""
+        from dataclasses import replace
+
+        from repro.serving.hardware import DEFAULT_HARDWARE
+
+        without_shared = replace(
+            QWEN15_MOE,
+            total_params=QWEN15_MOE.total_params
+            - QWEN15_MOE.num_layers
+            * QWEN15_MOE.always_on_experts
+            * QWEN15_MOE.expert_params,
+            always_on_experts=0,
+        )
+        assert DEFAULT_HARDWARE.decode_layer_base_seconds(
+            QWEN15_MOE
+        ) > DEFAULT_HARDWARE.decode_layer_base_seconds(without_shared)
+
+
+class TestWideLayerCalibration:
+    def test_width_factor_normalizes_noise(self):
+        mixtral_gate = SyntheticGate(MIXTRAL_8X7B, seed=0)
+        qwen_gate = SyntheticGate(QWEN15_MOE, seed=0)
+        assert mixtral_gate._width_factor() == pytest.approx(1.0, abs=0.05)
+        assert qwen_gate._width_factor() < 0.6
+
+    def test_qwen_iteration_entropy_below_uniform(self, rng):
+        """Wide layers still route peaked at iteration granularity."""
+        gate = SyntheticGate(QWEN15_MOE, seed=0)
+        sample = gate.sample_decode(1, 1, rng)
+        uniform = np.log2(60)
+        entropies = [
+            -(p[p > 0] * np.log2(p[p > 0])).sum()
+            for p in sample.distributions
+        ]
+        assert np.mean(entropies) < 0.85 * uniform
+
+    def test_qwen_archetypes_have_topk_peaks(self):
+        """The archetype must supply at least top-K persistent peaks."""
+        gate = SyntheticGate(QWEN15_MOE, seed=0)
+        assert gate._num_paths() >= QWEN15_MOE.top_k
+
+    def test_qwen_session_roundtrip(self):
+        model = MoEModel(QWEN15_MOE, seed=0)
+        session = model.start_session(3, 16, 3, seed=7)
+        routings = [session.next_iteration() for _ in range(3)]
+        assert routings[0].distributions.shape == (24, 60)
+        # Same-session decode iterations overlap in activation.
+        a = set(routings[1].activated[5].tolist())
+        b = set(routings[2].activated[5].tolist())
+        assert len(a) == len(b) == 4

@@ -1,0 +1,57 @@
+"""Cross-cutting tests: schedulers and continuous batching with baselines."""
+
+import pytest
+
+from repro.baselines import (
+    DeepSpeedPolicy,
+    MixtralOffloadingPolicy,
+    MoEInfinityPolicy,
+    ProMoEPolicy,
+)
+from repro.core.policy import FMoEPolicy
+from repro.moe.model import MoEModel
+from repro.serving.engine import ServingEngine
+from repro.serving.request import Request
+from repro.serving.scheduler import FCFSScheduler, SJFScheduler, run_scheduled
+
+POLICY_FACTORIES = [
+    ("fmoe", lambda: FMoEPolicy(prefetch_distance=2)),
+    ("deepspeed", DeepSpeedPolicy),
+    ("mixtral-offloading", lambda: MixtralOffloadingPolicy()),
+    ("moe-infinity", lambda: MoEInfinityPolicy(prefetch_distance=2)),
+    ("promoe", lambda: ProMoEPolicy(prefetch_distance=2)),
+]
+
+
+def requests():
+    return [
+        Request(i, i % 3, 4 + 2 * i, 2, arrival_time=0.05 * i)
+        for i in range(4)
+    ]
+
+
+@pytest.mark.parametrize("name,factory", POLICY_FACTORIES, ids=lambda x: "")
+class TestSchedulersAcrossPolicies:
+    def _engine(self, tiny_config, small_hardware, factory):
+        return ServingEngine(
+            MoEModel(tiny_config, seed=0),
+            factory(),
+            cache_budget_bytes=12 * tiny_config.expert_bytes,
+            hardware=small_hardware,
+        )
+
+    def test_fcfs(self, tiny_config, small_hardware, name, factory):
+        engine = self._engine(tiny_config, small_hardware, factory)
+        report = run_scheduled(engine, requests(), FCFSScheduler())
+        assert len(report.requests) == 4
+
+    def test_sjf(self, tiny_config, small_hardware, name, factory):
+        engine = self._engine(tiny_config, small_hardware, factory)
+        report = run_scheduled(engine, requests(), SJFScheduler())
+        assert len(report.requests) == 4
+
+    def test_continuous(self, tiny_config, small_hardware, name, factory):
+        engine = self._engine(tiny_config, small_hardware, factory)
+        report = engine.run_continuous(requests(), max_batch_size=2)
+        assert len(report.requests) == 4
+        assert engine.kv_tracker.current_bytes() == 0

@@ -1,0 +1,31 @@
+"""Seed robustness: the headline ordering is not a one-seed artifact."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_world,
+    run_system,
+)
+
+
+@pytest.mark.parametrize("seed", [7, 2026])
+def test_fmoe_beats_moe_infinity_across_seeds(seed):
+    world = build_world(
+        ExperimentConfig(num_requests=24, num_test_requests=4, seed=seed)
+    )
+    fmoe = run_system(world, "fmoe")
+    moe_infinity = run_system(world, "moe-infinity")
+    assert fmoe.mean_tpot() < moe_infinity.mean_tpot()
+    assert fmoe.hit_rate > moe_infinity.hit_rate
+
+
+@pytest.mark.parametrize("seed", [7, 2026])
+def test_fmoe_beats_speculation_across_seeds(seed):
+    world = build_world(
+        ExperimentConfig(num_requests=24, num_test_requests=4, seed=seed)
+    )
+    fmoe = run_system(world, "fmoe")
+    mixtral_offloading = run_system(world, "mixtral-offloading")
+    assert fmoe.mean_tpot() < mixtral_offloading.mean_tpot()
+    assert fmoe.mean_ttft() < mixtral_offloading.mean_ttft()

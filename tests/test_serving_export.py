@@ -1,0 +1,78 @@
+"""Tests for report exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.serving.export import (
+    report_to_dict,
+    report_to_json,
+    reports_to_csv,
+)
+from repro.serving.metrics import RequestMetrics, ServingReport
+
+
+@pytest.fixture
+def report():
+    r = ServingReport(policy_name="fmoe", hits=8, misses=2, iterations=5)
+    r.breakdown.add_sync("compute", 1.0)
+    r.requests = [
+        RequestMetrics(
+            request_id=1,
+            arrival_time=0.0,
+            start_time=0.0,
+            ttft=0.5,
+            decode_latencies=[0.1, 0.2],
+            finish_time=0.8,
+        ),
+        RequestMetrics(
+            request_id=2,
+            arrival_time=0.5,
+            start_time=0.8,
+            ttft=0.7,
+            decode_latencies=[0.3],
+            finish_time=1.6,
+        ),
+    ]
+    return r
+
+
+class TestJson:
+    def test_dict_fields(self, report):
+        payload = report_to_dict(report)
+        assert payload["policy"] == "fmoe"
+        assert payload["hit_rate"] == pytest.approx(0.8)
+        assert len(payload["per_request"]) == 2
+        assert payload["per_request"][0]["ttft_seconds"] == 0.5
+        assert payload["breakdown"]["sync:compute"] == 1.0
+
+    def test_json_round_trip(self, report):
+        text = report_to_json(report)
+        parsed = json.loads(text)
+        assert parsed["requests"] == 2
+
+    def test_json_writes_file(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        report_to_json(report, path)
+        assert json.loads(path.read_text())["policy"] == "fmoe"
+
+
+class TestCsv:
+    def test_rows(self, report):
+        text = reports_to_csv([report, report])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 4
+        assert rows[0]["policy"] == "fmoe"
+        assert float(rows[1]["e2e_seconds"]) == pytest.approx(1.1)
+
+    def test_csv_writes_file(self, report, tmp_path):
+        path = tmp_path / "requests.csv"
+        reports_to_csv([report], path)
+        assert path.read_text().startswith("policy,")
+
+    def test_empty(self):
+        text = reports_to_csv([])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows == []

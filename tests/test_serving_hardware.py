@@ -1,0 +1,60 @@
+"""Tests for the hardware latency model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.moe.config import MIXTRAL_8X7B, QWEN15_MOE
+from repro.serving.hardware import DEFAULT_HARDWARE, HardwareConfig
+from repro.types import GiB
+
+
+class TestHardwareConfig:
+    def test_testbed_defaults_match_paper(self):
+        assert DEFAULT_HARDWARE.num_gpus == 6
+        assert DEFAULT_HARDWARE.gpu_memory_bytes == 24 * GiB
+        assert DEFAULT_HARDWARE.pcie_bandwidth_bps == pytest.approx(32e9)
+
+    def test_expert_load_time_mixtral(self):
+        """~352 MB over 32 GB/s ≈ 11 ms (the paper's transfer scale)."""
+        seconds = DEFAULT_HARDWARE.expert_load_seconds(MIXTRAL_8X7B)
+        assert 0.008 < seconds < 0.015
+
+    def test_qwen_loads_faster_than_mixtral(self):
+        assert DEFAULT_HARDWARE.expert_load_seconds(
+            QWEN15_MOE
+        ) < DEFAULT_HARDWARE.expert_load_seconds(MIXTRAL_8X7B)
+
+    def test_decode_floor_includes_framework_overhead(self):
+        fast = HardwareConfig(framework_layer_overhead_seconds=0.0)
+        slow = HardwareConfig(framework_layer_overhead_seconds=5e-3)
+        assert slow.decode_iteration_floor_seconds(
+            MIXTRAL_8X7B
+        ) > fast.decode_iteration_floor_seconds(MIXTRAL_8X7B)
+
+    def test_decode_floor_scale(self):
+        """Ideal iteration latency stays within the paper's regime."""
+        floor = DEFAULT_HARDWARE.decode_iteration_floor_seconds(MIXTRAL_8X7B)
+        assert 0.05 < floor < 0.5
+
+    def test_prefill_scales_with_tokens(self):
+        short = DEFAULT_HARDWARE.prefill_layer_base_seconds(MIXTRAL_8X7B, 16)
+        long = DEFAULT_HARDWARE.prefill_layer_base_seconds(MIXTRAL_8X7B, 1024)
+        assert long > short
+
+    def test_prefill_expert_layer_seconds_positive(self):
+        assert (
+            DEFAULT_HARDWARE.prefill_expert_layer_seconds(MIXTRAL_8X7B, 128)
+            > 0
+        )
+
+    def test_max_expert_cache_bytes(self):
+        available = DEFAULT_HARDWARE.max_expert_cache_bytes(MIXTRAL_8X7B)
+        assert 0 < available < DEFAULT_HARDWARE.total_gpu_memory_bytes()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HardwareConfig(num_gpus=0)
+        with pytest.raises(ConfigError):
+            HardwareConfig(pcie_bandwidth_bps=0)
+        with pytest.raises(ConfigError):
+            HardwareConfig(gpu_flops=-1)

@@ -1,0 +1,108 @@
+"""Tests for KV-cache accounting."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.moe.config import MIXTRAL_8X7B, tiny_test_model
+from repro.serving.kvcache import (
+    KVCacheTracker,
+    expert_budget_after_kv,
+    kv_bytes_per_token,
+    request_kv_bytes,
+)
+
+
+class TestSizes:
+    def test_per_token_formula(self):
+        config = tiny_test_model(num_layers=6)
+        assert kv_bytes_per_token(config) == 2 * 6 * 64 * 2
+
+    def test_mixtral_scale(self):
+        """Mixtral KV: ~0.5 MB per token of context at fp16."""
+        per_token = kv_bytes_per_token(MIXTRAL_8X7B)
+        assert 0.4e6 < per_token < 0.6e6
+
+    def test_request_bytes(self):
+        config = tiny_test_model()
+        assert request_kv_bytes(config, 10) == 10 * kv_bytes_per_token(config)
+        with pytest.raises(ConfigError):
+            request_kv_bytes(config, -1)
+
+
+class TestTracker:
+    @pytest.fixture
+    def tracker(self, tiny_config):
+        return KVCacheTracker(tiny_config)
+
+    def test_admit_grow_release(self, tracker, tiny_config):
+        per_token = kv_bytes_per_token(tiny_config)
+        tracker.admit(1, prompt_tokens=10)
+        assert tracker.current_bytes() == 10 * per_token
+        tracker.append_token(1)
+        assert tracker.tokens_of(1) == 11
+        tracker.release(1)
+        assert tracker.current_bytes() == 0
+        assert tracker.peak_bytes == 11 * per_token
+
+    def test_peak_tracks_concurrency(self, tracker, tiny_config):
+        per_token = kv_bytes_per_token(tiny_config)
+        tracker.admit(1, 5)
+        tracker.admit(2, 7)
+        tracker.release(1)
+        tracker.admit(3, 1)
+        assert tracker.peak_bytes == 12 * per_token
+
+    def test_double_admit(self, tracker):
+        tracker.admit(1, 5)
+        with pytest.raises(SimulationError):
+            tracker.admit(1, 5)
+
+    def test_unknown_request(self, tracker):
+        with pytest.raises(SimulationError):
+            tracker.append_token(9)
+        with pytest.raises(SimulationError):
+            tracker.release(9)
+        with pytest.raises(SimulationError):
+            tracker.tokens_of(9)
+
+    def test_zero_prompt_rejected(self, tracker):
+        with pytest.raises(ConfigError):
+            tracker.admit(1, 0)
+
+
+class TestBudgetDerivation:
+    def test_kv_pressure_shrinks_expert_budget(self):
+        total = 6 * 24 * 1024**3
+        small = expert_budget_after_kv(MIXTRAL_8X7B, total, int(1e9))
+        large = expert_budget_after_kv(MIXTRAL_8X7B, total, int(40e9))
+        assert small > large > 0
+
+    def test_floor_at_zero(self):
+        assert (
+            expert_budget_after_kv(MIXTRAL_8X7B, int(10e9), int(100e9)) == 0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            expert_budget_after_kv(MIXTRAL_8X7B, int(1e9), 0, 1.5)
+
+
+class TestEngineIntegration:
+    def test_report_carries_peak_kv(self, tiny_model, small_hardware):
+        from repro.serving.engine import ServingEngine
+        from repro.serving.request import Request
+        from tests.test_serving_engine import RecordingPolicy
+
+        engine = ServingEngine(
+            tiny_model,
+            RecordingPolicy(),
+            cache_budget_bytes=24 * tiny_model.config.expert_bytes,
+            hardware=small_hardware,
+        )
+        report = engine.run(
+            [Request(0, 0, 16, 4), Request(1, 0, 8, 2)], batch_size=2
+        )
+        per_token = kv_bytes_per_token(tiny_model.config)
+        # Peak: both requests admitted, request 0 grew by 3, request 1 by 1.
+        assert report.peak_kv_bytes >= (16 + 8) * per_token
+        assert report.peak_kv_bytes <= (16 + 3 + 8 + 1) * per_token

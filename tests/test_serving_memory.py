@@ -1,0 +1,110 @@
+"""Tests for the PCIe transfer channel: queueing, pausing, cancelling."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving.memory import TransferChannel
+from repro.types import ExpertId
+
+E = ExpertId
+
+
+class TestSchedule:
+    def test_single_transfer_timing(self):
+        channel = TransferChannel(bandwidth_bps=100.0)
+        task = channel.schedule(1.0, 50, E(0, 0))
+        assert task.start == 1.0
+        assert task.end == pytest.approx(1.5)
+
+    def test_transfers_serialize(self):
+        channel = TransferChannel(bandwidth_bps=100.0)
+        a = channel.schedule(0.0, 100, E(0, 0))
+        b = channel.schedule(0.0, 100, E(0, 1))
+        assert a.end == pytest.approx(1.0)
+        assert b.start == pytest.approx(1.0)
+        assert b.end == pytest.approx(2.0)
+
+    def test_idle_gap_respected(self):
+        channel = TransferChannel(bandwidth_bps=100.0)
+        channel.schedule(0.0, 100, E(0, 0))
+        late = channel.schedule(5.0, 100, E(0, 1))
+        assert late.start == pytest.approx(5.0)
+
+    def test_bytes_accounted(self):
+        channel = TransferChannel(bandwidth_bps=100.0)
+        channel.schedule(0.0, 100, E(0, 0))
+        channel.schedule(0.0, 200, E(0, 1))
+        assert channel.bytes_transferred == 300
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigError):
+            TransferChannel(bandwidth_bps=0.0)
+
+
+class TestUrgentLoad:
+    def test_urgent_on_idle_channel(self):
+        channel = TransferChannel(bandwidth_bps=100.0)
+        task = channel.load_urgent(2.0, 100, E(0, 0))
+        assert task.start == 2.0
+        assert task.end == pytest.approx(3.0)
+
+    def test_urgent_waits_for_inflight_only(self):
+        channel = TransferChannel(bandwidth_bps=100.0)
+        inflight = channel.schedule(0.0, 100, E(0, 0))  # 0..1
+        queued = channel.schedule(0.0, 100, E(0, 1))  # 1..2 (queued)
+        urgent = channel.load_urgent(0.5, 100, E(0, 2))
+        # Urgent waits for the in-flight transfer, not the queued one.
+        assert urgent.start == pytest.approx(inflight.end)
+        assert urgent.end == pytest.approx(2.0)
+        # The queued transfer was pushed back by the urgent duration.
+        assert queued.start == pytest.approx(2.0)
+        assert queued.end == pytest.approx(3.0)
+
+    def test_urgent_pauses_multiple_queued(self):
+        channel = TransferChannel(bandwidth_bps=100.0)
+        tasks = [channel.schedule(0.0, 100, E(0, j)) for j in range(3)]
+        channel.load_urgent(0.2, 100, E(1, 0))
+        # All not-yet-started transfers shift by 1 second.
+        assert tasks[1].start == pytest.approx(2.0)
+        assert tasks[2].start == pytest.approx(3.0)
+
+    def test_urgent_counter(self):
+        channel = TransferChannel(bandwidth_bps=100.0)
+        channel.load_urgent(0.0, 100, E(0, 0))
+        assert channel.urgent_loads == 1
+
+
+class TestCancel:
+    def test_cancel_queued_task(self):
+        channel = TransferChannel(bandwidth_bps=100.0)
+        channel.schedule(0.0, 100, E(0, 0))
+        queued = channel.schedule(0.0, 100, E(0, 1))
+        assert channel.cancel(queued, now=0.5)
+        assert queued not in channel.pending_tasks(0.5)
+
+    def test_cannot_cancel_inflight(self):
+        channel = TransferChannel(bandwidth_bps=100.0)
+        inflight = channel.schedule(0.0, 100, E(0, 0))
+        assert not channel.cancel(inflight, now=0.5)
+
+    def test_cancel_refunds_bytes(self):
+        channel = TransferChannel(bandwidth_bps=100.0)
+        channel.schedule(0.0, 100, E(0, 0))
+        queued = channel.schedule(0.0, 100, E(0, 1))
+        channel.cancel(queued, now=0.5)
+        assert channel.bytes_transferred == pytest.approx(100, abs=1)
+
+    def test_cancel_twice_is_safe(self):
+        channel = TransferChannel(bandwidth_bps=100.0)
+        channel.schedule(0.0, 100, E(0, 0))
+        queued = channel.schedule(0.0, 100, E(0, 1))
+        assert channel.cancel(queued, now=0.5)
+        assert not channel.cancel(queued, now=0.5)
+
+
+class TestCompaction:
+    def test_old_tasks_are_compacted(self):
+        channel = TransferChannel(bandwidth_bps=1e6)
+        for j in range(600):
+            channel.load_urgent(float(j), 10, E(0, j % 8))
+        assert len(channel.pending_tasks(1e9)) == 0

@@ -1,0 +1,129 @@
+"""Tests for metrics aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.serving.metrics import (
+    LatencyBreakdown,
+    RequestMetrics,
+    ServingReport,
+)
+
+
+def make_request_metrics(
+    request_id=0, ttft=1.0, decode=(0.1, 0.2), arrival=0.0, finish=2.0
+):
+    return RequestMetrics(
+        request_id=request_id,
+        arrival_time=arrival,
+        start_time=arrival,
+        ttft=ttft,
+        decode_latencies=list(decode),
+        finish_time=finish,
+    )
+
+
+class TestLatencyBreakdown:
+    def test_accumulation(self):
+        breakdown = LatencyBreakdown()
+        breakdown.add_sync("compute", 1.0)
+        breakdown.add_sync("compute", 0.5)
+        breakdown.add_async("prefetch", 2.0)
+        assert breakdown.sync["compute"] == pytest.approx(1.5)
+        assert breakdown.total_sync() == pytest.approx(1.5)
+        assert breakdown.as_dict() == {
+            "sync:compute": 1.5,
+            "async:prefetch": 2.0,
+        }
+
+    def test_merge(self):
+        a = LatencyBreakdown()
+        a.add_sync("x", 1.0)
+        b = LatencyBreakdown()
+        b.add_sync("x", 2.0)
+        b.add_async("y", 3.0)
+        a.merge(b)
+        assert a.sync["x"] == pytest.approx(3.0)
+        assert a.asynchronous["y"] == pytest.approx(3.0)
+
+
+class TestRequestMetrics:
+    def test_tpot_mean(self):
+        metrics = make_request_metrics(decode=(0.1, 0.3))
+        assert metrics.tpot == pytest.approx(0.2)
+
+    def test_tpot_empty(self):
+        metrics = make_request_metrics(decode=())
+        assert metrics.tpot == 0.0
+
+    def test_e2e_latency(self):
+        metrics = make_request_metrics(arrival=1.0, finish=4.5)
+        assert metrics.e2e_latency == pytest.approx(3.5)
+
+
+class TestServingReport:
+    def test_hit_rate(self):
+        report = ServingReport(hits=3, misses=1)
+        assert report.hit_rate == pytest.approx(0.75)
+        assert report.activations == 4
+
+    def test_hit_rate_no_activations(self):
+        assert ServingReport().hit_rate == 0.0
+
+    def test_means(self):
+        report = ServingReport(
+            requests=[
+                make_request_metrics(ttft=1.0, decode=(0.2,)),
+                make_request_metrics(ttft=3.0, decode=(0.4,)),
+            ]
+        )
+        assert report.mean_ttft() == pytest.approx(2.0)
+        assert report.mean_tpot() == pytest.approx(0.3)
+
+    def test_means_empty(self):
+        report = ServingReport()
+        assert report.mean_ttft() == 0.0
+        assert report.mean_tpot() == 0.0
+
+    def test_latency_cdf_monotonic(self):
+        report = ServingReport(
+            requests=[
+                make_request_metrics(arrival=0.0, finish=float(i))
+                for i in range(1, 11)
+            ]
+        )
+        lat, frac = report.latency_cdf()
+        assert np.all(np.diff(lat) >= 0)
+        assert frac[-1] == pytest.approx(1.0)
+
+    def test_latency_cdf_downsampling(self):
+        report = ServingReport(
+            requests=[
+                make_request_metrics(arrival=0.0, finish=float(i))
+                for i in range(1, 500)
+            ]
+        )
+        lat, frac = report.latency_cdf(points=50)
+        assert len(lat) == 50
+
+    def test_latency_cdf_empty(self):
+        lat, frac = ServingReport().latency_cdf()
+        assert lat.size == 0 and frac.size == 0
+
+    def test_percentile(self):
+        report = ServingReport(
+            requests=[
+                make_request_metrics(arrival=0.0, finish=float(i))
+                for i in range(1, 101)
+            ]
+        )
+        assert report.percentile_latency(50) == pytest.approx(50.5)
+
+    def test_mean_iteration_breakdown(self):
+        report = ServingReport(iterations=4)
+        report.breakdown.add_sync("compute", 2.0)
+        per_iter = report.mean_iteration_breakdown()
+        assert per_iter["sync:compute"] == pytest.approx(0.5)
+
+    def test_mean_iteration_breakdown_no_iterations(self):
+        assert ServingReport().mean_iteration_breakdown() == {}

@@ -1,0 +1,119 @@
+"""Tests for expert-placement strategies and the scaling experiments."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.moe.config import tiny_test_model
+from repro.serving.hardware import HardwareConfig
+from repro.serving.pool import PLACEMENT_STRATEGIES, ExpertPool
+from repro.types import ExpertId
+
+
+@pytest.fixture
+def config():
+    return tiny_test_model(num_layers=8, experts_per_layer=6)
+
+
+@pytest.fixture
+def hardware():
+    return HardwareConfig(num_gpus=3, pcie_bandwidth_bps=1e6)
+
+
+def all_experts(config):
+    return [
+        ExpertId(layer, j)
+        for layer in range(config.num_layers)
+        for j in range(config.experts_per_layer)
+    ]
+
+
+class TestPlacement:
+    @pytest.mark.parametrize("placement", PLACEMENT_STRATEGIES)
+    def test_assignment_is_stable(self, config, hardware, placement):
+        pool = ExpertPool(
+            config,
+            hardware,
+            cache_budget_bytes=30 * config.expert_bytes,
+            placement=placement,
+        )
+        for expert in all_experts(config):
+            assert pool.device_of(expert) is pool.device_of(expert)
+
+    def test_round_robin_spreads_layers(self, config, hardware):
+        pool = ExpertPool(
+            config, hardware, cache_budget_bytes=30 * config.expert_bytes
+        )
+        for layer in range(config.num_layers):
+            devices = {
+                pool.device_of(ExpertId(layer, j)).index
+                for j in range(config.experts_per_layer)
+            }
+            # A layer's experts touch every GPU (6 experts over 3 GPUs).
+            assert devices == {0, 1, 2}
+
+    def test_layer_sharded_pins_layers(self, config, hardware):
+        pool = ExpertPool(
+            config,
+            hardware,
+            cache_budget_bytes=30 * config.expert_bytes,
+            placement="layer-sharded",
+        )
+        for layer in range(config.num_layers):
+            devices = {
+                pool.device_of(ExpertId(layer, j)).index
+                for j in range(config.experts_per_layer)
+            }
+            assert len(devices) == 1
+
+    def test_hashed_is_roughly_balanced(self, config, hardware):
+        pool = ExpertPool(
+            config,
+            hardware,
+            cache_budget_bytes=30 * config.expert_bytes,
+            placement="hashed",
+        )
+        counts = Counter(
+            pool.device_of(e).index for e in all_experts(config)
+        )
+        total = config.total_experts
+        for device, count in counts.items():
+            assert abs(count - total / 3) < total / 3
+
+    def test_unknown_placement_rejected(self, config, hardware):
+        with pytest.raises(ConfigError, match="placement"):
+            ExpertPool(
+                config,
+                hardware,
+                cache_budget_bytes=30 * config.expert_bytes,
+                placement="zigzag",
+            )
+
+
+class TestScalingExperiments:
+    def test_gpu_scaling_rows(self):
+        from repro.experiments.common import ExperimentConfig
+        from repro.experiments.scaling import gpu_scaling
+
+        rows = gpu_scaling(
+            gpu_counts=(1, 4),
+            config=ExperimentConfig(num_requests=10, num_test_requests=2),
+        )
+        assert [r.num_gpus for r in rows] == [1, 4]
+        # Four links beat one.
+        assert rows[1].tpot_seconds <= rows[0].tpot_seconds
+
+    def test_placement_comparison_rows(self):
+        from repro.experiments.common import ExperimentConfig
+        from repro.experiments.scaling import placement_comparison
+
+        rows = placement_comparison(
+            placements=("round-robin", "layer-sharded"),
+            config=ExperimentConfig(num_requests=10, num_test_requests=2),
+        )
+        assert {r.placement for r in rows} == {
+            "round-robin",
+            "layer-sharded",
+        }
+        assert all(r.tpot_seconds > 0 for r in rows)

@@ -1,0 +1,25 @@
+"""Tests for request descriptions."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving.request import Request
+
+
+class TestRequest:
+    def test_total_iterations(self):
+        assert Request(0, 0, 10, 5).total_iterations == 5
+        assert Request(0, 0, 10, 1).total_iterations == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Request(0, 0, 0, 5)
+        with pytest.raises(ConfigError):
+            Request(0, 0, 10, 0)
+        with pytest.raises(ConfigError):
+            Request(0, 0, 10, 5, arrival_time=-1.0)
+
+    def test_frozen(self):
+        request = Request(0, 0, 10, 5)
+        with pytest.raises(Exception):
+            request.input_tokens = 20  # type: ignore[misc]

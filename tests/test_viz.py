@@ -1,0 +1,71 @@
+"""Tests for the terminal visualization helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.viz import bar_chart, line_plot, sparkline
+
+
+class TestBarChart:
+    def test_rows_and_scaling(self):
+        chart = bar_chart({"fmoe": 1.0, "deepspeed": 4.0}, width=8)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("█") == 8  # the max fills the width
+        assert lines[0].count("█") == 2
+
+    def test_unit_and_format(self):
+        chart = bar_chart({"a": 0.5}, unit="s", fmt="{:.1f}")
+        assert "0.5s" in chart
+
+    def test_zero_values_safe(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            bar_chart({})
+        with pytest.raises(ConfigError):
+            bar_chart({"a": 1.0}, width=0)
+
+
+class TestSparkline:
+    def test_length_and_extremes(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            sparkline([])
+
+
+class TestLinePlot:
+    def test_renders_all_series(self):
+        plot = line_plot(
+            {
+                "fmoe": [(1, 1.0), (2, 0.5)],
+                "baseline": [(1, 2.0), (2, 1.5)],
+            },
+            width=20,
+            height=6,
+        )
+        assert "o=fmoe" in plot
+        assert "x=baseline" in plot
+        assert "o" in plot and "x" in plot
+
+    def test_single_point(self):
+        plot = line_plot({"a": [(1.0, 1.0)]}, width=10, height=4)
+        assert "o" in plot
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            line_plot({})
+        with pytest.raises(ConfigError):
+            line_plot({"a": []})
+        with pytest.raises(ConfigError):
+            line_plot({"a": [(0, 0)]}, width=2, height=2)

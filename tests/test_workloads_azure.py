@@ -1,0 +1,52 @@
+"""Tests for the Azure-shaped online trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.azure import AzureTraceConfig, make_azure_trace
+
+
+class TestAzureTrace:
+    def test_sorted_arrivals_from_zero(self):
+        trace = make_azure_trace(AzureTraceConfig(num_requests=32), seed=0)
+        arrivals = [r.arrival_time for r in trace]
+        assert arrivals[0] == 0.0
+        assert arrivals == sorted(arrivals)
+
+    def test_request_count(self):
+        trace = make_azure_trace(AzureTraceConfig(num_requests=64), seed=1)
+        assert len(trace) == 64
+
+    def test_mean_interarrival_approximate(self):
+        config = AzureTraceConfig(
+            num_requests=400, mean_interarrival_seconds=2.0
+        )
+        trace = make_azure_trace(config, seed=2)
+        gaps = np.diff([r.arrival_time for r in trace])
+        assert np.mean(gaps) == pytest.approx(2.0, rel=0.3)
+
+    def test_burstiness(self):
+        bursty = make_azure_trace(
+            AzureTraceConfig(num_requests=400, burstiness_cv=3.0), seed=3
+        )
+        smooth = make_azure_trace(
+            AzureTraceConfig(num_requests=400, burstiness_cv=0.3), seed=3
+        )
+        cv = lambda xs: np.std(xs) / np.mean(xs)
+        bursty_gaps = np.diff([r.arrival_time for r in bursty])
+        smooth_gaps = np.diff([r.arrival_time for r in smooth])
+        assert cv(bursty_gaps) > cv(smooth_gaps) * 2
+
+    def test_deterministic(self):
+        a = make_azure_trace(seed=9)
+        b = make_azure_trace(seed=9)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AzureTraceConfig(num_requests=0).validate()
+        with pytest.raises(ConfigError):
+            AzureTraceConfig(mean_interarrival_seconds=0).validate()
+        with pytest.raises(ConfigError):
+            AzureTraceConfig(burstiness_cv=0).validate()

@@ -1,0 +1,102 @@
+"""Tests for the synthetic prompt corpora."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.datasets import (
+    DATASET_PROFILES,
+    DatasetProfile,
+    LMSYS_LIKE,
+    SHAREGPT_LIKE,
+    get_dataset_profile,
+    make_dataset,
+)
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert get_dataset_profile("lmsys-chat-1m") is LMSYS_LIKE
+        assert get_dataset_profile("sharegpt") is SHAREGPT_LIKE
+        assert set(DATASET_PROFILES) == {"lmsys-chat-1m", "sharegpt"}
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigError, match="unknown dataset"):
+            get_dataset_profile("c4")
+
+    def test_cluster_weights_sum_to_one(self):
+        weights = LMSYS_LIKE.cluster_weights()
+        assert weights.sum() == pytest.approx(1.0)
+        assert len(weights) == len(LMSYS_LIKE.effective_clusters())
+
+    def test_cluster_ranges_partially_overlap(self):
+        lm = set(LMSYS_LIKE.effective_clusters().tolist())
+        sg = set(SHAREGPT_LIKE.effective_clusters().tolist())
+        assert lm & sg  # shared topics
+        assert lm - sg and sg - lm  # and distinct ones
+
+    def test_cluster_range_validation(self):
+        with pytest.raises(ConfigError):
+            DatasetProfile(name="bad", cluster_range=(5, 4)).validate()
+        with pytest.raises(ConfigError):
+            DatasetProfile(
+                name="bad", num_clusters=8, cluster_range=(0, 9)
+            ).validate()
+
+    def test_sharegpt_more_skewed(self):
+        lm = LMSYS_LIKE.cluster_weights()
+        sg = SHAREGPT_LIKE.cluster_weights()
+        assert sg[0] > lm[0]
+
+    def test_scaled_outputs(self):
+        doubled = LMSYS_LIKE.scaled(2.0)
+        assert doubled.output_max >= LMSYS_LIKE.output_max
+        assert doubled.output_log_mean > LMSYS_LIKE.output_log_mean
+
+    def test_validate_rejects_bad_bounds(self):
+        with pytest.raises(ConfigError):
+            DatasetProfile(name="bad", input_min=10, input_max=5).validate()
+        with pytest.raises(ConfigError):
+            DatasetProfile(name="bad", num_clusters=0).validate()
+
+
+class TestMakeDataset:
+    def test_size_and_ids(self):
+        requests = make_dataset(LMSYS_LIKE, 20, seed=0, start_id=100)
+        assert len(requests) == 20
+        assert [r.request_id for r in requests] == list(range(100, 120))
+
+    def test_lengths_within_bounds(self):
+        requests = make_dataset(LMSYS_LIKE, 200, seed=0)
+        for r in requests:
+            assert LMSYS_LIKE.input_min <= r.input_tokens <= LMSYS_LIKE.input_max
+            assert (
+                LMSYS_LIKE.output_min <= r.output_tokens <= LMSYS_LIKE.output_max
+            )
+
+    def test_clusters_in_range(self):
+        requests = make_dataset(LMSYS_LIKE, 100, seed=1)
+        assert all(0 <= r.cluster < LMSYS_LIKE.num_clusters for r in requests)
+
+    def test_deterministic(self):
+        a = make_dataset(LMSYS_LIKE, 10, seed=5)
+        b = make_dataset(LMSYS_LIKE, 10, seed=5)
+        assert a == b
+
+    def test_sharegpt_prompts_longer_on_average(self):
+        lm = make_dataset(LMSYS_LIKE, 300, seed=0)
+        sg = make_dataset(SHAREGPT_LIKE, 300, seed=0)
+        assert np.mean([r.input_tokens for r in sg]) > np.mean(
+            [r.input_tokens for r in lm]
+        )
+
+    def test_accepts_profile_name(self):
+        requests = make_dataset("sharegpt", 5, seed=0)
+        assert len(requests) == 5
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigError):
+            make_dataset(LMSYS_LIKE, -1)
+
+    def test_empty_dataset(self):
+        assert make_dataset(LMSYS_LIKE, 0) == []

@@ -1,0 +1,69 @@
+"""Tests for the warm/test split and the offline profiler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.profiler import collect_history
+from repro.workloads.split import warm_test_split
+
+
+class TestWarmTestSplit:
+    def test_standard_ratio(self):
+        warm, test = warm_test_split(list(range(100)), 0.7, seed=0)
+        assert len(warm) == 70
+        assert len(test) == 30
+        assert sorted(warm + test) == list(range(100))
+
+    def test_no_shuffle_preserves_order(self):
+        warm, test = warm_test_split(list(range(10)), 0.5, shuffle=False)
+        assert warm == [0, 1, 2, 3, 4]
+        assert test == [5, 6, 7, 8, 9]
+
+    def test_deterministic_shuffle(self):
+        a = warm_test_split(list(range(50)), 0.7, seed=3)
+        b = warm_test_split(list(range(50)), 0.7, seed=3)
+        assert a == b
+
+    def test_extreme_fractions(self):
+        warm, test = warm_test_split([1, 2, 3], 1.0)
+        assert len(warm) == 3 and test == []
+        warm, test = warm_test_split([1, 2, 3], 0.0)
+        assert warm == [] and len(test) == 3
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigError):
+            warm_test_split([1], 1.5)
+
+
+class TestProfiler:
+    def test_trace_shapes(self, tiny_model, tiny_requests):
+        traces = collect_history(tiny_model, tiny_requests[:3])
+        assert len(traces) == 3
+        for trace, request in zip(traces, tiny_requests):
+            assert len(trace.iteration_maps) == request.total_iterations
+            assert len(trace.iteration_activated) == request.total_iterations
+            assert len(trace.iteration_logits) == request.total_iterations
+            L = tiny_model.config.num_layers
+            J = tiny_model.config.experts_per_layer
+            assert trace.iteration_maps[0].shape == (L, J)
+            assert np.linalg.norm(trace.embedding) == pytest.approx(1.0)
+
+    def test_activation_counts(self, tiny_model, tiny_requests):
+        trace = collect_history(tiny_model, tiny_requests[:1])[0]
+        counts = trace.activation_counts()
+        K = tiny_model.config.top_k
+        iters = len(trace.iteration_activated)
+        # Decode layers activate exactly K; prefill activates >= K.
+        assert counts.sum(axis=1).min() >= K * iters
+        assert np.all(counts >= 0)
+
+    def test_activation_counts_empty_trace_raises(self, tiny_model):
+        from repro.workloads.profiler import RequestTrace
+        from repro.serving.request import Request
+
+        trace = RequestTrace(
+            request=Request(0, 0, 4, 2), embedding=np.zeros(4)
+        )
+        with pytest.raises(ValueError):
+            trace.activation_counts()

@@ -1,0 +1,135 @@
+"""Tests for Azure-schema trace-file I/O."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.azure import AzureTraceConfig, make_azure_trace
+from repro.workloads.tracefile import read_trace_csv, write_trace_csv
+
+
+class TestRoundTrip:
+    def test_lengths_and_arrivals_preserved(self, tmp_path):
+        trace = make_azure_trace(AzureTraceConfig(num_requests=12), seed=0)
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+        loaded = read_trace_csv(path, seed=5)
+        assert len(loaded) == 12
+        for original, parsed in zip(trace, loaded):
+            assert parsed.input_tokens == original.input_tokens
+            assert parsed.output_tokens == original.output_tokens
+            assert parsed.arrival_time == pytest.approx(
+                original.arrival_time, abs=1e-3
+            )
+
+    def test_deterministic_cluster_assignment(self, tmp_path):
+        trace = make_azure_trace(AzureTraceConfig(num_requests=8), seed=0)
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+        a = read_trace_csv(path, seed=7)
+        b = read_trace_csv(path, seed=7)
+        assert [r.cluster for r in a] == [r.cluster for r in b]
+        assert a == b
+
+    def test_max_requests_cap(self, tmp_path):
+        trace = make_azure_trace(AzureTraceConfig(num_requests=10), seed=0)
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+        assert len(read_trace_csv(path, max_requests=4)) == 4
+
+
+class TestParsing:
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "timestamp,input_tokens,output_tokens\n"
+            "0.0,10,5\n"
+            "\n"
+            "1.0,20,5\n"
+        )
+        assert len(read_trace_csv(path)) == 2
+
+    def test_zero_tokens_clamped(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "timestamp,input_tokens,output_tokens\n0.0,0,0\n"
+        )
+        request = read_trace_csv(path)[0]
+        assert request.input_tokens == 1
+        assert request.output_tokens == 1
+
+    def test_unsorted_trace_is_sorted(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "timestamp,input_tokens,output_tokens\n"
+            "5.0,10,5\n"
+            "1.0,10,5\n"
+        )
+        arrivals = [r.arrival_time for r in read_trace_csv(path)]
+        assert arrivals == sorted(arrivals)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("time,in,out\n0.0,1,1\n")
+        with pytest.raises(ConfigError, match="expected header"):
+            read_trace_csv(path)
+
+    def test_bad_column_count(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("timestamp,input_tokens,output_tokens\n0.0,1\n")
+        with pytest.raises(ConfigError, match="3 columns"):
+            read_trace_csv(path)
+
+    def test_non_numeric(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "timestamp,input_tokens,output_tokens\nhello,1,1\n"
+        )
+        with pytest.raises(ConfigError):
+            read_trace_csv(path)
+
+    def test_negative_timestamp(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "timestamp,input_tokens,output_tokens\n-1.0,1,1\n"
+        )
+        with pytest.raises(ConfigError, match="negative timestamp"):
+            read_trace_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("")
+        with pytest.raises(ConfigError, match="empty trace"):
+            read_trace_csv(path)
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("timestamp,input_tokens,output_tokens\n")
+        with pytest.raises(ConfigError, match="no requests"):
+            read_trace_csv(path)
+
+
+class TestEndToEnd:
+    def test_trace_file_drives_online_serving(
+        self, tmp_path, tiny_config, small_hardware, tiny_profile
+    ):
+        from repro.core.policy import FMoEPolicy
+        from repro.moe.model import MoEModel
+        from repro.serving.engine import ServingEngine
+
+        trace = make_azure_trace(
+            AzureTraceConfig(num_requests=5, mean_interarrival_seconds=0.2),
+            tiny_profile,
+            seed=1,
+        )
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+        requests = read_trace_csv(path, profile=tiny_profile, seed=2)
+        policy = FMoEPolicy(prefetch_distance=2)
+        engine = ServingEngine(
+            MoEModel(tiny_config, seed=0),
+            policy,
+            cache_budget_bytes=12 * tiny_config.expert_bytes,
+            hardware=small_hardware,
+        )
+        report = engine.run(requests, respect_arrivals=True)
+        assert len(report.requests) == 5
