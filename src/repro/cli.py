@@ -9,6 +9,7 @@ Commands:
 - ``entropy``  — coarse vs fine entropy analysis (Fig. 3b style).
 - ``pearson``  — similarity/hit-rate Pearson coefficients (Fig. 8 style).
 - ``tune``     — prefetch-distance profiling (the paper's §6.1 setup step).
+- ``faults``   — chaos matrix: systems under scripted fault scenarios.
 - ``grid``     — sweep (model, dataset, system, budget) grids to CSV.
 - ``report``   — collate ``benchmarks/results`` into one markdown report.
 - ``profile``  — profile a workload and save traces / a warm store to disk.
@@ -293,6 +294,36 @@ def cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Chaos matrix: systems under scripted fault scenarios."""
+    from repro.experiments.faults import (
+        CHAOS_SYSTEMS,
+        chaos_rows,
+        default_scenarios,
+    )
+
+    config = _config_from_args(args)
+    scenarios = default_scenarios(args.seed)
+    if args.scenarios:
+        by_name = {s.name: s for s in scenarios}
+        unknown = [name for name in args.scenarios if name not in by_name]
+        if unknown:
+            known = ", ".join(sorted(by_name))
+            print(f"unknown scenario(s) {unknown}; choose from: {known}")
+            return 2
+        scenarios = tuple(by_name[name] for name in args.scenarios)
+    rows = chaos_rows(
+        systems=tuple(args.systems or CHAOS_SYSTEMS),
+        scenarios=scenarios,
+        config=config,
+        trace_requests=args.trace_requests,
+        rate_seconds=args.rate,
+    )
+    for row in rows:
+        print(row.format())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -367,6 +398,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_world_args(p)
     p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser(
+        "faults", help="chaos matrix: systems under fault scenarios"
+    )
+    _add_world_args(p)
+    p.add_argument("--systems", nargs="*", default=None)
+    p.add_argument(
+        "--scenarios",
+        nargs="*",
+        default=None,
+        help="subset of scenario names (default: the full matrix)",
+    )
+    p.add_argument("--trace-requests", type=int, default=24)
+    p.add_argument("--rate", type=float, default=2.0)
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser(
         "profile", help="profile a workload; save traces / a warm store"

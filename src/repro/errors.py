@@ -19,3 +19,15 @@ class UnknownModelError(ConfigError):
 
 class SimulationError(ReproError):
     """The simulation reached an inconsistent state."""
+
+
+class TransferError(SimulationError):
+    """A host-to-device copy kept failing after exhausting its retries."""
+
+
+class DeviceLostError(SimulationError):
+    """An operation targeted a GPU that has failed (or no GPU survives)."""
+
+
+class DeadlineExceededError(SimulationError):
+    """A request missed its SLO deadline under strict enforcement."""

@@ -25,6 +25,7 @@ from repro.errors import ConfigError
 from repro.moe.config import MoEModelConfig, get_model_config
 from repro.moe.model import MoEModel
 from repro.serving.engine import ServingEngine
+from repro.serving.faults import FaultSchedule, SLOConfig
 from repro.serving.hardware import DEFAULT_HARDWARE, HardwareConfig
 from repro.serving.metrics import ServingReport
 from repro.serving.request import Request
@@ -149,6 +150,8 @@ def run_system(
     respect_arrivals: bool = False,
     batch_size: int | None = None,
     cache_budget_bytes: int | None = None,
+    faults: FaultSchedule | None = None,
+    slo: SLOConfig | None = None,
 ) -> ServingReport:
     """Serve the world's test requests under one system."""
     config = world.config
@@ -171,6 +174,8 @@ def run_system(
         policy,
         cache_budget_bytes=budget,
         hardware=config.hardware,
+        faults=faults,
+        slo=slo,
     )
     if warm:
         policy.warm(world.warm_traces)

@@ -1,0 +1,222 @@
+"""Chaos matrix: fMoE vs. baselines under scripted fault scenarios.
+
+The paper evaluates on a healthy testbed; this experiment asks what
+happens to the same systems when the fleet degrades.  Each scenario is a
+seeded :class:`~repro.serving.faults.FaultConfig` replayed as an online
+trace (arrivals respected, queueing included), so fault windows interact
+with real backlog dynamics.  Reported per (system, scenario):
+
+- P95 end-to-end latency and its inflation over the system's own healthy
+  run (the robustness headline);
+- the fault/degradation counters: transfer retries, device failovers,
+  shed requests, degraded tokens, and recovery seconds.
+
+Every run is a pure function of the experiment seed: two invocations with
+the same seed produce identical rows, fault timeline included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    World,
+    build_world,
+    run_system,
+)
+from repro.serving.faults import (
+    DeviceFailure,
+    FaultConfig,
+    FaultSchedule,
+    SLOConfig,
+)
+from repro.serving.metrics import ServingReport
+from repro.serving.request import Request
+from repro.workloads.azure import AzureTraceConfig, make_azure_trace
+from repro.workloads.datasets import get_dataset_profile
+
+#: Systems compared by default: fMoE plus the two baselines whose
+#: transfers ride the PCIe channels (DeepSpeed charges copies as
+#: synchronous compute and would shrug off link faults by construction).
+CHAOS_SYSTEMS: tuple[str, ...] = (
+    "fmoe",
+    "moe-infinity",
+    "mixtral-offloading",
+)
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One named fault timeline to subject every system to."""
+
+    name: str
+    faults: FaultConfig
+
+    @property
+    def is_healthy(self) -> bool:
+        """True for the no-fault reference scenario."""
+        return self.faults.is_zero
+
+
+def default_scenarios(seed: int = 0) -> tuple[FaultScenario, ...]:
+    """The standard chaos matrix: one scenario per fault class.
+
+    ``healthy`` is the reference every inflation is measured against.
+    """
+    return (
+        FaultScenario("healthy", FaultConfig(seed=seed)),
+        FaultScenario(
+            "degraded-pcie",
+            FaultConfig(
+                seed=seed,
+                pcie_degradation_prob=0.7,
+                pcie_degradation_seconds=5.0,
+                pcie_degradation_factor=0.2,
+            ),
+        ),
+        FaultScenario(
+            "flaky-transfers",
+            FaultConfig(seed=seed, transfer_failure_prob=0.15),
+        ),
+        FaultScenario(
+            "straggler-gpu",
+            FaultConfig(
+                seed=seed,
+                straggler_prob=0.6,
+                straggler_seconds=5.0,
+                straggler_factor=2.5,
+            ),
+        ),
+        FaultScenario(
+            "device-loss",
+            FaultConfig(
+                seed=seed,
+                device_failures=(DeviceFailure(time=1.0, device=0),),
+            ),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ChaosRow:
+    """Outcome of one (system, scenario) cell of the chaos matrix."""
+
+    system: str
+    scenario: str
+    p95_seconds: float
+    p95_inflation: float
+    hit_rate: float
+    retries: int
+    failovers: int
+    shed_requests: int
+    degraded_tokens: int
+    recovery_seconds: float
+
+    def format(self) -> str:
+        """One printable chaos-matrix row."""
+        return (
+            f"{self.system:20s} {self.scenario:16s} "
+            f"p95={self.p95_seconds:8.2f}s x{self.p95_inflation:5.2f} "
+            f"hit={self.hit_rate:5.3f} retry={self.retries:4d} "
+            f"failover={self.failovers:4d} shed={self.shed_requests:3d} "
+            f"degraded={self.degraded_tokens:4d} "
+            f"recovery={self.recovery_seconds:6.3f}s"
+        )
+
+
+def _chaos_trace(
+    config: ExperimentConfig, trace_requests: int, rate_seconds: float
+) -> list[Request]:
+    """The shared online arrival trace every cell replays."""
+    return make_azure_trace(
+        AzureTraceConfig(
+            num_requests=trace_requests,
+            mean_interarrival_seconds=rate_seconds,
+        ),
+        get_dataset_profile(config.dataset),
+        seed=config.seed + 10,
+    )
+
+
+def _run_cell(
+    world: World,
+    system: str,
+    trace: list[Request],
+    scenario: FaultScenario,
+    slo: SLOConfig,
+) -> ServingReport:
+    """Serve the trace under one system and one fault timeline."""
+    return run_system(
+        world,
+        system,
+        requests=trace,
+        respect_arrivals=True,
+        faults=FaultSchedule(scenario.faults),
+        slo=slo,
+    )
+
+
+def chaos_rows(
+    systems: tuple[str, ...] = CHAOS_SYSTEMS,
+    scenarios: tuple[FaultScenario, ...] | None = None,
+    config: ExperimentConfig | None = None,
+    trace_requests: int = 24,
+    rate_seconds: float = 2.0,
+    queue_budget_multiplier: float = 2.0,
+) -> list[ChaosRow]:
+    """Run the full (system, scenario) chaos matrix.
+
+    Each system first serves the trace healthy; faulty scenarios then run
+    with a queue-delay budget of ``queue_budget_multiplier`` times that
+    system's healthy P95 latency, so load shedding engages exactly when a
+    fault inflates queueing beyond what the healthy system ever sees.
+    """
+    base = config or ExperimentConfig()
+    world = build_world(base)
+    trace = _chaos_trace(base, trace_requests, rate_seconds)
+    matrix = scenarios if scenarios is not None else default_scenarios(base.seed)
+    rows: list[ChaosRow] = []
+    for system in systems:
+        healthy_report = None
+        healthy_p95 = 0.0
+        for scenario in matrix:
+            if scenario.is_healthy:
+                report = _run_cell(world, system, trace, scenario, SLOConfig())
+                healthy_report = report
+                healthy_p95 = report.percentile_latency(95)
+            else:
+                if healthy_report is None:
+                    # No healthy reference in the matrix: run one anyway
+                    # so inflation stays well-defined.
+                    reference = _run_cell(
+                        world,
+                        system,
+                        trace,
+                        FaultScenario("healthy", FaultConfig(seed=base.seed)),
+                        SLOConfig(),
+                    )
+                    healthy_report = reference
+                    healthy_p95 = reference.percentile_latency(95)
+                slo = SLOConfig(
+                    queue_delay_budget_seconds=max(
+                        queue_budget_multiplier * healthy_p95, 1.0
+                    )
+                )
+                report = _run_cell(world, system, trace, scenario, slo)
+            p95 = report.percentile_latency(95)
+            rows.append(
+                ChaosRow(
+                    system=system,
+                    scenario=scenario.name,
+                    p95_seconds=p95,
+                    p95_inflation=p95 / healthy_p95 if healthy_p95 else 0.0,
+                    hit_rate=report.hit_rate,
+                    retries=report.retries,
+                    failovers=report.failovers,
+                    shed_requests=report.shed_requests,
+                    degraded_tokens=report.degraded_tokens,
+                    recovery_seconds=report.recovery_seconds,
+                )
+            )
+    return rows

@@ -8,6 +8,13 @@ consulting an offloading policy exactly where the paper's runtime hooks do.
 """
 
 from repro.serving.hardware import HardwareConfig
+from repro.serving.faults import (
+    DeviceFailure,
+    FaultConfig,
+    FaultSchedule,
+    RetryPolicy,
+    SLOConfig,
+)
 from repro.serving.memory import TransferChannel, TransferTask
 from repro.serving.pool import ExpertPool
 from repro.serving.request import Request
@@ -19,6 +26,11 @@ from repro.serving.export import report_to_dict, report_to_json, reports_to_csv
 
 __all__ = [
     "HardwareConfig",
+    "DeviceFailure",
+    "FaultConfig",
+    "FaultSchedule",
+    "RetryPolicy",
+    "SLOConfig",
     "TransferChannel",
     "TransferTask",
     "ExpertPool",

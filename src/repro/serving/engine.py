@@ -23,8 +23,14 @@ from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import (
+    ConfigError,
+    DeadlineExceededError,
+    DeviceLostError,
+    TransferError,
+)
 from repro.moe.model import IterationRouting, MoEModel, RequestSession
+from repro.serving.faults import DeviceFailure, FaultSchedule, SLOConfig
 from repro.serving.hardware import DEFAULT_HARDWARE, HardwareConfig
 from repro.serving.events import Event, EventKind, EventRecorder
 from repro.serving.kvcache import KVCacheTracker
@@ -184,13 +190,29 @@ class ServingEngine:
         cache_budget_bytes: int,
         hardware: HardwareConfig = DEFAULT_HARDWARE,
         placement: str = "round-robin",
+        faults: FaultSchedule | None = None,
+        slo: SLOConfig | None = None,
     ) -> None:
         self.model = model
         self.config = model.config
         self.policy = policy
         self.hardware = hardware
+        # An all-zero schedule must not perturb the healthy path, so it is
+        # dropped entirely (no extra arithmetic anywhere).
+        self.faults = (
+            faults if faults is not None and not faults.is_zero else None
+        )
+        self.slo = slo or SLOConfig()
+        self._failure_script: tuple[DeviceFailure, ...] = (
+            self.faults.failure_script() if self.faults is not None else ()
+        )
+        self._failures_applied = 0
         self.pool = ExpertPool(
-            model.config, hardware, cache_budget_bytes, placement=placement
+            model.config,
+            hardware,
+            cache_budget_bytes,
+            placement=placement,
+            faults=self.faults,
         )
         self.pool.set_eviction_oracle(policy)
         self.pool.evict_listener = lambda expert: self._emit(
@@ -248,12 +270,17 @@ class ServingEngine:
         if batch_size < 1:
             raise ConfigError("batch_size must be >= 1")
         report = ServingReport(policy_name=self.policy.name)
+        retries_before = self.pool.total_retries()
         for start in range(0, len(requests), batch_size):
-            batch = requests[start : start + batch_size]
+            batch: Sequence[Request] = requests[start : start + batch_size]
             if respect_arrivals:
                 ready_at = max(r.arrival_time for r in batch)
                 self._now = max(self._now, ready_at)
+                batch = self.shed_overdue(batch, report)
+                if not batch:
+                    continue
             self._serve_batch(batch, report, respect_arrivals)
+        report.retries += self.pool.total_retries() - retries_before
         report.peak_cache_bytes = self.pool.used_bytes()
         report.peak_kv_bytes = self.kv_tracker.peak_bytes
         return report
@@ -274,6 +301,7 @@ class ServingEngine:
         if max_batch_size < 1:
             raise ConfigError("max_batch_size must be >= 1")
         report = ServingReport(policy_name=self.policy.name)
+        retries_before = self.pool.total_retries()
         backlog = sorted(requests, key=lambda r: r.arrival_time)
         index = 0
         active: list[_ActiveRequest] = []
@@ -288,6 +316,8 @@ class ServingEngine:
             ):
                 request = backlog[index]
                 index += 1
+                if not self.shed_overdue([request], report):
+                    continue
                 session = self.model.start_session(
                     request.cluster,
                     request.input_tokens,
@@ -316,6 +346,7 @@ class ServingEngine:
                     entry.metrics.ttft = (
                         self._now - entry.metrics.arrival_time
                     )
+                    self._check_ttft(entry, report)
                     self.kv_tracker.admit(
                         entry.request.request_id, entry.request.input_tokens
                     )
@@ -330,9 +361,105 @@ class ServingEngine:
                     active.remove(entry)
             iteration += 1
             report.iterations += 1
+        report.retries += self.pool.total_retries() - retries_before
         report.peak_cache_bytes = self.pool.used_bytes()
         report.peak_kv_bytes = self.kv_tracker.peak_bytes
         return report
+
+    # ------------------------------------------------------------------ #
+    # Graceful degradation
+    # ------------------------------------------------------------------ #
+
+    def shed_overdue(
+        self, requests: Sequence[Request], report: ServingReport
+    ) -> list[Request]:
+        """Drop requests whose queue delay exceeds the SLO budget.
+
+        Returns the survivors; shed requests are counted (never served),
+        which keeps tail latency bounded when faults pile up a backlog.
+        """
+        budget = self.slo.queue_delay_budget_seconds
+        if budget is None:
+            return list(requests)
+        kept: list[Request] = []
+        for request in requests:
+            delay = self._now - request.arrival_time
+            if delay > budget:
+                report.shed_requests += 1
+                report.shed_request_ids.append(request.request_id)
+                self._emit(EventKind.REQUEST_SHED, detail=delay)
+            else:
+                kept.append(request)
+        return kept
+
+    def _check_ttft(
+        self, entry: "_ActiveRequest", report: ServingReport
+    ) -> None:
+        """Count (and under strict SLO, raise on) a missed TTFT deadline."""
+        deadline = self.slo.ttft_deadline_seconds
+        if deadline is None or entry.metrics.ttft <= deadline:
+            return
+        report.slo_violations += 1
+        self._emit(EventKind.SLO_VIOLATION, detail=entry.metrics.ttft)
+        if self.slo.strict:
+            raise DeadlineExceededError(
+                f"request {entry.request.request_id} TTFT "
+                f"{entry.metrics.ttft:.3f}s exceeded {deadline:.3f}s"
+            )
+
+    def _apply_due_faults(self, report: ServingReport) -> None:
+        """Apply scripted device failures whose time has come.
+
+        Failures land at iteration granularity: the device's residents and
+        in-flight copies are lost, then the pool re-places them across the
+        survivors (budget-conserving).  Recovery time is charged as the
+        span until the last re-placement copy arrives.
+        """
+        while self._failures_applied < len(self._failure_script):
+            failure = self._failure_script[self._failures_applied]
+            if failure.time > self._now:
+                break
+            self._failures_applied += 1
+            lost = self.pool.fail_device(failure.device, self._now)
+            report.device_failures += 1
+            self._emit(EventKind.DEVICE_FAILURE, detail=float(failure.device))
+            before = self.pool.stats.failovers
+            latest = self.pool.failover(lost, self._now)
+            replaced = self.pool.stats.failovers - before
+            report.failovers += replaced
+            if replaced:
+                self._emit(EventKind.FAILOVER, detail=float(replaced))
+            if latest is not None and latest > self._now:
+                report.recovery_seconds += latest - self._now
+
+    def _serve_degraded(
+        self, expert: ExpertId, layer: int, report: ServingReport
+    ) -> None:
+        """Serve a failing on-demand load with a substituted expert.
+
+        The nearest ready resident expert of the same layer stands in (the
+        SMoE-style fallback); when none is resident the activation is
+        served by the always-on shared path.  Either way the token is
+        counted as degraded and no transfer is waited on.
+        """
+        candidates = [
+            e
+            for e in self.pool.resident_experts()
+            if e.layer == layer and self.pool.is_ready(e, self._now)
+        ]
+        substitute = None
+        if candidates:
+            substitute = min(
+                candidates,
+                key=lambda e: (abs(e.expert - expert.expert), e.expert),
+            )
+        report.degraded_tokens += 1
+        self._emit(
+            EventKind.DEGRADED_SERVE,
+            layer=layer,
+            expert=expert,
+            detail=float(substitute.expert) if substitute else -1.0,
+        )
 
     # ------------------------------------------------------------------ #
     # Batch serving
@@ -379,6 +506,7 @@ class ServingEngine:
                 entry.iterations_done += 1
                 if iteration == 0:
                     entry.metrics.ttft = self._now - entry.metrics.arrival_time
+                    self._check_ttft(entry, report)
                     self.kv_tracker.admit(
                         entry.request.request_id, entry.request.input_tokens
                     )
@@ -421,13 +549,19 @@ class ServingEngine:
         breakdown = report.breakdown
 
         self._iteration_counter = iteration
+        if self._failure_script:
+            self._apply_due_faults(report)
         self._emit(EventKind.ITERATION_START, detail=float(len(active)))
         self._apply(self.policy.on_iteration_start(ctx), breakdown)
 
         for layer in range(self.config.num_layers):
-            self._now += self._mixed_layer_base_seconds(
+            base_seconds = self._mixed_layer_base_seconds(
                 prefill_tokens, has_decode
             )
+            if self.faults is not None:
+                # A straggler GPU gates the whole (model-parallel) layer.
+                base_seconds *= self.faults.compute_multiplier(self._now)
+            self._now += base_seconds
             self._emit(EventKind.LAYER_START, layer=layer)
             ctx.reveal_layer(layer)
             # Hit/miss is decided the moment the gate names its experts
@@ -500,6 +634,8 @@ class ServingEngine:
         expert_seconds = self._mixed_expert_seconds(
             prefill_tokens, has_decode, len(experts)
         )
+        if self.faults is not None:
+            expert_seconds *= self.faults.compute_multiplier(self._now)
         breakdown = report.breakdown
         for expert in experts:
             hit = hits_at_gate[expert]
@@ -525,15 +661,24 @@ class ServingEngine:
                     )
                     self._now = arrival
                 else:
-                    done = self.pool.load_on_demand(expert, self._now)
-                    breakdown.add_sync("ondemand_load", done - self._now)
-                    self._emit(
-                        EventKind.ONDEMAND_LOAD,
-                        layer=layer,
-                        expert=expert,
-                        detail=done - self._now,
-                    )
-                    self._now = done
+                    try:
+                        done = self.pool.load_on_demand(expert, self._now)
+                    except (TransferError, DeviceLostError):
+                        if not self.slo.substitute_on_failure:
+                            raise
+                        # Degraded serving: stand in a resident expert
+                        # rather than blocking on a link that keeps
+                        # failing (or no longer exists).
+                        self._serve_degraded(expert, layer, report)
+                    else:
+                        breakdown.add_sync("ondemand_load", done - self._now)
+                        self._emit(
+                            EventKind.ONDEMAND_LOAD,
+                            layer=layer,
+                            expert=expert,
+                            detail=done - self._now,
+                        )
+                        self._now = done
             self.policy.on_expert_served(expert, hit, self._now)
             self._now += expert_seconds
             breakdown.add_sync("compute", expert_seconds)

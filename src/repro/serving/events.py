@@ -30,6 +30,11 @@ class EventKind(enum.Enum):
     PREFETCH_STALL = "prefetch_stall"
     PREFETCH_ISSUED = "prefetch_issued"
     EVICTION = "eviction"
+    DEVICE_FAILURE = "device_failure"
+    FAILOVER = "failover"
+    REQUEST_SHED = "request_shed"
+    DEGRADED_SERVE = "degraded_serve"
+    SLO_VIOLATION = "slo_violation"
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,7 @@ def report_to_dict(report: ServingReport) -> dict:
         "mean_tpot_seconds": report.mean_tpot(),
         "peak_cache_bytes": report.peak_cache_bytes,
         "peak_kv_bytes": report.peak_kv_bytes,
+        "faults": report.fault_counters(),
         "breakdown": report.breakdown.as_dict(),
         "per_request": [
             {

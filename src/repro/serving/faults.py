@@ -1,0 +1,264 @@
+"""Deterministic fault injection and graceful-degradation knobs.
+
+A production MoE serving fleet lives with degraded PCIe links, straggler
+GPUs, flaky host-to-device copies, and outright device loss — conditions
+the paper's healthy six-GPU testbed (§6.1) never exercises.  This module
+supplies the *schedule* side of that story:
+
+- :class:`FaultConfig` — seeded knobs describing how often and how hard
+  each fault class strikes.  An all-zero config is exactly the healthy
+  testbed: every query short-circuits and perturbs nothing.
+- :class:`FaultSchedule` — a pure function of ``(seed, virtual clock)``.
+  Every query derives a fresh :func:`numpy.random.default_rng` stream from
+  ``(seed, fault kind, device, epoch-or-attempt)``, so outcomes depend
+  only on the question asked, never on query order.  Two simulations with
+  the same seed therefore replay byte-for-byte identical fault timelines.
+- :class:`RetryPolicy` — exponential-backoff parameters the transfer
+  layer uses to survive transient copy failures.
+- :class:`SLOConfig` — the degradation contract: per-request deadlines,
+  the queue-delay budget beyond which requests are shed, and whether a
+  failing on-demand load is served by substituting a resident expert.
+
+Degradation windows are drawn per fixed-size *epoch* of virtual time: for
+epoch ``e`` a seeded stream decides whether a window opens, where inside
+the epoch it sits, and how severe it is.  Windows never span an epoch
+boundary, which keeps every query O(1) with no mutable state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Stream discriminators so each fault class draws independent randomness.
+_KIND_PCIE = 1
+_KIND_STRAGGLER = 2
+_KIND_TRANSFER = 3
+
+
+@dataclass(frozen=True)
+class DeviceFailure:
+    """A scripted whole-GPU loss: ``device`` dies at virtual ``time``."""
+
+    time: float
+    device: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigError("failure time must be >= 0")
+        if self.device < 0:
+            raise ConfigError("failure device must be >= 0")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for transient transfer failures.
+
+    A copy is attempted up to ``max_attempts`` times; after the ``k``-th
+    failure (0-based) the link waits ``backoff_seconds * multiplier**k``
+    before retrying.  Exhausting every attempt raises
+    :class:`~repro.errors.TransferError`.
+    """
+
+    max_attempts: int = 4
+    backoff_seconds: float = 1e-3
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.backoff_seconds < 0:
+            raise ConfigError("backoff_seconds must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError("backoff_multiplier must be >= 1")
+
+    def backoff_after(self, attempt: int) -> float:
+        """Seconds to wait after failed attempt ``attempt`` (0-based)."""
+        return self.backoff_seconds * self.backoff_multiplier**attempt
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Service-level objectives and the graceful-degradation contract."""
+
+    ttft_deadline_seconds: float | None = None
+    """Per-request TTFT deadline; violations are counted (and raise
+    :class:`~repro.errors.DeadlineExceededError` under ``strict``)."""
+
+    queue_delay_budget_seconds: float | None = None
+    """Maximum queueing delay before a request is shed instead of served."""
+
+    substitute_on_failure: bool = True
+    """Serve a failing on-demand load with the nearest resident expert of
+    the same layer (counted as a degraded token) instead of crashing."""
+
+    strict: bool = False
+    """Raise on deadline violations instead of merely counting them."""
+
+    def __post_init__(self) -> None:
+        if (
+            self.ttft_deadline_seconds is not None
+            and self.ttft_deadline_seconds <= 0
+        ):
+            raise ConfigError("ttft_deadline_seconds must be > 0")
+        if (
+            self.queue_delay_budget_seconds is not None
+            and self.queue_delay_budget_seconds < 0
+        ):
+            raise ConfigError("queue_delay_budget_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Seeded knobs of one fault timeline; all-zero means healthy."""
+
+    seed: int = 0
+    epoch_seconds: float = 10.0
+    """Virtual-time granularity at which degradation windows are drawn."""
+
+    pcie_degradation_prob: float = 0.0
+    """Per-epoch, per-link probability that a bandwidth-degradation window
+    opens somewhere inside the epoch."""
+
+    pcie_degradation_seconds: float = 2.0
+    pcie_degradation_factor: float = 0.25
+    """Bandwidth multiplier inside a degradation window (0 < f <= 1)."""
+
+    transfer_failure_prob: float = 0.0
+    """Per-attempt probability that a host-to-device copy fails."""
+
+    straggler_prob: float = 0.0
+    """Per-epoch probability of a fleet-wide straggler window (the slowest
+    GPU gates each layer, so one straggler slows the whole iteration)."""
+
+    straggler_seconds: float = 2.0
+    straggler_factor: float = 2.0
+    """Compute-time multiplier inside a straggler window (>= 1)."""
+
+    device_failures: tuple[DeviceFailure, ...] = ()
+    """Scripted whole-GPU losses, applied at iteration granularity."""
+
+    def __post_init__(self) -> None:
+        if self.epoch_seconds <= 0:
+            raise ConfigError("epoch_seconds must be > 0")
+        for name in (
+            "pcie_degradation_prob",
+            "transfer_failure_prob",
+            "straggler_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1]")
+        if not 0.0 < self.pcie_degradation_factor <= 1.0:
+            raise ConfigError("pcie_degradation_factor must be in (0, 1]")
+        if self.straggler_factor < 1.0:
+            raise ConfigError("straggler_factor must be >= 1")
+        for name in ("pcie_degradation_seconds", "straggler_seconds"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigError(f"{name} must be > 0")
+            if value > self.epoch_seconds:
+                raise ConfigError(f"{name} must be <= epoch_seconds")
+
+    @property
+    def is_zero(self) -> bool:
+        """True when this config injects no fault of any kind."""
+        return (
+            self.pcie_degradation_prob == 0.0
+            and self.transfer_failure_prob == 0.0
+            and self.straggler_prob == 0.0
+            and not self.device_failures
+        )
+
+
+class FaultSchedule:
+    """Pure, seeded oracle answering "what is broken at time ``t``?".
+
+    Stateless by construction: every query opens an independent RNG stream
+    keyed by ``(seed, kind, device, epoch-or-attempt)``, so the answer is
+    a function of the arguments alone.  The serving stack may interleave
+    queries in any order without perturbing the timeline.
+    """
+
+    def __init__(self, config: FaultConfig | None = None) -> None:
+        self.config = config or FaultConfig()
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the underlying config injects no faults."""
+        return self.config.is_zero
+
+    def _stream(self, *key: int) -> np.random.Generator:
+        """Independent RNG stream for one ``(kind, ...)`` query."""
+        return np.random.default_rng([self.config.seed, *key])
+
+    def _window_multiplier(
+        self,
+        kind: int,
+        device: int,
+        time: float,
+        prob: float,
+        window_seconds: float,
+        factor: float,
+    ) -> float:
+        """Factor if ``time`` falls inside this kind's epoch window."""
+        if prob <= 0.0 or time < 0.0:
+            return 1.0
+        epoch_seconds = self.config.epoch_seconds
+        epoch = int(time // epoch_seconds)
+        stream = self._stream(kind, device, epoch)
+        if stream.random() >= prob:
+            return 1.0
+        slack = epoch_seconds - window_seconds
+        start = epoch * epoch_seconds + stream.random() * slack
+        if start <= time < start + window_seconds:
+            return factor
+        return 1.0
+
+    def bandwidth_multiplier(self, device: int, time: float) -> float:
+        """PCIe bandwidth multiplier for ``device``'s link at ``time``."""
+        return self._window_multiplier(
+            _KIND_PCIE,
+            device,
+            time,
+            self.config.pcie_degradation_prob,
+            self.config.pcie_degradation_seconds,
+            self.config.pcie_degradation_factor,
+        )
+
+    def compute_multiplier(self, time: float) -> float:
+        """Fleet compute-time multiplier at ``time`` (1.0 when healthy)."""
+        return self._window_multiplier(
+            _KIND_STRAGGLER,
+            0,
+            time,
+            self.config.straggler_prob,
+            self.config.straggler_seconds,
+            self.config.straggler_factor,
+        )
+
+    def transfer_fails(self, device: int, attempt_index: int) -> bool:
+        """Whether ``device``'s ``attempt_index``-th copy attempt fails."""
+        prob = self.config.transfer_failure_prob
+        if prob <= 0.0:
+            return False
+        if prob >= 1.0:
+            return True
+        stream = self._stream(_KIND_TRANSFER, device, attempt_index)
+        return bool(stream.random() < prob)
+
+    def failure_script(self) -> tuple[DeviceFailure, ...]:
+        """Scripted device failures in chronological order."""
+        return tuple(
+            sorted(
+                self.config.device_failures,
+                key=lambda f: (f.time, f.device),
+            )
+        )
+
+
+#: Shared default retry policy (one instance; the dataclass is frozen).
+DEFAULT_RETRY_POLICY = RetryPolicy()

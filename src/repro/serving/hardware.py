@@ -53,6 +53,13 @@ class HardwareConfig:
         ):
             if getattr(self, field_name) <= 0:
                 raise ConfigError(f"{field_name} must be > 0")
+        for field_name in ("gpu_memory_bytes", "cpu_memory_bytes"):
+            if getattr(self, field_name) <= 0:
+                raise ConfigError(f"{field_name} must be > 0")
+        if self.framework_layer_overhead_seconds < 0:
+            raise ConfigError(
+                "framework_layer_overhead_seconds must be >= 0"
+            )
 
     # ------------------------------------------------------------------ #
     # Transfers

@@ -9,13 +9,22 @@ This matches fMoE's "pause all prefetching on a miss, resume after" rule
 
 Callers keep references to the returned :class:`TransferTask` objects and
 read ``task.end`` live, so pauses are visible without extra bookkeeping.
+
+With a :class:`~repro.serving.faults.FaultSchedule` attached, each copy
+consults the schedule: degraded-bandwidth windows stretch the wire time,
+and transient attempt failures cost the wasted wire time plus an
+exponential backoff before the retry.  Exhausting the retry budget raises
+:class:`~repro.errors.TransferError`; operations on a failed device raise
+:class:`~repro.errors.DeviceLostError`.  Without a schedule the arithmetic
+is exactly the healthy single-attempt path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DeviceLostError, TransferError
+from repro.serving.faults import DEFAULT_RETRY_POLICY, FaultSchedule, RetryPolicy
 from repro.types import ExpertId
 
 
@@ -26,31 +35,94 @@ class TransferTask:
     expert: ExpertId
     start: float
     end: float
+    num_bytes: int = 0
+    """Payload size; 0 for tasks created before byte tracking existed."""
 
 
 class TransferChannel:
     """Serializes expert weight copies over one PCIe link."""
 
-    def __init__(self, bandwidth_bps: float) -> None:
+    def __init__(
+        self,
+        bandwidth_bps: float,
+        device_index: int = 0,
+        faults: FaultSchedule | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         if bandwidth_bps <= 0:
             raise ConfigError("bandwidth must be > 0")
         self.bandwidth_bps = bandwidth_bps
+        self.device_index = device_index
+        # An all-zero schedule is dropped so the healthy path stays the
+        # exact single-attempt arithmetic (bit-identical reports).
+        self.faults = faults if faults is not None and not faults.is_zero else None
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self._tasks: list[TransferTask] = []
         self._busy_until = 0.0
         self.bytes_transferred = 0
         self.urgent_loads = 0
+        self.retries = 0
+        self.failed_attempts = 0
+        self.failed = False
+        self._attempt_counter = 0
 
     def transfer_seconds(self, num_bytes: int) -> float:
-        """Wire time of a copy of ``num_bytes`` on this link."""
+        """Nominal wire time of a copy of ``num_bytes`` on this link."""
         return num_bytes / self.bandwidth_bps
+
+    def _wire_end(self, start: float, num_bytes: int) -> float:
+        """Completion time of a copy starting at ``start``, fault-aware.
+
+        Each attempt's duration reflects the bandwidth-degradation window
+        at its own start time; a failed attempt burns its wire time plus
+        the retry backoff.  Raises :class:`TransferError` when every
+        attempt of the retry budget fails.
+        """
+        if self.faults is None:
+            return start + num_bytes / self.bandwidth_bps
+        policy = self.retry_policy
+        now = start
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self.retries += 1
+            multiplier = self.faults.bandwidth_multiplier(
+                self.device_index, now
+            )
+            duration = num_bytes / (self.bandwidth_bps * multiplier)
+            index = self._attempt_counter
+            self._attempt_counter += 1
+            if not self.faults.transfer_fails(self.device_index, index):
+                return now + duration
+            self.failed_attempts += 1
+            now += duration + policy.backoff_after(attempt)
+        raise TransferError(
+            f"copy on GPU {self.device_index} link failed "
+            f"{policy.max_attempts} attempts"
+        )
+
+    def _check_alive(self) -> None:
+        """Raise :class:`DeviceLostError` when this link's GPU is gone."""
+        if self.failed:
+            raise DeviceLostError(
+                f"GPU {self.device_index} has failed; link is down"
+            )
+
+    def fail(self, now: float) -> None:
+        """Tear the link down: unfinished transfers are lost."""
+        self.failed = True
+        self._tasks = [t for t in self._tasks if t.end <= now]
+        self._busy_until = now
 
     def schedule(
         self, issue_time: float, num_bytes: int, expert: ExpertId
     ) -> TransferTask:
         """Queue a prefetch copy; it starts when the link frees up."""
+        self._check_alive()
         start = max(issue_time, self._busy_until)
-        end = start + self.transfer_seconds(num_bytes)
-        task = TransferTask(expert=expert, start=start, end=end)
+        end = self._wire_end(start, num_bytes)
+        task = TransferTask(
+            expert=expert, start=start, end=end, num_bytes=num_bytes
+        )
         self._tasks.append(task)
         self._busy_until = end
         self.bytes_transferred += num_bytes
@@ -65,21 +137,23 @@ class TransferChannel:
         them back by the urgent copy's duration), waits for the in-flight
         transfer if any, then performs the copy.
         """
-        duration = self.transfer_seconds(num_bytes)
+        self._check_alive()
         inflight_end = now
         for task in self._tasks:
             if task.end > now and task.start <= now:
                 inflight_end = max(inflight_end, task.end)
+        start = max(now, inflight_end)
+        end = self._wire_end(start, num_bytes)
+        duration = end - start
         for task in self._tasks:
             if task.start > now:
                 task.start += duration
                 task.end += duration
-        start = max(now, inflight_end)
-        task = TransferTask(expert=expert, start=start, end=start + duration)
-        self._tasks.append(task)
-        self._busy_until = max(
-            (t.end for t in self._tasks), default=start + duration
+        task = TransferTask(
+            expert=expert, start=start, end=end, num_bytes=num_bytes
         )
+        self._tasks.append(task)
+        self._busy_until = max((t.end for t in self._tasks), default=end)
         self.bytes_transferred += num_bytes
         self.urgent_loads += 1
         self._compact(now)
@@ -99,7 +173,9 @@ class TransferChannel:
             self._tasks.remove(task)
         except ValueError:
             return False
-        self.bytes_transferred -= int(
+        # Retries and degradation windows decouple wire time from payload
+        # size, so prefer the recorded payload over back-computing it.
+        self.bytes_transferred -= task.num_bytes or int(
             (task.end - task.start) * self.bandwidth_bps
         )
         self._busy_until = max(

@@ -108,6 +108,21 @@ class ServingReport:
     layer_misses: dict[int, int] = field(
         default_factory=lambda: defaultdict(int)
     )
+    retries: int = 0
+    """Transfer attempts repeated after a transient copy failure."""
+    failovers: int = 0
+    """Lost residents successfully re-placed after a device failure."""
+    device_failures: int = 0
+    shed_requests: int = 0
+    """Requests dropped because their queue delay exceeded the SLO budget."""
+    shed_request_ids: list[int] = field(default_factory=list)
+    degraded_tokens: int = 0
+    """Expert activations served by a substituted resident expert after a
+    failing on-demand load (graceful degradation)."""
+    recovery_seconds: float = 0.0
+    """Virtual seconds from each device failure until its surviving
+    re-placement copies landed, summed over failures."""
+    slo_violations: int = 0
 
     @property
     def activations(self) -> int:
@@ -169,6 +184,44 @@ class ServingReport:
             if hits + misses:
                 out[layer] = hits / (hits + misses)
         return out
+
+    def fault_counters(self) -> dict[str, float]:
+        """The robustness counters as one flat mapping (for reporting)."""
+        return {
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "device_failures": self.device_failures,
+            "shed_requests": self.shed_requests,
+            "degraded_tokens": self.degraded_tokens,
+            "recovery_seconds": self.recovery_seconds,
+            "slo_violations": self.slo_violations,
+        }
+
+    def absorb(self, other: "ServingReport") -> None:
+        """Fold another run's requests and counters into this report.
+
+        Used by dispatch loops that serve one request at a time and merge
+        the partial reports (peak byte gauges are the caller's job; they
+        are engine-level, not additive).
+        """
+        self.requests.extend(other.requests)
+        self.hits += other.hits
+        self.misses += other.misses
+        self.prefetch_stall_misses += other.prefetch_stall_misses
+        self.iterations += other.iterations
+        self.breakdown.merge(other.breakdown)
+        for layer, count in other.layer_hits.items():
+            self.layer_hits[layer] += count
+        for layer, count in other.layer_misses.items():
+            self.layer_misses[layer] += count
+        self.retries += other.retries
+        self.failovers += other.failovers
+        self.device_failures += other.device_failures
+        self.shed_requests += other.shed_requests
+        self.shed_request_ids.extend(other.shed_request_ids)
+        self.degraded_tokens += other.degraded_tokens
+        self.recovery_seconds += other.recovery_seconds
+        self.slo_violations += other.slo_violations
 
     def mean_iteration_breakdown(self) -> dict[str, float]:
         """Per-iteration mean seconds for each breakdown component."""

@@ -20,8 +20,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Protocol
 
-from repro.errors import CapacityError, ConfigError
+from repro.errors import (
+    CapacityError,
+    ConfigError,
+    DeviceLostError,
+    TransferError,
+)
 from repro.moe.config import MoEModelConfig
+from repro.serving.faults import FaultSchedule, RetryPolicy
 from repro.serving.hardware import HardwareConfig
 from repro.serving.memory import TransferChannel, TransferTask
 from repro.types import ExpertId
@@ -51,6 +57,7 @@ class _Device:
     channel: TransferChannel
     used_bytes: int = 0
     resident: set[ExpertId] = field(default_factory=set)
+    failed: bool = False
 
     def free_bytes(self) -> int:
         return self.budget_bytes - self.used_bytes
@@ -63,8 +70,11 @@ class PoolStats:
     prefetch_issued: int = 0
     prefetch_rejected: int = 0
     prefetch_cancelled: int = 0
+    prefetch_failed: int = 0
     ondemand_loads: int = 0
     evictions: int = 0
+    failovers: int = 0
+    devices_lost: int = 0
 
 
 #: Supported expert-to-GPU placement strategies.
@@ -80,6 +90,8 @@ class ExpertPool:
         hardware: HardwareConfig,
         cache_budget_bytes: int,
         placement: str = "round-robin",
+        faults: FaultSchedule | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if cache_budget_bytes <= 0:
             raise ConfigError("cache budget must be > 0")
@@ -101,13 +113,22 @@ class ExpertPool:
             _Device(
                 index=i,
                 budget_bytes=per_device,
-                channel=TransferChannel(hardware.pcie_bandwidth_bps),
+                channel=TransferChannel(
+                    hardware.pcie_bandwidth_bps,
+                    device_index=i,
+                    faults=faults,
+                    retry_policy=retry_policy,
+                ),
             )
             for i in range(hardware.num_gpus)
         ]
         # Tracked experts: value is the transfer task (live arrival time)
         # or None for experts placed without a copy (preload).
         self._tasks: dict[ExpertId, TransferTask | None] = {}
+        # Actual residence (device index) of every tracked expert.  The
+        # placement function alone cannot recover it once a device has
+        # failed and later loads were re-homed onto survivors.
+        self._home: dict[ExpertId, int] = {}
         self._oracle: EvictionOracle = _EvictNothing()
         self.protected: set[ExpertId] = set()
         self.stats = PoolStats()
@@ -122,6 +143,18 @@ class ExpertPool:
         """Install the policy that scores eviction candidates."""
         self._oracle = oracle
 
+    def _primary_index(self, expert: ExpertId) -> int:
+        """Placement-strategy device index over the full (healthy) fleet."""
+        n = len(self.devices)
+        if self.placement == "round-robin":
+            flat = expert.layer * self.model.experts_per_layer + expert.expert
+            return flat % n
+        if self.placement == "layer-sharded":
+            return expert.layer % n
+        # Deterministic scatter (multiplicative hashing).
+        flat = expert.layer * self.model.experts_per_layer + expert.expert
+        return (flat * 2654435761) % 2**32 % n
+
     def device_of(self, expert: ExpertId) -> _Device:
         """Stable expert-to-GPU assignment under the chosen strategy.
 
@@ -129,16 +162,26 @@ class ExpertPool:
         GPUs so one layer's loads spread over all links; ``layer-sharded``
         pins whole layers to a GPU (simple, but a layer's transfers
         serialize on one link); ``hashed`` scatters pseudo-randomly.
+
+        When the primary device has failed, the expert is re-homed
+        deterministically among the survivors (round-robin over the alive
+        list), so placement stays a pure function of the failure history.
         """
-        n = len(self.devices)
-        if self.placement == "round-robin":
-            flat = expert.layer * self.model.experts_per_layer + expert.expert
-            return self.devices[flat % n]
-        if self.placement == "layer-sharded":
-            return self.devices[expert.layer % n]
-        # Deterministic scatter (multiplicative hashing).
+        primary = self.devices[self._primary_index(expert)]
+        if not primary.failed:
+            return primary
+        alive = [d for d in self.devices if not d.failed]
+        if not alive:
+            raise DeviceLostError("every GPU has failed")
         flat = expert.layer * self.model.experts_per_layer + expert.expert
-        return self.devices[(flat * 2654435761) % 2**32 % n]
+        return alive[flat % len(alive)]
+
+    def _home_of(self, expert: ExpertId) -> _Device:
+        """The device a tracked expert actually lives on."""
+        index = self._home.get(expert)
+        if index is None:
+            return self.device_of(expert)
+        return self.devices[index]
 
     def is_tracked(self, expert: ExpertId) -> bool:
         """Resident or in flight."""
@@ -181,13 +224,15 @@ class ExpertPool:
             device.used_bytes += self.model.expert_bytes
             device.resident.add(expert)
             self._tasks[expert] = None
+            self._home[expert] = device.index
 
     def prefetch(self, expert: ExpertId, issue_time: float) -> str:
         """Queue a prefetch copy.
 
         Returns ``"scheduled"`` when a new transfer was queued,
-        ``"present"`` when the expert is already resident or in flight, and
-        ``"rejected"`` when no space could be made.
+        ``"present"`` when the expert is already resident or in flight,
+        ``"rejected"`` when no space could be made, and ``"failed"`` when
+        the copy exhausted its transfer retries (fault injection).
         """
         if expert in self._tasks:
             return "present"
@@ -195,12 +240,19 @@ class ExpertPool:
         if not self._make_space(device, self.model.expert_bytes, issue_time):
             self.stats.prefetch_rejected += 1
             return "rejected"
-        task = device.channel.schedule(
-            issue_time, self.model.expert_bytes, expert
-        )
+        try:
+            task = device.channel.schedule(
+                issue_time, self.model.expert_bytes, expert
+            )
+        except TransferError:
+            # The link burned its retry budget; the reservation was never
+            # taken, so simply report the loss (the policy may try again).
+            self.stats.prefetch_failed += 1
+            return "failed"
         device.used_bytes += self.model.expert_bytes
         device.resident.add(expert)
         self._tasks[expert] = task
+        self._home[expert] = device.index
         self.stats.prefetch_issued += 1
         return "scheduled"
 
@@ -222,6 +274,7 @@ class ExpertPool:
         device.used_bytes += self.model.expert_bytes
         device.resident.add(expert)
         self._tasks[expert] = TransferTask(expert=expert, start=now, end=now)
+        self._home[expert] = device.index
         return True
 
     def load_on_demand(self, expert: ExpertId, now: float) -> float:
@@ -256,6 +309,7 @@ class ExpertPool:
         device.used_bytes += self.model.expert_bytes
         device.resident.add(expert)
         self._tasks[expert] = task
+        self._home[expert] = device.index
         self.stats.ondemand_loads += 1
         return task.end
 
@@ -263,13 +317,70 @@ class ExpertPool:
         """Drop an expert's weights and free its reservation."""
         if expert not in self._tasks:
             return
-        device = self.device_of(expert)
+        device = self._home_of(expert)
         device.resident.discard(expert)
         device.used_bytes -= self.model.expert_bytes
         del self._tasks[expert]
+        self._home.pop(expert, None)
         self.stats.evictions += 1
         if self.evict_listener is not None:
             self.evict_listener(expert)
+
+    # ------------------------------------------------------------------ #
+    # Device failure and recovery
+    # ------------------------------------------------------------------ #
+
+    def alive_devices(self) -> list[_Device]:
+        """Devices that have not failed."""
+        return [d for d in self.devices if not d.failed]
+
+    def fail_device(self, index: int, now: float) -> list[ExpertId]:
+        """Lose one GPU: its residents and in-flight copies are gone.
+
+        Returns the lost experts (sorted, for deterministic re-placement).
+        Raises :class:`DeviceLostError` when the last device fails —
+        there is nothing left to serve from.
+        """
+        if not 0 <= index < len(self.devices):
+            raise ConfigError(f"no GPU {index} to fail")
+        device = self.devices[index]
+        if device.failed:
+            return []
+        device.failed = True
+        device.channel.fail(now)
+        lost = sorted(device.resident)
+        for expert in lost:
+            del self._tasks[expert]
+            self._home.pop(expert, None)
+        device.resident.clear()
+        device.used_bytes = 0
+        self.stats.devices_lost += 1
+        if not self.alive_devices():
+            raise DeviceLostError("every GPU has failed")
+        return lost
+
+    def failover(self, lost: Iterable[ExpertId], now: float) -> float | None:
+        """Re-place a failed device's residents across the survivors.
+
+        Issues one prefetch per lost expert onto its new (deterministic)
+        home, subject to the survivors' byte budgets — re-placement evicts
+        or rejects exactly like any other load, so budgets are conserved.
+        Returns the arrival time of the last re-placement copy, or None
+        when nothing could be (or needed to be) re-scheduled.
+        """
+        latest: float | None = None
+        for expert in lost:
+            if self.prefetch(expert, now) != "scheduled":
+                continue
+            self.stats.failovers += 1
+            arrival = self.arrival_time(expert)
+            if arrival is not None:
+                latest = arrival if latest is None else max(latest, arrival)
+        return latest
+
+    def total_retries(self) -> int:
+        """Transfer retries performed across every link so far."""
+        return sum(d.channel.retries for d in self.devices)
 
     def _make_space(
         self,
@@ -315,6 +426,7 @@ class ExpertPool:
                 device.resident.discard(expert)
                 device.used_bytes -= self.model.expert_bytes
                 del self._tasks[expert]
+                self._home.pop(expert, None)
                 self.stats.prefetch_cancelled += 1
                 if device.free_bytes() >= needed_bytes:
                     return True

@@ -7,6 +7,11 @@ provides that dispatch loop over the engine plus two classic disciplines:
 - :class:`FCFSScheduler` — first come, first served (the paper's replay);
 - :class:`SJFScheduler` — shortest job first, using prompt length as the
   job-size proxy (the output length is unknown at dispatch time).
+
+When the engine carries an :class:`~repro.serving.faults.SLOConfig` with a
+queue-delay budget, requests whose queueing delay already exceeds the
+budget are shed at dispatch time (counted in the merged report) instead of
+inflating the tail.
 """
 
 from __future__ import annotations
@@ -82,12 +87,9 @@ def run_scheduled(
         partial = engine.run(
             [chosen], batch_size=1, respect_arrivals=True
         )
-        report.requests.extend(partial.requests)
-        report.hits += partial.hits
-        report.misses += partial.misses
-        report.prefetch_stall_misses += partial.prefetch_stall_misses
-        report.iterations += partial.iterations
-        report.breakdown.merge(partial.breakdown)
+        # The engine load-sheds overdue requests itself (engine.slo), so
+        # the partial report already carries shed/fault counters.
+        report.absorb(partial)
     report.peak_cache_bytes = engine.pool.used_bytes()
     report.peak_kv_bytes = engine.kv_tracker.peak_bytes
     return report

@@ -16,7 +16,7 @@ class TestParser:
 
     @pytest.mark.parametrize(
         "command",
-        ["models", "compare", "online", "sweep", "entropy", "pearson"],
+        ["models", "compare", "online", "sweep", "entropy", "pearson", "faults"],
     )
     def test_known_commands_parse(self, command):
         args = build_parser().parse_args([command])

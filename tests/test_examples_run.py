@@ -57,3 +57,9 @@ class TestExamples:
         result = run_example("quickstart.py")
         assert result.returncode == 0, result.stderr
         assert "expert hit rate" in result.stdout
+
+    def test_chaos_replay(self):
+        result = run_example("chaos_replay.py", "--requests", "10")
+        assert result.returncode == 0, result.stderr
+        assert "degraded_tokens" in result.stdout
+        assert "replay identical: True" in result.stdout

@@ -1,0 +1,58 @@
+"""The chaos-matrix experiment: scenario coverage and seeded replay."""
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.faults import (
+    FaultScenario,
+    chaos_rows,
+    default_scenarios,
+)
+from repro.serving.faults import DeviceFailure, FaultConfig
+
+TINY = ExperimentConfig(num_requests=8, num_test_requests=1)
+
+
+def tiny_matrix(seed: int = 0) -> tuple[FaultScenario, ...]:
+    return (
+        FaultScenario("healthy", FaultConfig(seed=seed)),
+        FaultScenario(
+            "device-loss",
+            FaultConfig(
+                seed=seed,
+                device_failures=(DeviceFailure(time=1.0, device=0),),
+            ),
+        ),
+    )
+
+
+class TestChaosMatrix:
+    def test_default_scenarios_cover_every_fault_class(self):
+        names = {s.name for s in default_scenarios()}
+        assert names == {
+            "healthy",
+            "degraded-pcie",
+            "flaky-transfers",
+            "straggler-gpu",
+            "device-loss",
+        }
+        healthy = [s for s in default_scenarios() if s.is_healthy]
+        assert [s.name for s in healthy] == ["healthy"]
+
+    def test_rows_and_seeded_replay(self):
+        kwargs = dict(
+            systems=("fmoe",),
+            scenarios=tiny_matrix(),
+            config=TINY,
+            trace_requests=4,
+        )
+        rows = chaos_rows(**kwargs)
+        assert [(r.system, r.scenario) for r in rows] == [
+            ("fmoe", "healthy"),
+            ("fmoe", "device-loss"),
+        ]
+        healthy, loss = rows
+        assert healthy.p95_inflation == 1.0
+        assert healthy.failovers == 0
+        assert loss.failovers > 0
+        assert loss.recovery_seconds > 0
+        # Byte-for-byte replay from the same seed.
+        assert chaos_rows(**kwargs) == rows
