@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Trace one serving run and summarize where its time went.
+
+The observability layer (:mod:`repro.obs`) attaches to a run without
+perturbing the virtual clock and writes one directory of artifacts:
+
+- ``trace.json``    — open in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing`` to scrub through iterations, expert serves,
+  per-GPU PCIe transfers, and per-request lifetimes lane by lane;
+- ``metrics.prom``  — final counters/gauges/histograms in the Prometheus
+  text format (point a file exporter at it, or diff runs with grep);
+- ``metrics.jsonl`` — the sampled time series (cache occupancy, queue
+  depth, sliding-window hit rate, ... against virtual time);
+- ``events.jsonl``  — the raw structured event stream;
+- ``report.json``   — the usual ServingReport summary.
+
+This script records a traced fMoE run, then renders the same summary
+``repro inspect`` prints: slowest iterations, stall attribution, and the
+per-layer / per-device tables.
+
+Run:  python examples/trace_a_run.py [--out-dir /tmp/fmoe-trace]
+"""
+
+import argparse
+import tempfile
+
+from repro.experiments.common import ExperimentConfig
+from repro.obs.inspect import inspect_path
+from repro.obs.runner import run_traced
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--policy", default="fmoe")
+    parser.add_argument("--model", default="mixtral-8x7b")
+    parser.add_argument("--requests", type=int, default=16)
+    parser.add_argument("--test-requests", type=int, default=2)
+    parser.add_argument("--out-dir", default=None)
+    args = parser.parse_args()
+
+    out_dir = args.out_dir or tempfile.mkdtemp(prefix="fmoe-trace-")
+    config = ExperimentConfig(
+        model_name=args.model,
+        num_requests=args.requests,
+        num_test_requests=args.test_requests,
+    )
+    result = run_traced(config, args.policy, out_dir)
+
+    report = result.report
+    print(
+        f"{report.policy_name}: {len(report.requests)} requests, "
+        f"{report.iterations} iterations, hit_rate={report.hit_rate:.3f}"
+    )
+    for kind, path in sorted(result.paths.items()):
+        print(f"  {kind:13s} {path}")
+    print()
+    print(inspect_path(out_dir, top=3))
+    print()
+    print(f"open {result.paths['trace']} in https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,8 @@ Commands:
 - ``grid``     — sweep (model, dataset, system, budget) grids to CSV.
 - ``report``   — collate ``benchmarks/results`` into one markdown report.
 - ``profile``  — profile a workload and save traces / a warm store to disk.
+- ``trace``    — run one policy with full telemetry; write trace + metrics.
+- ``inspect``  — summarize a recorded trace directory (stalls, tables).
 """
 
 from __future__ import annotations
@@ -28,13 +30,56 @@ MODEL_CHOICES = (
     "deepseek-moe",
 )
 DATASET_CHOICES = ("lmsys-chat-1m", "sharegpt")
+POLICY_CHOICES = (
+    "fmoe",
+    "deepspeed-inference",
+    "mixtral-offloading",
+    "promoe",
+    "moe-infinity",
+    "no-offload",
+    "oracle",
+)
 
 
-def _add_world_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--model", default="mixtral-8x7b", choices=MODEL_CHOICES)
-    parser.add_argument(
-        "--dataset", default="lmsys-chat-1m", choices=DATASET_CHOICES
-    )
+def _prefix_choice(choices: tuple[str, ...]):
+    """An argparse ``type`` accepting any unambiguous prefix of ``choices``."""
+
+    def resolve(value: str) -> str:
+        if value in choices:
+            return value
+        matches = [c for c in choices if c.startswith(value)]
+        if len(matches) == 1:
+            return matches[0]
+        kind = "ambiguous" if matches else "unknown"
+        raise argparse.ArgumentTypeError(
+            f"{kind} choice {value!r}; choose from: {', '.join(choices)}"
+        )
+
+    return resolve
+
+
+def _add_world_args(
+    parser: argparse.ArgumentParser, fuzzy: bool = False
+) -> None:
+    if fuzzy:
+        # ``repro trace --model mixtral`` style: unambiguous prefixes OK.
+        parser.add_argument(
+            "--model",
+            default="mixtral-8x7b",
+            type=_prefix_choice(MODEL_CHOICES),
+        )
+        parser.add_argument(
+            "--dataset",
+            default="lmsys-chat-1m",
+            type=_prefix_choice(DATASET_CHOICES),
+        )
+    else:
+        parser.add_argument(
+            "--model", default="mixtral-8x7b", choices=MODEL_CHOICES
+        )
+        parser.add_argument(
+            "--dataset", default="lmsys-chat-1m", choices=DATASET_CHOICES
+        )
     parser.add_argument("--requests", type=int, default=40)
     parser.add_argument("--test-requests", type=int, default=6)
     parser.add_argument(
@@ -324,6 +369,40 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one policy with full telemetry; write trace + metrics files."""
+    from repro.obs.runner import run_traced
+
+    config = _config_from_args(args)
+    result = run_traced(
+        config,
+        args.policy,
+        args.out_dir,
+        online=args.online,
+        trace_requests=args.trace_requests,
+        rate_seconds=args.rate,
+        sample_interval_seconds=args.sample_interval,
+    )
+    report = result.report
+    print(
+        f"{args.policy}: {len(report.requests)} requests, "
+        f"{report.iterations} iterations, hit={report.hit_rate:.3f}, "
+        f"dropped_events={report.events_dropped}"
+    )
+    for name, path in sorted(result.paths.items()):
+        print(f"  {name:13s} {path}")
+    print(f"open {result.paths['trace']} in chrome://tracing or Perfetto")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """Summarize a recorded trace directory (or trace file)."""
+    from repro.obs.inspect import inspect_path
+
+    print(inspect_path(args.path, top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -421,6 +500,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--traces-out", default=None)
     p.add_argument("--store-out", default=None)
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one policy with full telemetry; write trace + metrics",
+    )
+    _add_world_args(p, fuzzy=True)
+    p.add_argument(
+        "--policy",
+        default="fmoe",
+        type=_prefix_choice(POLICY_CHOICES),
+        help="system to trace (unambiguous prefixes accepted)",
+    )
+    p.add_argument(
+        "--out-dir",
+        required=True,
+        help="directory for trace.json / metrics.prom / metrics.jsonl / "
+        "events.jsonl / report.json",
+    )
+    p.add_argument(
+        "--online",
+        action="store_true",
+        help="replay a generated arrival trace (queueing included) "
+        "instead of serving the offline test set",
+    )
+    p.add_argument("--trace-requests", type=int, default=16)
+    p.add_argument("--rate", type=float, default=2.0)
+    p.add_argument(
+        "--sample-interval",
+        type=float,
+        default=0.05,
+        help="virtual seconds between metric time-series samples",
+    )
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "inspect", help="summarize a recorded trace directory"
+    )
+    p.add_argument("path", help="trace directory (or trace.json file)")
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(func=cmd_inspect)
 
     return parser
 

@@ -31,3 +31,7 @@ class DeviceLostError(SimulationError):
 
 class DeadlineExceededError(SimulationError):
     """A request missed its SLO deadline under strict enforcement."""
+
+
+class TelemetryError(ReproError):
+    """The observability layer was misused (unbalanced spans, bad metric)."""

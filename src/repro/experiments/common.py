@@ -152,8 +152,16 @@ def run_system(
     cache_budget_bytes: int | None = None,
     faults: FaultSchedule | None = None,
     slo: SLOConfig | None = None,
+    telemetry=None,
+    recorder=None,
 ) -> ServingReport:
-    """Serve the world's test requests under one system."""
+    """Serve the world's test requests under one system.
+
+    ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`) and
+    ``recorder`` (any :class:`repro.serving.events.EventSink`) attach
+    observability to the run; both observe through the virtual clock and
+    leave the latency results untouched.
+    """
     config = world.config
     policy = make_policy(system, config)
     budget = cache_budget_bytes
@@ -177,6 +185,10 @@ def run_system(
         faults=faults,
         slo=slo,
     )
+    if telemetry is not None:
+        engine.set_telemetry(telemetry)
+    if recorder is not None:
+        engine.set_recorder(recorder)
     if warm:
         policy.warm(world.warm_traces)
     report = engine.run(

@@ -1,0 +1,46 @@
+"""Observability: span tracing, labeled metrics, and streaming event sinks.
+
+The package is dependency-free and driven entirely by the engine's
+virtual clock, so telemetry never perturbs simulated time.  Four parts:
+
+- :mod:`repro.obs.trace` — a nesting :class:`~repro.obs.trace.Tracer`
+  that exports Chrome trace-event JSON (loadable in ``chrome://tracing``
+  or Perfetto).
+- :mod:`repro.obs.metrics` — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` primitives with label sets, virtual-clock time-series
+  sampling, Prometheus text exposition, and JSONL export.
+- :mod:`repro.obs.sinks` — streaming :class:`~repro.obs.sinks.Sink`
+  implementations (bounded ring buffer, JSONL file writer, null) for the
+  engine's structured event stream.
+- :mod:`repro.obs.telemetry` — the :class:`~repro.obs.telemetry.Telemetry`
+  bundle the serving stack threads through, plus the ``repro trace`` /
+  ``repro inspect`` toolchain (:mod:`repro.obs.runner`,
+  :mod:`repro.obs.inspect`).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SlidingWindowRatio,
+    log_buckets,
+)
+from repro.obs.sinks import JsonlSink, NullSink, RingBufferSink, Sink
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NullSink",
+    "RingBufferSink",
+    "Sink",
+    "SlidingWindowRatio",
+    "Telemetry",
+    "Tracer",
+    "log_buckets",
+]

@@ -1,0 +1,422 @@
+"""Labeled metrics primitives with virtual-clock time-series sampling.
+
+Prometheus-style instruments without the dependency: a
+:class:`MetricsRegistry` owns named :class:`Counter` / :class:`Gauge` /
+:class:`Histogram` instruments, each holding one value (or bucket vector)
+per label set.  The registry can snapshot every instrument into a time
+series keyed by the virtual clock (:meth:`MetricsRegistry.sample`), render
+the current state in the Prometheus text exposition format
+(:meth:`MetricsRegistry.to_prometheus`), and stream the sampled series as
+JSONL (:meth:`MetricsRegistry.write_series_jsonl`).
+
+Histogram buckets are fixed at registration time; :func:`log_buckets`
+builds the geometric (log-scale) ladders latency distributions need.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from collections import deque
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import TelemetryError
+
+#: ``(key, value), ...`` — the canonical (sorted) form of one label set.
+LabelKey = tuple[tuple[str, str], ...]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def log_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` geometric bucket upper bounds: start, start*factor, ...
+
+    The implicit ``+Inf`` bucket is always appended by the histogram, so
+    these are the *finite* bounds only.
+    """
+    if start <= 0:
+        raise TelemetryError("bucket start must be > 0")
+    if factor <= 1.0:
+        raise TelemetryError("bucket factor must be > 1")
+    if count < 1:
+        raise TelemetryError("bucket count must be >= 1")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: Default latency ladder: 1 µs doubling up to ~8 s (24 finite buckets).
+DEFAULT_LATENCY_BUCKETS = log_buckets(1e-6, 2.0, 24)
+
+#: Default byte ladder: 1 MiB quadrupling up to ~1 TiB.
+DEFAULT_BYTE_BUCKETS = log_buckets(2.0**20, 4.0, 11)
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise TelemetryError(f"invalid label name {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [*key, *extra]
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
+    return "{" + body + "}"
+
+
+class _Instrument:
+    """Shared naming/label plumbing of all three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        if not _NAME_RE.match(name):
+            raise TelemetryError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help_text = help_text
+
+    def label_keys(self) -> list[LabelKey]:
+        """Every label set this instrument has recorded, sorted."""
+        raise NotImplementedError
+
+    def exposition_lines(self) -> Iterator[str]:
+        """Prometheus sample lines (without the HELP/TYPE header)."""
+        raise NotImplementedError
+
+    def sample_values(self) -> Iterator[tuple[LabelKey, float]]:
+        """(label set, scalar value) pairs recorded by time-series sampling."""
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically non-decreasing count, one per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be >= 0) to this counter's label set."""
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name} cannot decrease (amount={amount})"
+            )
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current count for one label set (0 when never incremented)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def label_keys(self) -> list[LabelKey]:
+        return sorted(self._values)
+
+    def sample_values(self) -> Iterator[tuple[LabelKey, float]]:
+        yield from sorted(self._values.items())
+
+    def exposition_lines(self) -> Iterator[str]:
+        for key, value in sorted(self._values.items()):
+            yield f"{self.name}{_render_labels(key)} {_format_value(value)}"
+
+
+class Gauge(_Instrument):
+    """Point-in-time value that can move both ways, one per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the gauge for one label set."""
+        self._values[_label_key(labels)] = float(value)
+
+    def add(self, amount: float, **labels: str) -> None:
+        """Shift the gauge for one label set by ``amount``."""
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value for one label set (0 when never set)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def label_keys(self) -> list[LabelKey]:
+        return sorted(self._values)
+
+    def sample_values(self) -> Iterator[tuple[LabelKey, float]]:
+        yield from sorted(self._values.items())
+
+    def exposition_lines(self) -> Iterator[str]:
+        for key, value in sorted(self._values.items()):
+            yield f"{self.name}{_render_labels(key)} {_format_value(value)}"
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.counts = [0] * num_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution; bounds are upper-inclusive (Prometheus).
+
+    Observations land in the first bucket whose bound is >= the value;
+    values above every finite bound land in the implicit ``+Inf`` bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        super().__init__(name, help_text)
+        bounds = tuple(buckets) if buckets else DEFAULT_LATENCY_BUCKETS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise TelemetryError("histogram buckets must strictly increase")
+        self.bounds = bounds
+        self._series: dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation under this histogram's label set."""
+        if math.isnan(value):
+            raise TelemetryError(f"histogram {self.name} observed NaN")
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(
+                len(self.bounds) + 1
+            )
+        series.counts[self.bucket_index(value)] += 1
+        series.total += value
+        series.count += 1
+
+    def bucket_index(self, value: float) -> int:
+        """Index (binary search) of the bucket ``value`` falls into."""
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def count(self, **labels: str) -> int:
+        """Total observations for one label set."""
+        series = self._series.get(_label_key(labels))
+        return 0 if series is None else series.count
+
+    def sum(self, **labels: str) -> float:
+        """Sum of observations for one label set."""
+        series = self._series.get(_label_key(labels))
+        return 0.0 if series is None else series.total
+
+    def cumulative_counts(self, **labels: str) -> list[int]:
+        """Cumulative per-bucket counts, ``+Inf`` bucket last."""
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            return [0] * (len(self.bounds) + 1)
+        out, running = [], 0
+        for c in series.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def quantile(self, q: float, **labels: str) -> float:
+        """Bucket-bound estimate of the ``q``-quantile (0 <= q <= 1).
+
+        Returns the upper bound of the bucket holding the target rank (the
+        last finite bound for the ``+Inf`` bucket), 0 with no data.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise TelemetryError("quantile must be in [0, 1]")
+        series = self._series.get(_label_key(labels))
+        if series is None or series.count == 0:
+            return 0.0
+        rank = q * series.count
+        running = 0
+        for i, c in enumerate(series.counts):
+            running += c
+            if running >= rank:
+                return self.bounds[min(i, len(self.bounds) - 1)]
+        return self.bounds[-1]
+
+    def label_keys(self) -> list[LabelKey]:
+        return sorted(self._series)
+
+    def sample_values(self) -> Iterator[tuple[LabelKey, float]]:
+        # Time series track the running count; bucket vectors stay in the
+        # exposition output where their cardinality is paid once.
+        for key, series in sorted(self._series.items()):
+            yield key, float(series.count)
+
+    def exposition_lines(self) -> Iterator[str]:
+        for key, series in sorted(self._series.items()):
+            running = 0
+            for bound, c in zip(self.bounds, series.counts):
+                running += c
+                labels = _render_labels(key, (("le", _format_value(bound)),))
+                yield f"{self.name}_bucket{labels} {running}"
+            running += series.counts[-1]
+            labels = _render_labels(key, (("le", "+Inf"),))
+            yield f"{self.name}_bucket{labels} {running}"
+            yield (
+                f"{self.name}_sum{_render_labels(key)} "
+                f"{_format_value(series.total)}"
+            )
+            yield f"{self.name}_count{_render_labels(key)} {series.count}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class SlidingWindowRatio:
+    """Hit ratio over a sliding window of virtual time.
+
+    ``record(now, hit)`` appends one outcome; ``value(now)`` evicts
+    outcomes older than ``window_seconds`` and returns hits/total (0 when
+    the window is empty).  O(1) amortized, bounded by the event rate.
+    """
+
+    def __init__(self, window_seconds: float = 1.0) -> None:
+        if window_seconds <= 0:
+            raise TelemetryError("window_seconds must be > 0")
+        self.window_seconds = window_seconds
+        self._outcomes: deque[tuple[float, bool]] = deque()
+        self._hits = 0
+
+    def record(self, now: float, hit: bool) -> None:
+        """Append one hit/miss outcome at virtual time ``now``."""
+        self._outcomes.append((now, hit))
+        if hit:
+            self._hits += 1
+        self._expire(now)
+
+    def value(self, now: float) -> float:
+        """Hit fraction over the window ending at ``now``."""
+        self._expire(now)
+        if not self._outcomes:
+            return 0.0
+        return self._hits / len(self._outcomes)
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.window_seconds
+        while self._outcomes and self._outcomes[0][0] < cutoff:
+            _, hit = self._outcomes.popleft()
+            if hit:
+                self._hits -= 1
+
+
+class MetricsRegistry:
+    """Owns named instruments; samples, exposes, and exports them."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, _Instrument] = {}
+        #: (metric name, label set) → [(virtual time, value), ...]
+        self.series: dict[tuple[str, LabelKey], list[tuple[float, float]]] = {}
+
+    def _register(self, instrument: _Instrument) -> _Instrument:
+        existing = self._instruments.get(instrument.name)
+        if existing is not None:
+            if type(existing) is not type(instrument):
+                raise TelemetryError(
+                    f"metric {instrument.name!r} already registered as "
+                    f"{existing.kind}"
+                )
+            return existing
+        self._instruments[instrument.name] = instrument
+        return instrument
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get or create a counter (idempotent for the same kind)."""
+        instrument = self._register(Counter(name, help_text))
+        assert isinstance(instrument, Counter)
+        return instrument
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get or create a gauge (idempotent for the same kind)."""
+        instrument = self._register(Gauge(name, help_text))
+        assert isinstance(instrument, Gauge)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        """Get or create a histogram (idempotent for the same kind)."""
+        instrument = self._register(Histogram(name, help_text, buckets))
+        assert isinstance(instrument, Histogram)
+        return instrument
+
+    def instruments(self) -> list[_Instrument]:
+        """All registered instruments, in registration order."""
+        return list(self._instruments.values())
+
+    def sample(self, now: float) -> None:
+        """Snapshot every instrument's scalar values at virtual ``now``."""
+        for instrument in self._instruments.values():
+            for key, value in instrument.sample_values():
+                self.series.setdefault((instrument.name, key), []).append(
+                    (now, value)
+                )
+
+    def to_prometheus(self) -> str:
+        """Current state in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for instrument in self._instruments.values():
+            if instrument.help_text:
+                lines.append(f"# HELP {instrument.name} {instrument.help_text}")
+            lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+            lines.extend(instrument.exposition_lines())
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def write_prometheus(self, path: str | Path) -> Path:
+        """Write the exposition text to ``path``; returns the path."""
+        path = Path(path)
+        path.write_text(self.to_prometheus())
+        return path
+
+    def series_rows(self) -> Iterator[dict]:
+        """One JSON-ready row per sampled (metric, labels, time, value)."""
+        for (name, key), points in sorted(self.series.items()):
+            for time, value in points:
+                yield {
+                    "metric": name,
+                    "labels": dict(key),
+                    "time": time,
+                    "value": value,
+                }
+
+    def write_series_jsonl(self, path: str | Path) -> Path:
+        """Stream the sampled time series to ``path`` as JSONL."""
+        path = Path(path)
+        with path.open("w") as fh:
+            for row in self.series_rows():
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+        return path

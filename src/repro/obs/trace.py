@@ -1,0 +1,268 @@
+"""Virtual-clock span tracing with Chrome trace-event export.
+
+A :class:`Tracer` records nested spans against the engine's virtual clock
+and serializes them as Chrome trace-event JSON — the format
+``chrome://tracing`` and Perfetto load natively — so one serving run can
+be inspected visually lane by lane.
+
+Spans come in two flavours:
+
+- ``begin(name, ts)`` / ``end(ts)`` pairs maintain a per-lane stack and
+  enforce LIFO nesting plus monotone timestamps (iteration and layer
+  spans use these);
+- ``complete(name, start, end)`` records a span whose bounds are already
+  known (expert serves, transfers, requests) without touching the stack.
+
+Lane (``tid``) conventions used by the serving stack:
+
+- lane 0 — the engine timeline (iteration → layer → serve spans);
+- lanes ``1000 + device`` — per-GPU PCIe transfer lanes;
+- lanes ``10000 + request_id`` — per-request lifetime spans.
+
+Timestamps are virtual seconds; export converts to the microseconds the
+trace-event schema expects.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import TelemetryError
+
+#: Lane conventions (see module docstring).
+ENGINE_LANE = 0
+DEVICE_LANE_BASE = 1_000
+REQUEST_LANE_BASE = 10_000
+
+
+def device_lane(device: int) -> int:
+    """Trace lane of one GPU's PCIe transfer timeline."""
+    return DEVICE_LANE_BASE + device
+
+
+def request_lane(request_id: int) -> int:
+    """Trace lane of one request's lifetime span."""
+    return REQUEST_LANE_BASE + request_id
+
+
+@dataclass
+class Span:
+    """One completed span: ``[start, end]`` virtual seconds on a lane."""
+
+    name: str
+    start: float
+    end: float
+    tid: int = ENGINE_LANE
+    category: str = "sim"
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class _OpenSpan:
+    name: str
+    start: float
+    tid: int
+    category: str
+    args: dict
+
+
+@dataclass
+class _Instant:
+    name: str
+    ts: float
+    tid: int
+    category: str
+    args: dict
+
+
+class Tracer:
+    """Accumulates spans and instants; exports Chrome trace-event JSON."""
+
+    def __init__(self, process_name: str = "repro-sim") -> None:
+        self.process_name = process_name
+        self.spans: list[Span] = []
+        self.instants: list[_Instant] = []
+        self._stacks: dict[int, list[_OpenSpan]] = {}
+        self._lane_names: dict[int, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def set_lane_name(self, tid: int, name: str) -> None:
+        """Human-readable name shown for one lane in the trace viewer."""
+        self._lane_names[tid] = name
+
+    @staticmethod
+    def _check_ts(ts: float) -> None:
+        if ts < 0:
+            raise TelemetryError(f"trace timestamps must be >= 0 (got {ts})")
+
+    def begin(
+        self,
+        name: str,
+        ts: float,
+        tid: int = ENGINE_LANE,
+        category: str = "sim",
+        **args: object,
+    ) -> None:
+        """Open a nested span on lane ``tid`` at virtual time ``ts``."""
+        self._check_ts(ts)
+        stack = self._stacks.setdefault(tid, [])
+        if stack and ts < stack[-1].start:
+            raise TelemetryError(
+                f"span {name!r} begins at {ts} before its parent "
+                f"{stack[-1].name!r} at {stack[-1].start}"
+            )
+        stack.append(_OpenSpan(name, ts, tid, category, dict(args)))
+
+    def end(self, ts: float, tid: int = ENGINE_LANE, **args: object) -> Span:
+        """Close the innermost open span on lane ``tid`` (LIFO order)."""
+        self._check_ts(ts)
+        stack = self._stacks.get(tid)
+        if not stack:
+            raise TelemetryError(f"end() with no open span on lane {tid}")
+        open_span = stack.pop()
+        if ts < open_span.start:
+            raise TelemetryError(
+                f"span {open_span.name!r} ends at {ts} before its start "
+                f"{open_span.start}"
+            )
+        open_span.args.update(args)
+        span = Span(
+            name=open_span.name,
+            start=open_span.start,
+            end=ts,
+            tid=tid,
+            category=open_span.category,
+            args=open_span.args,
+        )
+        self.spans.append(span)
+        return span
+
+    def complete(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        tid: int = ENGINE_LANE,
+        category: str = "sim",
+        **args: object,
+    ) -> Span:
+        """Record a span whose bounds are already known (stack untouched)."""
+        self._check_ts(start)
+        if end < start:
+            raise TelemetryError(
+                f"span {name!r} ends at {end} before its start {start}"
+            )
+        span = Span(name, start, end, tid, category, dict(args))
+        self.spans.append(span)
+        return span
+
+    def instant(
+        self,
+        name: str,
+        ts: float,
+        tid: int = ENGINE_LANE,
+        category: str = "sim",
+        **args: object,
+    ) -> None:
+        """Record a zero-duration marker event."""
+        self._check_ts(ts)
+        self.instants.append(_Instant(name, ts, tid, category, dict(args)))
+
+    def open_depth(self, tid: int = ENGINE_LANE) -> int:
+        """How many spans are currently open on lane ``tid``."""
+        return len(self._stacks.get(tid, []))
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _micros(seconds: float) -> float:
+        return round(seconds * 1e6, 3)
+
+    def to_chrome(self, strict: bool = True) -> dict:
+        """The Chrome trace-event JSON object for this trace.
+
+        With ``strict`` (the default) unbalanced ``begin()`` calls raise,
+        so exported traces always contain matched spans.
+        """
+        if strict:
+            open_spans = [
+                s.name for stack in self._stacks.values() for s in stack
+            ]
+            if open_spans:
+                raise TelemetryError(
+                    f"cannot export with open spans: {open_spans}"
+                )
+        events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": self.process_name},
+            }
+        ]
+        for tid, name in sorted(self._lane_names.items()):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+        records: list[tuple[float, int, dict]] = []
+        for span in self.spans:
+            records.append(
+                (
+                    span.start,
+                    span.tid,
+                    {
+                        "name": span.name,
+                        "cat": span.category,
+                        "ph": "X",
+                        "ts": self._micros(span.start),
+                        "dur": self._micros(span.duration),
+                        "pid": 0,
+                        "tid": span.tid,
+                        "args": span.args,
+                    },
+                )
+            )
+        for inst in self.instants:
+            records.append(
+                (
+                    inst.ts,
+                    inst.tid,
+                    {
+                        "name": inst.name,
+                        "cat": inst.category,
+                        "ph": "i",
+                        "ts": self._micros(inst.ts),
+                        "s": "t",
+                        "pid": 0,
+                        "tid": inst.tid,
+                        "args": inst.args,
+                    },
+                )
+            )
+        records.sort(key=lambda r: (r[0], r[1]))
+        events.extend(record for _, _, record in records)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str | Path, strict: bool = True) -> Path:
+        """Serialize :meth:`to_chrome` to ``path``; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome(strict=strict)) + "\n")
+        return path

@@ -32,7 +32,7 @@ from repro.errors import (
 from repro.moe.model import IterationRouting, MoEModel, RequestSession
 from repro.serving.faults import DeviceFailure, FaultSchedule, SLOConfig
 from repro.serving.hardware import DEFAULT_HARDWARE, HardwareConfig
-from repro.serving.events import Event, EventKind, EventRecorder
+from repro.serving.events import Event, EventKind, EventSink
 from repro.serving.kvcache import KVCacheTracker
 from repro.serving.metrics import LatencyBreakdown, RequestMetrics, ServingReport
 from repro.serving.pool import ExpertPool
@@ -219,7 +219,8 @@ class ServingEngine:
             EventKind.EVICTION, expert=expert
         )
         self.kv_tracker = KVCacheTracker(model.config)
-        self._recorder: EventRecorder | None = None
+        self._recorder: EventSink | None = None
+        self._telemetry = None
         self._iteration_counter = 0
         policy.attach(self)
         self._now = 0.0
@@ -228,9 +229,32 @@ class ServingEngine:
     def now(self) -> float:
         return self._now
 
-    def set_recorder(self, recorder: EventRecorder | None) -> None:
-        """Attach (or detach) a structured event recorder."""
+    @property
+    def telemetry(self):
+        """The attached :class:`~repro.obs.telemetry.Telemetry`, if any."""
+        return self._telemetry
+
+    def set_recorder(self, recorder: EventSink | None) -> None:
+        """Attach (or detach) a structured event sink."""
         self._recorder = recorder
+
+    def set_telemetry(self, telemetry) -> None:
+        """Attach (or detach) a :class:`~repro.obs.telemetry.Telemetry`.
+
+        Wires the pool's transfer listeners and the KV tracker's change
+        hook; telemetry observes the run through the virtual clock and
+        never advances it, so attaching one leaves every latency result
+        bit-identical.
+        """
+        self._telemetry = telemetry
+        if telemetry is not None:
+            self.pool.transfer_listener = telemetry.note_transfer
+            self.pool.cancel_listener = telemetry.drop_transfer
+            self.kv_tracker.on_change = telemetry.set_kv_bytes
+        else:
+            self.pool.transfer_listener = None
+            self.pool.cancel_listener = None
+            self.kv_tracker.on_change = None
 
     def _emit(
         self,
@@ -239,17 +263,20 @@ class ServingEngine:
         expert: ExpertId | None = None,
         detail: float | None = None,
     ) -> None:
+        if self._recorder is None and self._telemetry is None:
+            return
+        event = Event(
+            kind=kind,
+            time=self._now,
+            iteration=self._iteration_counter,
+            layer=layer,
+            expert=expert,
+            detail=detail,
+        )
         if self._recorder is not None:
-            self._recorder.emit(
-                Event(
-                    kind=kind,
-                    time=self._now,
-                    iteration=self._iteration_counter,
-                    layer=layer,
-                    expert=expert,
-                    detail=detail,
-                )
-            )
+            self._recorder.emit(event)
+        if self._telemetry is not None:
+            self._telemetry.emit(event)
 
     # ------------------------------------------------------------------ #
     # Top-level runs
@@ -283,6 +310,7 @@ class ServingEngine:
         report.retries += self.pool.total_retries() - retries_before
         report.peak_cache_bytes = self.pool.used_bytes()
         report.peak_kv_bytes = self.kv_tracker.peak_bytes
+        report.events_dropped = self._events_dropped()
         return report
 
     def run_continuous(
@@ -346,25 +374,64 @@ class ServingEngine:
                     entry.metrics.ttft = (
                         self._now - entry.metrics.arrival_time
                     )
+                    self._observe_ttft(entry.metrics.ttft)
                     self._check_ttft(entry, report)
                     self.kv_tracker.admit(
                         entry.request.request_id, entry.request.input_tokens
                     )
                 else:
                     entry.metrics.decode_latencies.append(elapsed)
+                    self._observe_tpot(elapsed)
                     self.kv_tracker.append_token(entry.request.request_id)
                 if entry.finished:
                     entry.metrics.finish_time = self._now
                     self.kv_tracker.release(entry.request.request_id)
                     self.policy.on_request_end(entry.request)
                     report.requests.append(entry.metrics)
+                    self._trace_request(entry)
                     active.remove(entry)
             iteration += 1
             report.iterations += 1
         report.retries += self.pool.total_retries() - retries_before
         report.peak_cache_bytes = self.pool.used_bytes()
         report.peak_kv_bytes = self.kv_tracker.peak_bytes
+        report.events_dropped = self._events_dropped()
         return report
+
+    def _events_dropped(self) -> int:
+        """Events the attached sink(s) discarded so far (max across them)."""
+        dropped = 0
+        if self._recorder is not None:
+            dropped = max(dropped, getattr(self._recorder, "dropped", 0))
+        if self._telemetry is not None:
+            dropped = max(
+                dropped, getattr(self._telemetry.sink, "dropped", 0)
+            )
+        return dropped
+
+    # ------------------------------------------------------------------ #
+    # Telemetry helpers (no-ops when no telemetry is attached)
+    # ------------------------------------------------------------------ #
+
+    def _observe_ttft(self, seconds: float) -> None:
+        if self._telemetry is not None:
+            self._telemetry.ttft_seconds.observe(seconds)
+
+    def _observe_tpot(self, seconds: float) -> None:
+        if self._telemetry is not None:
+            self._telemetry.tpot_seconds.observe(seconds)
+
+    def _trace_request(self, entry: "_ActiveRequest") -> None:
+        if self._telemetry is None:
+            return
+        metrics = entry.metrics
+        self._telemetry.request_span(
+            metrics.request_id,
+            metrics.start_time,
+            self._now,
+            metrics.ttft,
+            len(metrics.decode_latencies),
+        )
 
     # ------------------------------------------------------------------ #
     # Graceful degradation
@@ -431,6 +498,10 @@ class ServingEngine:
                 self._emit(EventKind.FAILOVER, detail=float(replaced))
             if latest is not None and latest > self._now:
                 report.recovery_seconds += latest - self._now
+                if self._telemetry is not None:
+                    self._telemetry.fault_recovery_span(
+                        failure.device, self._now, latest, replaced
+                    )
 
     def _serve_degraded(
         self, expert: ExpertId, layer: int, report: ServingReport
@@ -506,17 +577,20 @@ class ServingEngine:
                 entry.iterations_done += 1
                 if iteration == 0:
                     entry.metrics.ttft = self._now - entry.metrics.arrival_time
+                    self._observe_ttft(entry.metrics.ttft)
                     self._check_ttft(entry, report)
                     self.kv_tracker.admit(
                         entry.request.request_id, entry.request.input_tokens
                     )
                 else:
                     entry.metrics.decode_latencies.append(elapsed)
+                    self._observe_tpot(elapsed)
                     self.kv_tracker.append_token(entry.request.request_id)
                 if entry.finished:
                     entry.metrics.finish_time = self._now
                     self.kv_tracker.release(entry.request.request_id)
                     self.policy.on_request_end(entry.request)
+                    self._trace_request(entry)
             iteration += 1
             report.iterations += 1
 
@@ -551,10 +625,17 @@ class ServingEngine:
         self._iteration_counter = iteration
         if self._failure_script:
             self._apply_due_faults(report)
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.iteration_begin(
+                iteration, self._now, len(active), stage.value
+            )
         self._emit(EventKind.ITERATION_START, detail=float(len(active)))
         self._apply(self.policy.on_iteration_start(ctx), breakdown)
 
         for layer in range(self.config.num_layers):
+            if telemetry is not None:
+                telemetry.layer_begin(layer, self._now)
             base_seconds = self._mixed_layer_base_seconds(
                 prefill_tokens, has_decode
             )
@@ -580,9 +661,16 @@ class ServingEngine:
                 report,
                 hits_at_gate,
             )
+            if telemetry is not None:
+                telemetry.layer_end(self._now)
 
         self._apply(self.policy.on_iteration_end(ctx), breakdown)
         self._emit(EventKind.ITERATION_END)
+        if telemetry is not None:
+            telemetry.iteration_end(self._now)
+            telemetry.maybe_sample(
+                self._now, pool=self.pool, kv_tracker=self.kv_tracker
+            )
         breakdown.add_sync("compute", 0.0)  # ensure key exists
 
     @staticmethod
@@ -637,8 +725,12 @@ class ServingEngine:
         if self.faults is not None:
             expert_seconds *= self.faults.compute_multiplier(self._now)
         breakdown = report.breakdown
+        telemetry = self._telemetry
         for expert in experts:
             hit = hits_at_gate[expert]
+            serve_start = self._now
+            stall_seconds = 0.0
+            stall_cause = None
             if hit:
                 report.hits += 1
                 report.layer_hits[layer] += 1
@@ -659,6 +751,12 @@ class ServingEngine:
                         expert=expert,
                         detail=arrival - self._now,
                     )
+                    stall_seconds = arrival - self._now
+                    stall_cause = "prefetch_stall"
+                    if telemetry is not None:
+                        telemetry.stall_span(
+                            "prefetch_stall", self._now, arrival, expert, layer
+                        )
                     self._now = arrival
                 else:
                     try:
@@ -678,10 +776,26 @@ class ServingEngine:
                             expert=expert,
                             detail=done - self._now,
                         )
+                        stall_seconds = done - self._now
+                        stall_cause = "ondemand_load"
+                        if telemetry is not None:
+                            telemetry.stall_span(
+                                "ondemand_load", self._now, done, expert, layer
+                            )
                         self._now = done
             self.policy.on_expert_served(expert, hit, self._now)
             self._now += expert_seconds
             breakdown.add_sync("compute", expert_seconds)
+            if telemetry is not None:
+                telemetry.serve_span(
+                    serve_start,
+                    self._now,
+                    expert,
+                    layer,
+                    hit,
+                    stall_seconds,
+                    stall_cause,
+                )
             # A computed expert no longer needs pinning; releasing it keeps
             # tight per-device budgets feasible for the rest of the layer.
             self.pool.protected.discard(expert)

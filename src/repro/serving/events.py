@@ -1,19 +1,24 @@
 """Structured event tracing for the serving engine.
 
-A recorder can be attached to a :class:`~repro.serving.engine.ServingEngine`
+A sink can be attached to a :class:`~repro.serving.engine.ServingEngine`
 to capture the exact sequence of simulation events — iteration boundaries,
 layer serves, hits/misses, on-demand loads, prefetch issues, evictions —
 with virtual timestamps.  Useful for debugging policies, building custom
 analyses, and asserting engine semantics in tests.
 
-Recording is off by default and costs nothing when disabled.
+Recording is off by default and costs nothing when disabled.  The engine
+accepts anything satisfying the :class:`EventSink` protocol;
+:class:`EventRecorder` is the simple in-memory implementation, and
+:mod:`repro.obs.sinks` provides bounded-memory streaming alternatives
+(ring buffer, JSONL file, null) for long runs.
 """
 
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Protocol, runtime_checkable
 
 from repro.types import ExpertId
 
@@ -33,6 +38,7 @@ class EventKind(enum.Enum):
     DEVICE_FAILURE = "device_failure"
     FAILOVER = "failover"
     REQUEST_SHED = "request_shed"
+    REQUEST_DISPATCH = "request_dispatch"
     DEGRADED_SERVE = "degraded_serve"
     SLO_VIOLATION = "slo_violation"
 
@@ -49,6 +55,43 @@ class Event:
     detail: float | None = None
     """Kind-specific payload: stall/load seconds, instruction count, ..."""
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (see :func:`Event.from_dict`)."""
+        out: dict = {
+            "kind": self.kind.value,
+            "time": self.time,
+            "iteration": self.iteration,
+        }
+        if self.layer is not None:
+            out["layer"] = self.layer
+        if self.expert is not None:
+            out["expert"] = [self.expert.layer, self.expert.expert]
+        if self.detail is not None:
+            out["detail"] = self.detail
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Event":
+        """Inverse of :meth:`to_dict`."""
+        expert = payload.get("expert")
+        return cls(
+            kind=EventKind(payload["kind"]),
+            time=payload["time"],
+            iteration=payload["iteration"],
+            layer=payload.get("layer"),
+            expert=ExpertId(*expert) if expert is not None else None,
+            detail=payload.get("detail"),
+        )
+
+
+@runtime_checkable
+class EventSink(Protocol):
+    """Anything the engine can stream events into."""
+
+    def emit(self, event: Event) -> None:
+        """Record one event."""
+        ...
+
 
 @dataclass
 class EventRecorder:
@@ -56,11 +99,27 @@ class EventRecorder:
 
     events: list[Event] = field(default_factory=list)
     max_events: int = 1_000_000
+    dropped: int = 0
+    """Events discarded past ``max_events`` (surfaced in serving reports)."""
 
     def emit(self, event: Event) -> None:
-        """Append an event (dropped silently past ``max_events``)."""
+        """Append an event; past ``max_events`` it is counted as dropped
+        (and a warning is issued once per recorder)."""
         if len(self.events) < self.max_events:
             self.events.append(event)
+            return
+        if self.dropped == 0:
+            warnings.warn(
+                f"EventRecorder full at {self.max_events} events; further "
+                "events are dropped (use repro.obs.sinks for bounded-memory "
+                "streaming)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self.dropped += 1
+
+    def close(self) -> None:
+        """No-op; present so the recorder satisfies the richer Sink API."""
 
     def __len__(self) -> int:
         return len(self.events)

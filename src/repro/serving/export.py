@@ -29,8 +29,10 @@ def report_to_dict(report: ServingReport) -> dict:
         "hit_rate": report.hit_rate,
         "mean_ttft_seconds": report.mean_ttft(),
         "mean_tpot_seconds": report.mean_tpot(),
+        "p95_e2e_seconds": report.percentile_latency(95),
         "peak_cache_bytes": report.peak_cache_bytes,
         "peak_kv_bytes": report.peak_kv_bytes,
+        "events_dropped": report.events_dropped,
         "faults": report.fault_counters(),
         "breakdown": report.breakdown.as_dict(),
         "per_request": [
@@ -89,6 +91,57 @@ def reports_to_csv(
                     "decode_iterations": len(r.decode_latencies),
                 }
             )
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+#: Run-level summary columns: core latency/hit metrics, the fault
+#: counters, and the telemetry summary fields, one row per report.
+SUMMARY_CSV_FIELDS = (
+    "policy",
+    "requests",
+    "iterations",
+    "hits",
+    "misses",
+    "prefetch_stall_misses",
+    "hit_rate",
+    "mean_ttft_seconds",
+    "mean_tpot_seconds",
+    "p95_e2e_seconds",
+    "peak_cache_bytes",
+    "peak_kv_bytes",
+    "events_dropped",
+    "retries",
+    "failovers",
+    "device_failures",
+    "shed_requests",
+    "degraded_tokens",
+    "recovery_seconds",
+    "slo_violations",
+)
+
+
+def summary_row(payload: dict) -> dict:
+    """Flatten one :func:`report_to_dict` payload into a summary CSV row.
+
+    The ``faults`` sub-mapping is hoisted to top level; per-request and
+    breakdown detail is dropped (it has its own exporters).
+    """
+    flat = {**payload, **payload.get("faults", {})}
+    return {field: flat.get(field, 0) for field in SUMMARY_CSV_FIELDS}
+
+
+def reports_summary_csv(
+    reports: Sequence[ServingReport], path: str | Path | None = None
+) -> str:
+    """One CSV row per report: latency, hit, fault, telemetry summaries."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=SUMMARY_CSV_FIELDS)
+    writer.writeheader()
+    for report in reports:
+        writer.writerow(summary_row(report_to_dict(report)))
     text = buffer.getvalue()
     if path is not None:
         Path(path).write_text(text)

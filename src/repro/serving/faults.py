@@ -250,6 +250,22 @@ class FaultSchedule:
         stream = self._stream(_KIND_TRANSFER, device, attempt_index)
         return bool(stream.random() < prob)
 
+    def snapshot(self, num_devices: int, time: float) -> dict:
+        """Fault state at virtual ``time``, for telemetry sampling.
+
+        Returns ``{"compute_multiplier": float, "bandwidth_multipliers":
+        {device: float, ...}}`` — the same pure queries the transfer and
+        compute paths make, exposed so metrics can chart *when* a run was
+        degraded without re-deriving the epoch math.
+        """
+        return {
+            "compute_multiplier": self.compute_multiplier(time),
+            "bandwidth_multipliers": {
+                device: self.bandwidth_multiplier(device, time)
+                for device in range(num_devices)
+            },
+        }
+
     def failure_script(self) -> tuple[DeviceFailure, ...]:
         """Scripted device failures in chronological order."""
         return tuple(

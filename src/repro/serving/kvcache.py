@@ -40,6 +40,9 @@ class KVCacheTracker:
         self.config = config
         self._entries: dict[int, _Entry] = {}
         self.peak_bytes = 0
+        self.on_change = None
+        """Optional callable(current_bytes) invoked after every mutation;
+        the telemetry layer uses it to keep its KV gauge live."""
 
     def admit(self, request_id: int, prompt_tokens: int) -> None:
         """Register a request at prefill with its prompt context."""
@@ -64,6 +67,8 @@ class KVCacheTracker:
         """Free a finished request's KV cache."""
         if self._entries.pop(request_id, None) is None:
             raise SimulationError(f"request {request_id} not admitted")
+        if self.on_change is not None:
+            self.on_change(self.current_bytes())
 
     def tokens_of(self, request_id: int) -> int:
         """Current context length of an in-flight request."""
@@ -80,7 +85,10 @@ class KVCacheTracker:
         return per_token * sum(e.tokens for e in self._entries.values())
 
     def _update_peak(self) -> None:
-        self.peak_bytes = max(self.peak_bytes, self.current_bytes())
+        current = self.current_bytes()
+        self.peak_bytes = max(self.peak_bytes, current)
+        if self.on_change is not None:
+            self.on_change(current)
 
 
 def expert_budget_after_kv(

@@ -123,6 +123,10 @@ class ServingReport:
     """Virtual seconds from each device failure until its surviving
     re-placement copies landed, summed over failures."""
     slo_violations: int = 0
+    events_dropped: int = 0
+    """Events the attached recorder/sink discarded (0 when none attached
+    or nothing was lost); a non-zero value means the event stream is
+    incomplete and derived analyses may undercount."""
 
     @property
     def activations(self) -> int:
@@ -201,8 +205,10 @@ class ServingReport:
         """Fold another run's requests and counters into this report.
 
         Used by dispatch loops that serve one request at a time and merge
-        the partial reports (peak byte gauges are the caller's job; they
-        are engine-level, not additive).
+        the partial reports.  Counters add; peak byte gauges take the max
+        (they are engine-level high-water marks, not additive), as does
+        ``events_dropped`` (partials from one engine share one sink, so
+        each already carries the cumulative count).
         """
         self.requests.extend(other.requests)
         self.hits += other.hits
@@ -210,6 +216,11 @@ class ServingReport:
         self.prefetch_stall_misses += other.prefetch_stall_misses
         self.iterations += other.iterations
         self.breakdown.merge(other.breakdown)
+        self.peak_cache_bytes = max(
+            self.peak_cache_bytes, other.peak_cache_bytes
+        )
+        self.peak_kv_bytes = max(self.peak_kv_bytes, other.peak_kv_bytes)
+        self.events_dropped = max(self.events_dropped, other.events_dropped)
         for layer, count in other.layer_hits.items():
             self.layer_hits[layer] += count
         for layer, count in other.layer_misses.items():

@@ -132,8 +132,18 @@ class ExpertPool:
         self._oracle: EvictionOracle = _EvictNothing()
         self.protected: set[ExpertId] = set()
         self.stats = PoolStats()
+        self.faults = faults
         self.evict_listener = None
         """Optional callable(expert) invoked on every eviction."""
+        self.transfer_listener = None
+        """Optional callable(kind, device_index, expert, task) invoked when
+        a copy is scheduled (kind is ``"prefetch"`` or ``"ondemand"``).
+        The task is live: its bounds shift if later urgent loads pause it,
+        so consumers should read them after the run (see
+        :meth:`repro.obs.telemetry.Telemetry.note_transfer`)."""
+        self.cancel_listener = None
+        """Optional callable(task) invoked when a scheduled copy is
+        cancelled or lost before completing."""
 
     # ------------------------------------------------------------------ #
     # Placement / residency queries
@@ -254,6 +264,8 @@ class ExpertPool:
         self._tasks[expert] = task
         self._home[expert] = device.index
         self.stats.prefetch_issued += 1
+        if self.transfer_listener is not None:
+            self.transfer_listener("prefetch", device.index, expert, task)
         return "scheduled"
 
     def insert_blocking(self, expert: ExpertId, now: float) -> bool:
@@ -311,6 +323,8 @@ class ExpertPool:
         self._tasks[expert] = task
         self._home[expert] = device.index
         self.stats.ondemand_loads += 1
+        if self.transfer_listener is not None:
+            self.transfer_listener("ondemand", device.index, expert, task)
         return task.end
 
     def evict(self, expert: ExpertId) -> None:
@@ -347,6 +361,11 @@ class ExpertPool:
         if device.failed:
             return []
         device.failed = True
+        if self.cancel_listener is not None:
+            # Unfinished copies die with the link; they never complete, so
+            # consumers must not materialize them as transfer spans.
+            for task in device.channel.pending_tasks(now):
+                self.cancel_listener(task)
         device.channel.fail(now)
         lost = sorted(device.resident)
         for expert in lost:
@@ -428,6 +447,8 @@ class ExpertPool:
                 del self._tasks[expert]
                 self._home.pop(expert, None)
                 self.stats.prefetch_cancelled += 1
+                if self.cancel_listener is not None:
+                    self.cancel_listener(task)
                 if device.free_bytes() >= needed_bytes:
                     return True
         return device.free_bytes() >= needed_bytes

@@ -20,6 +20,7 @@ from typing import Protocol, Sequence
 
 from repro.errors import ConfigError
 from repro.serving.engine import ServingEngine
+from repro.serving.events import EventKind
 from repro.serving.metrics import ServingReport
 from repro.serving.request import Request
 
@@ -84,12 +85,29 @@ def run_scheduled(
             continue
         chosen = scheduler.select(pending, engine.now)
         pending.remove(chosen)
+        telemetry = engine.telemetry
+        if telemetry is not None:
+            telemetry.set_queue_depth(engine.now, len(pending))
+            telemetry.tracer.instant(
+                "dispatch",
+                engine.now,
+                category="scheduler",
+                request_id=chosen.request_id,
+                discipline=scheduler.name,
+                queue_depth=len(pending),
+            )
+        engine._emit(EventKind.REQUEST_DISPATCH, detail=float(len(pending)))
         partial = engine.run(
             [chosen], batch_size=1, respect_arrivals=True
         )
         # The engine load-sheds overdue requests itself (engine.slo), so
-        # the partial report already carries shed/fault counters.
+        # the partial report already carries shed/fault counters — absorb
+        # folds the counters and keeps the peak-gauge high-water marks.
         report.absorb(partial)
-    report.peak_cache_bytes = engine.pool.used_bytes()
-    report.peak_kv_bytes = engine.kv_tracker.peak_bytes
+    report.peak_cache_bytes = max(
+        report.peak_cache_bytes, engine.pool.used_bytes()
+    )
+    report.peak_kv_bytes = max(
+        report.peak_kv_bytes, engine.kv_tracker.peak_bytes
+    )
     return report

@@ -63,3 +63,15 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "degraded_tokens" in result.stdout
         assert "replay identical: True" in result.stdout
+
+    def test_trace_a_run(self, tmp_path):
+        result = run_example(
+            "trace_a_run.py",
+            "--requests", "8",
+            "--test-requests", "1",
+            "--out-dir", str(tmp_path),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "stall attribution" in result.stdout
+        assert (tmp_path / "trace.json").exists()
+        assert (tmp_path / "metrics.prom").exists()

@@ -1,0 +1,186 @@
+"""Tests for the dependency-free metrics instruments and registry."""
+
+import math
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SlidingWindowRatio,
+    log_buckets,
+)
+
+
+class TestBuckets:
+    def test_log_buckets_geometric(self):
+        bounds = log_buckets(1.0, 2.0, 5)
+        assert bounds == (1.0, 2.0, 4.0, 8.0, 16.0)
+
+    def test_log_buckets_validation(self):
+        with pytest.raises(TelemetryError):
+            log_buckets(0.0, 2.0, 4)
+        with pytest.raises(TelemetryError):
+            log_buckets(1.0, 1.0, 4)
+        with pytest.raises(TelemetryError):
+            log_buckets(1.0, 2.0, 0)
+
+
+class TestCounter:
+    def test_inc_and_labels(self):
+        c = Counter("repro_hits_total")
+        c.inc()
+        c.inc(2.0, layer="3")
+        c.inc(layer="3")
+        assert c.value() == 1.0
+        assert c.value(layer="3") == 3.0
+
+    def test_decrease_rejected(self):
+        with pytest.raises(TelemetryError, match="cannot decrease"):
+            Counter("c_total").inc(-1.0)
+
+    def test_label_order_irrelevant(self):
+        c = Counter("c_total")
+        c.inc(a="1", b="2")
+        assert c.value(b="2", a="1") == 1.0
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(TelemetryError, match="invalid metric name"):
+            Counter("bad name")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("repro_bytes")
+        g.set(10.0, device="0")
+        g.add(-4.0, device="0")
+        assert g.value(device="0") == 6.0
+        assert g.value(device="1") == 0.0
+
+
+class TestHistogram:
+    def test_bucket_index_upper_inclusive(self):
+        h = Histogram("h_seconds", buckets=(1.0, 2.0, 4.0))
+        assert h.bucket_index(0.5) == 0
+        assert h.bucket_index(1.0) == 0  # bound belongs to its bucket
+        assert h.bucket_index(1.5) == 1
+        assert h.bucket_index(4.0) == 2
+        assert h.bucket_index(5.0) == 3  # +Inf bucket
+
+    def test_cumulative_counts(self):
+        h = Histogram("h_seconds", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.cumulative_counts() == [1, 2, 3, 4]
+        assert h.count() == 4
+        assert h.sum() == 105.0
+
+    def test_quantile_returns_bucket_bound(self):
+        h = Histogram("h_seconds", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.6, 1.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 4.0
+        assert h.quantile(0.0, nothing="here") == 0.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(TelemetryError, match="NaN"):
+            Histogram("h_seconds").observe(math.nan)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(TelemetryError, match="strictly increase"):
+            Histogram("h_seconds", buckets=(2.0, 1.0))
+        with pytest.raises(TelemetryError, match="strictly increase"):
+            Histogram("h_seconds", buckets=(1.0, 1.0))
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_hits_total", "expert hits").inc(
+            3, layer="0"
+        )
+        registry.gauge("repro_kv_bytes").set(1024.5)
+        text = registry.to_prometheus()
+        assert "# HELP repro_hits_total expert hits" in text
+        assert "# TYPE repro_hits_total counter" in text
+        assert 'repro_hits_total{layer="0"} 3' in text
+        assert "# TYPE repro_kv_bytes gauge" in text
+        assert "repro_kv_bytes 1024.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("repro_lat_seconds", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 9.0):
+            h.observe(v)
+        lines = registry.to_prometheus().splitlines()
+        assert 'repro_lat_seconds_bucket{le="1"} 1' in lines
+        assert 'repro_lat_seconds_bucket{le="2"} 2' in lines
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 3' in lines
+        assert "repro_lat_seconds_sum 11" in lines
+        assert "repro_lat_seconds_count 3" in lines
+
+    def test_label_values_escaped(self):
+        c = Counter("c_total")
+        c.inc(cause='quo"te\nnl')
+        (line,) = c.exposition_lines()
+        assert line == 'c_total{cause="quo\\"te\\nnl"} 1'
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total")
+        b = registry.counter("c_total")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.gauge("m")
+
+    def test_sampling_builds_time_series(self):
+        registry = MetricsRegistry()
+        c = registry.counter("c_total")
+        c.inc()
+        registry.sample(0.0)
+        c.inc()
+        registry.sample(1.0)
+        assert registry.series[("c_total", ())] == [(0.0, 1.0), (1.0, 2.0)]
+
+    def test_series_jsonl_round_trip(self, tmp_path):
+        import json
+
+        registry = MetricsRegistry()
+        registry.gauge("g").set(5.0, device="1")
+        registry.sample(0.25)
+        path = registry.write_series_jsonl(tmp_path / "series.jsonl")
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows == [
+            {
+                "metric": "g",
+                "labels": {"device": "1"},
+                "time": 0.25,
+                "value": 5.0,
+            }
+        ]
+
+
+class TestSlidingWindowRatio:
+    def test_expires_old_outcomes(self):
+        ratio = SlidingWindowRatio(window_seconds=1.0)
+        ratio.record(0.0, True)
+        ratio.record(0.5, False)
+        assert ratio.value(0.5) == 0.5
+        # At t=1.2 the t=0 hit has aged out: 0 hits of 1 outcome remain.
+        assert ratio.value(1.2) == 0.0
+        assert ratio.value(5.0) == 0.0  # empty window
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(TelemetryError):
+            SlidingWindowRatio(window_seconds=0.0)

@@ -1,0 +1,180 @@
+"""Tests for the virtual-clock span tracer and its Chrome export."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs.trace import (
+    ENGINE_LANE,
+    Span,
+    Tracer,
+    device_lane,
+    request_lane,
+)
+
+
+class TestNesting:
+    def test_begin_end_pairs_lifo(self):
+        tracer = Tracer()
+        tracer.begin("outer", 0.0)
+        tracer.begin("inner", 1.0)
+        inner = tracer.end(2.0)
+        outer = tracer.end(3.0)
+        assert inner.name == "inner" and inner.duration == 1.0
+        assert outer.name == "outer" and outer.duration == 3.0
+        assert tracer.open_depth() == 0
+
+    def test_child_contained_in_parent(self):
+        tracer = Tracer()
+        tracer.begin("iteration", 0.0)
+        tracer.begin("layer", 0.5)
+        tracer.end(1.0)
+        tracer.end(2.0)
+        child, parent = tracer.spans
+        assert parent.start <= child.start and child.end <= parent.end
+
+    def test_lanes_nest_independently(self):
+        tracer = Tracer()
+        tracer.begin("engine", 5.0, tid=ENGINE_LANE)
+        tracer.begin("xfer", 1.0, tid=device_lane(2))
+        # Each lane keeps its own stack; out-of-order across lanes is fine.
+        tracer.end(2.0, tid=device_lane(2))
+        tracer.end(6.0, tid=ENGINE_LANE)
+        assert {s.tid for s in tracer.spans} == {ENGINE_LANE, device_lane(2)}
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(TelemetryError, match="no open span"):
+            Tracer().end(1.0)
+
+    def test_child_before_parent_raises(self):
+        tracer = Tracer()
+        tracer.begin("outer", 2.0)
+        with pytest.raises(TelemetryError, match="before its parent"):
+            tracer.begin("inner", 1.0)
+
+    def test_end_before_start_raises(self):
+        tracer = Tracer()
+        tracer.begin("span", 2.0)
+        with pytest.raises(TelemetryError, match="before its start"):
+            tracer.end(1.0)
+
+    def test_negative_timestamp_raises(self):
+        with pytest.raises(TelemetryError, match=">= 0"):
+            Tracer().begin("span", -0.5)
+        with pytest.raises(TelemetryError, match=">= 0"):
+            Tracer().complete("span", -1.0, 0.0)
+
+    def test_complete_does_not_touch_stack(self):
+        tracer = Tracer()
+        tracer.begin("outer", 0.0)
+        tracer.complete("serve", 0.2, 0.4, layer=3)
+        assert tracer.open_depth() == 1
+        tracer.end(1.0)
+        assert len(tracer.spans) == 2
+
+    def test_end_args_merge_with_begin_args(self):
+        tracer = Tracer()
+        tracer.begin("iteration", 0.0, index=7)
+        span = tracer.end(1.0, batch=2)
+        assert span.args == {"index": 7, "batch": 2}
+
+
+class TestLanes:
+    def test_lane_helpers_disjoint(self):
+        assert ENGINE_LANE == 0
+        assert device_lane(0) != ENGINE_LANE
+        assert request_lane(0) != device_lane(0)
+        # Up to 9000 devices before lanes could collide with requests.
+        assert device_lane(5) < request_lane(0)
+
+
+class TestChromeExport:
+    def make_trace(self):
+        tracer = Tracer(process_name="test-proc")
+        tracer.set_lane_name(ENGINE_LANE, "engine")
+        tracer.begin("iteration", 0.0, category="iteration", index=0)
+        tracer.complete(
+            "serve", 0.25, 0.5, category="expert", layer=1, hit=True
+        )
+        tracer.end(1.0)
+        tracer.instant("dispatch", 0.125, category="scheduler")
+        return tracer
+
+    def test_strict_export_rejects_open_spans(self):
+        tracer = Tracer()
+        tracer.begin("dangling", 0.0)
+        with pytest.raises(TelemetryError, match="open spans"):
+            tracer.to_chrome()
+        # Non-strict export drops the unbalanced span instead of raising.
+        assert tracer.to_chrome(strict=False)["traceEvents"]
+
+    def test_schema_well_formed(self):
+        payload = self.make_trace().to_chrome()
+        assert set(payload) == {"traceEvents", "displayTimeUnit"}
+        for event in payload["traceEvents"]:
+            assert event["ph"] in ("M", "X", "i")
+            if event["ph"] == "X":
+                assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_events_sorted_by_timestamp(self):
+        payload = self.make_trace().to_chrome()
+        stamps = [
+            e["ts"] for e in payload["traceEvents"] if e["ph"] in ("X", "i")
+        ]
+        assert stamps == sorted(stamps)
+
+    def test_timestamps_in_microseconds(self):
+        tracer = Tracer()
+        tracer.complete("span", 0.5, 1.5)
+        (event,) = [
+            e for e in tracer.to_chrome()["traceEvents"] if e["ph"] == "X"
+        ]
+        assert event["ts"] == 500_000.0
+        assert event["dur"] == 1_000_000.0
+
+    def test_golden_chrome_snippet(self):
+        """The exact export of one tiny trace, frozen as a golden value."""
+        tracer = Tracer(process_name="golden")
+        tracer.set_lane_name(0, "engine")
+        tracer.begin("iteration", 0.0, category="iteration", index=0)
+        tracer.end(0.001)
+        assert tracer.to_chrome() == {
+            "traceEvents": [
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"name": "golden"},
+                },
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"name": "engine"},
+                },
+                {
+                    "name": "iteration",
+                    "cat": "iteration",
+                    "ph": "X",
+                    "ts": 0.0,
+                    "dur": 1000.0,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"index": 0},
+                },
+            ],
+            "displayTimeUnit": "ms",
+        }
+
+    def test_write_chrome_round_trips(self, tmp_path):
+        tracer = self.make_trace()
+        path = tracer.write_chrome(tmp_path / "trace.json")
+        assert json.loads(path.read_text()) == tracer.to_chrome()
+
+
+class TestSpan:
+    def test_duration(self):
+        assert Span("s", 1.0, 3.5).duration == 2.5

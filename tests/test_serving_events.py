@@ -82,11 +82,36 @@ class TestRecorderLimits:
         from repro.serving.events import Event
 
         recorder = EventRecorder(max_events=3)
-        for i in range(10):
-            recorder.emit(
-                Event(EventKind.EXPERT_HIT, float(i), 0, 0, ExpertId(0, 0))
-            )
+        with pytest.warns(RuntimeWarning, match="EventRecorder full"):
+            for i in range(10):
+                recorder.emit(
+                    Event(EventKind.EXPERT_HIT, float(i), 0, 0, ExpertId(0, 0))
+                )
         assert len(recorder) == 3
+        assert recorder.dropped == 7
+
+    def test_drop_warning_fires_once(self):
+        from repro.serving.events import Event
+
+        recorder = EventRecorder(max_events=1)
+        recorder.emit(Event(EventKind.EXPERT_HIT, 0.0, 0, 0, ExpertId(0, 0)))
+        with pytest.warns(RuntimeWarning) as caught:
+            for i in range(5):
+                recorder.emit(
+                    Event(
+                        EventKind.EXPERT_HIT, float(i), 0, 0, ExpertId(0, 0)
+                    )
+                )
+        assert len(caught) == 1
+        assert recorder.dropped == 5
+
+    def test_event_dict_round_trip(self):
+        from repro.serving.events import Event
+
+        event = Event(
+            EventKind.ONDEMAND_LOAD, 1.5, 3, 2, ExpertId(2, 7), detail=0.25
+        )
+        assert Event.from_dict(event.to_dict()) == event
 
     def test_disabled_by_default(
         self, tiny_config, tiny_world, small_hardware

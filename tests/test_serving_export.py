@@ -7,9 +7,12 @@ import json
 import pytest
 
 from repro.serving.export import (
+    SUMMARY_CSV_FIELDS,
     report_to_dict,
     report_to_json,
+    reports_summary_csv,
     reports_to_csv,
+    summary_row,
 )
 from repro.serving.metrics import RequestMetrics, ServingReport
 
@@ -76,3 +79,55 @@ class TestCsv:
         text = reports_to_csv([])
         rows = list(csv.DictReader(io.StringIO(text)))
         assert rows == []
+
+
+class TestSummaryCsv:
+    def test_json_to_csv_round_trip(self, report):
+        """Every summary CSV field survives a JSON round trip unchanged."""
+        report.device_failures = 2
+        report.failovers = 1
+        report.slo_violations = 3
+        report.events_dropped = 4
+        report.peak_cache_bytes = 1 << 30
+        payload = json.loads(report_to_json(report))
+        row_from_json = summary_row(payload)
+        (row_from_csv,) = csv.DictReader(
+            io.StringIO(reports_summary_csv([report]))
+        )
+        for field in SUMMARY_CSV_FIELDS:
+            assert str(row_from_json[field]) == row_from_csv[field], field
+
+    def test_fault_counters_hoisted(self, report):
+        report.retries = 5
+        report.recovery_seconds = 1.5
+        (row,) = csv.DictReader(io.StringIO(reports_summary_csv([report])))
+        assert row["retries"] == "5"
+        assert float(row["recovery_seconds"]) == 1.5
+
+    def test_telemetry_fields_present(self, report):
+        report.events_dropped = 7
+        (row,) = csv.DictReader(io.StringIO(reports_summary_csv([report])))
+        assert row["events_dropped"] == "7"
+        assert float(row["p95_e2e_seconds"]) > 0
+
+    def test_writes_file(self, report, tmp_path):
+        path = tmp_path / "summary.csv"
+        reports_summary_csv([report], path)
+        assert path.read_text().startswith("policy,")
+
+
+class TestAbsorbPeaks:
+    def test_absorb_takes_max_of_peaks(self):
+        """Merging partial reports must keep the high-water marks."""
+        a = ServingReport(policy_name="fmoe")
+        a.peak_cache_bytes = 100
+        a.peak_kv_bytes = 50
+        a.events_dropped = 1
+        b = ServingReport(policy_name="fmoe")
+        b.peak_cache_bytes = 40
+        b.peak_kv_bytes = 80
+        b.events_dropped = 3
+        a.absorb(b)
+        assert a.peak_cache_bytes == 100
+        assert a.peak_kv_bytes == 80
+        assert a.events_dropped == 3
