@@ -9,7 +9,8 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from repro.experiments.common import ExperimentConfig, build_world
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.runner import WorldCache
 
 #: Default evaluation scale for the benches: enough requests for stable
 #: orderings, small enough that the whole harness finishes in minutes.
@@ -17,16 +18,18 @@ BENCH_CONFIG = ExperimentConfig(num_requests=40, num_test_requests=6)
 
 
 @pytest.fixture(scope="session")
-def worlds():
+def world_cache():
+    """One keyed :class:`WorldCache` shared by every bench in the session."""
+    return WorldCache()
+
+
+@pytest.fixture(scope="session")
+def worlds(world_cache):
     """Lazily built (model, dataset) worlds, cached for the session."""
-    cache: dict[tuple[str, str], object] = {}
 
     def get(model: str, dataset: str = "lmsys-chat-1m"):
-        key = (model, dataset)
-        if key not in cache:
-            cache[key] = build_world(
-                BENCH_CONFIG.with_(model_name=model, dataset=dataset)
-            )
-        return cache[key]
+        return world_cache.get(
+            BENCH_CONFIG.with_(model_name=model, dataset=dataset)
+        )
 
     return get

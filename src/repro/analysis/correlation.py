@@ -83,10 +83,10 @@ def similarity_hitrate_correlation(
                 sem_scores.append(sem_score)
                 sem_hits.append(hits / total)
 
-            observed = iteration_map[None, :, :]
+            query = matcher.trajectory_query(iteration_map[None, :, :])
             for layer in range(config.num_layers - distance):
                 target = layer + distance
-                result = matcher.match_trajectory(observed, layer + 1)
+                result = query.match(layer + 1) if query else None
                 assert result is not None
                 score = float(result.scores[0])
                 row = matcher.matched_row(result, 0, target)

@@ -116,10 +116,12 @@ def evaluate_fine_grained(
                 )
                 hits, total = hits + h, total + t
             # Later layers: trajectory search from the observed prefix.
-            observed = iteration_map[None, :, :]
+            # The query is flattened once and matched at every prefix
+            # length (see CachedTrajectoryQuery).
+            query = matcher.trajectory_query(iteration_map[None, :, :])
             for layer in range(config.num_layers - distance):
                 target = layer + distance
-                result = matcher.match_trajectory(observed, layer + 1)
+                result = query.match(layer + 1) if query else None
                 assert result is not None
                 row = matcher.matched_row(result, 0, target)
                 h, t = _containment(

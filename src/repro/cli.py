@@ -4,6 +4,7 @@ Commands:
 
 - ``models``   — print the Table-1 model characteristics.
 - ``compare``  — offline fMoE-vs-baselines comparison (Fig. 9 style).
+- ``overall``  — the full Fig. 9 (model × dataset × system) table.
 - ``online``   — cold-start online trace replay (Fig. 10 style).
 - ``sweep``    — TPOT vs expert-cache budget (Fig. 11 style).
 - ``entropy``  — coarse vs fine entropy analysis (Fig. 3b style).
@@ -94,6 +95,16 @@ def _add_world_args(
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent simulation cells "
+        "(0 = all cores; results are identical at any level)",
+    )
+
+
 def _config_from_args(args: argparse.Namespace):
     from repro.experiments.common import ExperimentConfig
 
@@ -154,6 +165,32 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_overall(args: argparse.Namespace) -> int:
+    """The full Fig. 9 table: every (model, dataset, system) cell."""
+    from repro.experiments.common import SYSTEM_NAMES
+    from repro.experiments.overall import improvement_summary, overall_rows
+
+    config = _config_from_args(args)
+    rows = overall_rows(
+        models=tuple(args.models),
+        datasets=tuple(args.datasets),
+        systems=tuple(args.systems or SYSTEM_NAMES),
+        config=config,
+        jobs=args.jobs,
+    )
+    for row in rows:
+        print(row.format())
+    if args.summary:
+        print("\nfMoE mean improvement over each baseline:")
+        for system, metrics in sorted(improvement_summary(rows).items()):
+            print(
+                f"  {system:22s} TTFT -{metrics['ttft'] * 100:5.1f}% "
+                f"TPOT -{metrics['tpot'] * 100:5.1f}% "
+                f"hit +{metrics['hit'] * 100:5.1f}%"
+            )
+    return 0
+
+
 def cmd_online(args: argparse.Namespace) -> int:
     """Cold-start online trace replay (Fig. 10 style)."""
     import numpy as np
@@ -205,6 +242,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         dataset=args.dataset,
         limits_gb=tuple(args.limits),
         config=config,
+        jobs=args.jobs,
     )
     for row in rows:
         print(
@@ -294,6 +332,7 @@ def cmd_grid(args: argparse.Namespace) -> int:
         systems=args.systems,
         budgets_gb=args.budgets or None,
         config=config,
+        jobs=args.jobs,
     )
     text = grid_to_csv(cells, args.output)
     if args.output:
@@ -363,6 +402,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         config=config,
         trace_requests=args.trace_requests,
         rate_seconds=args.rate,
+        jobs=args.jobs,
     )
     for row in rows:
         print(row.format())
@@ -422,6 +462,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_compare)
 
+    p = sub.add_parser(
+        "overall", help="full Fig. 9 (model x dataset x system) table"
+    )
+    _add_world_args(p)
+    p.add_argument(
+        "--models",
+        nargs="*",
+        default=["mixtral-8x7b", "qwen1.5-moe", "phi-3.5-moe"],
+    )
+    p.add_argument(
+        "--datasets", nargs="*", default=["lmsys-chat-1m", "sharegpt"]
+    )
+    p.add_argument("--systems", nargs="*", default=None)
+    p.add_argument(
+        "--summary",
+        action="store_true",
+        help="print fMoE's mean improvement over each baseline",
+    )
+    _add_jobs_arg(p)
+    p.set_defaults(func=cmd_overall)
+
     p = sub.add_parser("online", help="online trace replay (Fig. 10 style)")
     _add_world_args(p)
     p.add_argument("--systems", nargs="*", default=None)
@@ -440,6 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--limits", nargs="*", type=float, default=[6, 12, 24, 48, 96]
     )
+    _add_jobs_arg(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("entropy", help="entropy analysis (Fig. 3b style)")
@@ -463,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--budgets", nargs="*", type=float, default=None)
     p.add_argument("--output", default=None)
+    _add_jobs_arg(p)
     p.set_defaults(func=cmd_grid)
 
     p = sub.add_parser(
@@ -491,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--trace-requests", type=int, default=24)
     p.add_argument("--rate", type=float, default=2.0)
+    _add_jobs_arg(p)
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser(

@@ -87,6 +87,73 @@ class ExpertMapMatcher:
         """Start an O(J·C)-per-layer trajectory match for one iteration."""
         return IncrementalTrajectoryMatch(self.store, batch_size)
 
+    def trajectory_query(
+        self, observed: np.ndarray
+    ) -> "CachedTrajectoryQuery | None":
+        """Cache one request's trajectory for repeated prefix matches.
+
+        Offline evaluators match the same iteration map at many prefix
+        lengths; the cached query flattens and norm-sums it once so each
+        subsequent :meth:`CachedTrajectoryQuery.match` is a single sliced
+        matrix product.  Returns None if the store is empty (mirroring
+        :meth:`match_trajectory`).
+        """
+        if self.store.is_empty:
+            return None
+        return CachedTrajectoryQuery(self.store, observed)
+
+
+class CachedTrajectoryQuery:
+    """One query trajectory, flattened once, matchable at any prefix.
+
+    A loop calling :meth:`ExpertMapMatcher.match_trajectory` at prefix
+    lengths 1..L re-flattens the query and recomputes its norm per call;
+    this caches the float64 flattening and the cumulative prefix norms up
+    front, leaving each match as one sliced product against the store's
+    pre-normalized rows.  The store is snapshot at construction time
+    (``size`` records), so scores are stable even if records are added
+    while the query is alive.
+    """
+
+    def __init__(self, store: ExpertMapStore, observed: np.ndarray) -> None:
+        observed = np.atleast_3d(np.asarray(observed, dtype=np.float64))
+        if observed.shape[2] != store.num_experts:
+            raise ValueError(
+                f"dimension mismatch: {observed.shape[2]} vs "
+                f"{store.num_experts}"
+            )
+        self.store = store
+        self.size = len(store)
+        self.max_layers = min(observed.shape[1], store.num_layers)
+        self._flat = observed.reshape(observed.shape[0], -1)
+        norms = np.sqrt(np.cumsum((observed**2).sum(axis=2), axis=1))
+        norms[norms == 0.0] = 1.0
+        self._prefix_norms = norms
+
+    @property
+    def batch_size(self) -> int:
+        return self._flat.shape[0]
+
+    def match(self, num_layers: int) -> MatchResult:
+        """Best stored match for the first ``num_layers`` observed layers."""
+        if not 1 <= num_layers <= self.max_layers:
+            raise ValueError(
+                f"prefix length {num_layers} out of range "
+                f"[1, {self.max_layers}]"
+            )
+        width = num_layers * self.store.num_experts
+        queries = (
+            self._flat[:, :width]
+            / self._prefix_norms[:, num_layers - 1 : num_layers]
+        )
+        dots = queries @ self.store._maps_flat[: self.size, :width].T
+        scores = dots / self.store._prefix_norms[: self.size, num_layers - 1]
+        best = np.argmax(scores, axis=1)
+        return MatchResult(
+            indices=best,
+            scores=scores[np.arange(scores.shape[0]), best],
+        )
+
 
 class IncrementalTrajectoryMatch:
     """Streaming trajectory search with per-layer incremental updates.
@@ -124,7 +191,12 @@ class IncrementalTrajectoryMatch:
         if size == 0:
             return None
         layer = self.layers_observed
-        stored_rows = self.store._maps[:size, layer, :].astype(np.float64)
+        experts = self.store.num_experts
+        # Sliced view of the float64 pre-flattened maps: no per-layer
+        # astype copy of the stored rows.
+        stored_rows = self.store._maps_flat[
+            :size, layer * experts : (layer + 1) * experts
+        ]
         self._dots += rows @ stored_rows.T
         self._query_sq += (rows**2).sum(axis=1)
         self._stored_sq += (stored_rows**2).sum(axis=1)

@@ -4,6 +4,13 @@ A capacity-bounded collection of (semantic embedding, expert map) records
 from historical inference iterations, held in preallocated arrays so the
 matcher's batched cosine computations are single matrix products.
 
+Stored rows are pre-normalized at :meth:`ExpertMapStore.add` time: unit
+embeddings, float64-flattened maps, and cumulative per-prefix norms are
+maintained per slot, so every search is one matrix product against
+already-normalized (or norm-divided) rows — no per-query re-normalization
+of the stored side.  Insertion is O(L·J) per record; searches happen far
+more often than inserts, so the work moves to the cheap side.
+
 When full, the store deduplicates: each incoming iteration computes the
 unified redundancy score against every stored record,
 
@@ -20,7 +27,6 @@ from typing import NamedTuple
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.moe.embeddings import cosine_similarity_matrix
 
 
 class StoreRecord(NamedTuple):
@@ -60,6 +66,18 @@ class ExpertMapStore:
         self._maps = np.zeros(
             (capacity, num_layers, num_experts), dtype=np.float32
         )
+        # Pre-normalized search-side rows, maintained per slot by add():
+        # unit-norm embeddings, float64 flattened maps, and cumulative
+        # prefix norms ||map[:l]|| for every prefix length l.  Zero norms
+        # are stored as 1.0 so divisions yield 0 similarity, matching the
+        # cosine convention for zero rows.
+        self._embeddings_unit = np.zeros(
+            (capacity, embedding_dim), dtype=np.float64
+        )
+        self._maps_flat = np.zeros(
+            (capacity, num_layers * num_experts), dtype=np.float64
+        )
+        self._prefix_norms = np.ones((capacity, num_layers), dtype=np.float64)
         self._size = 0
         self.total_added = 0
         self.replacements = 0
@@ -128,7 +146,19 @@ class ExpertMapStore:
             self.replacements += 1
         self._embeddings[slot] = embedding
         self._maps[slot] = expert_map
+        self._refresh_derived(slot)
         return slot
+
+    def _refresh_derived(self, slot: int) -> None:
+        """Recompute the pre-normalized rows for one (re)written slot."""
+        emb = self._embeddings[slot].astype(np.float64)
+        norm = float(np.linalg.norm(emb))
+        self._embeddings_unit[slot] = emb / (norm if norm != 0.0 else 1.0)
+        stored = self._maps[slot].astype(np.float64)
+        self._maps_flat[slot] = stored.reshape(-1)
+        norms = np.sqrt(np.cumsum((stored**2).sum(axis=1)))
+        norms[norms == 0.0] = 1.0
+        self._prefix_norms[slot] = norms
 
     def _most_redundant_slot(
         self, embedding: np.ndarray, expert_map: np.ndarray
@@ -144,12 +174,11 @@ class ExpertMapStore:
         """Unified redundancy score RDY (§4.4), shape ``(B, size)``."""
         if self.is_empty:
             raise ConfigError("redundancy undefined for an empty store")
-        sem = cosine_similarity_matrix(
-            embeddings, self._embeddings[: self._size]
+        sem = self.semantic_scores(embeddings)
+        flat_new = np.asarray(maps, dtype=np.float64).reshape(
+            maps.shape[0], -1
         )
-        flat_new = maps.reshape(maps.shape[0], -1)
-        flat_old = self._maps[: self._size].reshape(self._size, -1)
-        traj = cosine_similarity_matrix(flat_new, flat_old)
+        traj = self._prefix_dot(flat_new, self.num_layers)
         d, total = self.prefetch_distance, self.num_layers
         return (d / total) * sem + ((total - d) / total) * traj
 
@@ -161,9 +190,29 @@ class ExpertMapStore:
         """Cosine similarity of query embeddings vs stored: ``(B, size)``."""
         if self.is_empty:
             raise ConfigError("cannot search an empty store")
-        return cosine_similarity_matrix(
-            np.atleast_2d(embeddings), self._embeddings[: self._size]
-        )
+        queries = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        if queries.shape[1] != self.embedding_dim:
+            raise ValueError(
+                f"dimension mismatch: {queries.shape[1]} vs "
+                f"{self.embedding_dim}"
+            )
+        norms = np.linalg.norm(queries, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return (queries / norms) @ self._embeddings_unit[: self._size].T
+
+    def _prefix_dot(
+        self, flat_queries: np.ndarray, num_layers: int
+    ) -> np.ndarray:
+        """Cosine of normalized flat queries vs stored ``num_layers``-prefixes.
+
+        One sliced matrix product against the pre-flattened maps, divided
+        by the prefix norms cached at insertion time.
+        """
+        norms = np.linalg.norm(flat_queries, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        width = num_layers * self.num_experts
+        dots = (flat_queries / norms) @ self._maps_flat[: self._size, :width].T
+        return dots / self._prefix_norms[: self._size, num_layers - 1]
 
     def trajectory_scores(
         self, observed: np.ndarray, num_layers: int
@@ -185,8 +234,12 @@ class ExpertMapStore:
                 "observed must be (B, >=num_layers, J); got "
                 f"{observed.shape}"
             )
-        flat_new = observed[:, :num_layers, :].reshape(observed.shape[0], -1)
-        flat_old = self._maps[: self._size, :num_layers, :].reshape(
-            self._size, -1
-        )
-        return cosine_similarity_matrix(flat_new, flat_old)
+        if observed.shape[2] != self.num_experts:
+            raise ValueError(
+                f"dimension mismatch: {observed.shape[2]} vs "
+                f"{self.num_experts}"
+            )
+        flat_new = np.asarray(
+            observed[:, :num_layers, :], dtype=np.float64
+        ).reshape(observed.shape[0], -1)
+        return self._prefix_dot(flat_new, num_layers)

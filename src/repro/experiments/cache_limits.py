@@ -9,12 +9,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import (
-    ExperimentConfig,
-    build_world,
-    run_system,
-    SYSTEM_NAMES,
-)
+from repro.experiments.common import ExperimentConfig, SYSTEM_NAMES
+from repro.experiments.runner import SimCell, WorldCache, run_cells
+from repro.moe.config import get_model_config
 
 #: The paper's sweep points, in GB.
 DEFAULT_LIMITS_GB: tuple[float, ...] = (6, 12, 24, 48, 96)
@@ -35,32 +32,44 @@ def tpot_vs_cache_limit(
     systems: tuple[str, ...] = SYSTEM_NAMES,
     limits_gb: tuple[float, ...] = DEFAULT_LIMITS_GB,
     config: ExperimentConfig | None = None,
+    jobs: int | None = 1,
+    cache: WorldCache | None = None,
 ) -> list[CacheLimitRow]:
-    """One row per (model, system, cache-GB) point of the Fig. 11 sweep."""
+    """One row per (model, system, cache-GB) point of the Fig. 11 sweep.
+
+    ``jobs`` fans the independent (model, system, budget) cells across a
+    process pool; rows come back in sweep order either way.
+    """
     base = config or ExperimentConfig()
-    rows = []
+    specs: list[tuple[str, str, float]] = []
+    cells: list[SimCell] = []
     for model in models:
-        world = build_world(base.with_(model_name=model, dataset=dataset))
-        total = world.model_config.total_expert_bytes
-        min_budget = (
-            world.model_config.expert_bytes * base.hardware.num_gpus
-        )
+        model_config = get_model_config(model)
+        world_config = base.with_(model_name=model, dataset=dataset)
+        total = model_config.total_expert_bytes
+        min_budget = model_config.expert_bytes * base.hardware.num_gpus
         for gb in limits_gb:
             budget = int(gb * 1e9)
             # Budgets above the full expert footprint behave identically.
             budget = min(budget, total)
             budget = max(budget, min_budget)
             for system in systems:
-                report = run_system(
-                    world, system, cache_budget_bytes=budget
-                )
-                rows.append(
-                    CacheLimitRow(
-                        model=model,
+                specs.append((model, system, gb))
+                cells.append(
+                    SimCell(
+                        config=world_config,
                         system=system,
-                        cache_gb=gb,
-                        tpot_seconds=report.mean_tpot(),
-                        hit_rate=report.hit_rate,
+                        cache_budget_bytes=budget,
                     )
                 )
-    return rows
+    reports = run_cells(cells, jobs=jobs, cache=cache)
+    return [
+        CacheLimitRow(
+            model=model,
+            system=system,
+            cache_gb=gb,
+            tpot_seconds=report.mean_tpot(),
+            hit_rate=report.hit_rate,
+        )
+        for (model, system, gb), report in zip(specs, reports)
+    ]

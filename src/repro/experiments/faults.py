@@ -19,19 +19,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import (
-    ExperimentConfig,
-    World,
-    build_world,
-    run_system,
-)
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.runner import SimCell, WorldCache, run_cells
 from repro.serving.faults import (
     DeviceFailure,
     FaultConfig,
-    FaultSchedule,
     SLOConfig,
 )
-from repro.serving.metrics import ServingReport
 from repro.serving.request import Request
 from repro.workloads.azure import AzureTraceConfig, make_azure_trace
 from repro.workloads.datasets import get_dataset_profile
@@ -139,24 +133,6 @@ def _chaos_trace(
     )
 
 
-def _run_cell(
-    world: World,
-    system: str,
-    trace: list[Request],
-    scenario: FaultScenario,
-    slo: SLOConfig,
-) -> ServingReport:
-    """Serve the trace under one system and one fault timeline."""
-    return run_system(
-        world,
-        system,
-        requests=trace,
-        respect_arrivals=True,
-        faults=FaultSchedule(scenario.faults),
-        slo=slo,
-    )
-
-
 def chaos_rows(
     systems: tuple[str, ...] = CHAOS_SYSTEMS,
     scenarios: tuple[FaultScenario, ...] | None = None,
@@ -164,6 +140,8 @@ def chaos_rows(
     trace_requests: int = 24,
     rate_seconds: float = 2.0,
     queue_budget_multiplier: float = 2.0,
+    jobs: int | None = 1,
+    cache: WorldCache | None = None,
 ) -> list[ChaosRow]:
     """Run the full (system, scenario) chaos matrix.
 
@@ -171,39 +149,64 @@ def chaos_rows(
     with a queue-delay budget of ``queue_budget_multiplier`` times that
     system's healthy P95 latency, so load shedding engages exactly when a
     fault inflates queueing beyond what the healthy system ever sees.
+
+    The matrix runs as two parallelizable waves: the healthy references
+    (which every faulty cell's SLO budget derives from), then all faulty
+    cells at once.  ``jobs`` controls the process pool; rows come back in
+    (system, scenario) order regardless.  A healthy run never depends on
+    the fault seed (a zero fault config perturbs nothing), so the
+    reference wave reproduces the matrix's own healthy cells exactly.
     """
     base = config or ExperimentConfig()
-    world = build_world(base)
-    trace = _chaos_trace(base, trace_requests, rate_seconds)
+    trace = tuple(_chaos_trace(base, trace_requests, rate_seconds))
     matrix = scenarios if scenarios is not None else default_scenarios(base.seed)
+
+    def cell(system: str, faults: FaultConfig, slo: SLOConfig) -> SimCell:
+        return SimCell(
+            config=base,
+            system=system,
+            requests=trace,
+            respect_arrivals=True,
+            faults=faults,
+            slo=slo,
+        )
+
+    healthy_faults = FaultConfig(seed=base.seed)
+    reference_reports = run_cells(
+        [cell(system, healthy_faults, SLOConfig()) for system in systems],
+        jobs=jobs,
+        cache=cache,
+    )
+    reference = dict(zip(systems, reference_reports))
+
+    faulty_specs = [
+        (system, index)
+        for system in systems
+        for index, scenario in enumerate(matrix)
+        if not scenario.is_healthy
+    ]
+    faulty_cells = []
+    for system, index in faulty_specs:
+        healthy_p95 = reference[system].percentile_latency(95)
+        slo = SLOConfig(
+            queue_delay_budget_seconds=max(
+                queue_budget_multiplier * healthy_p95, 1.0
+            )
+        )
+        faulty_cells.append(cell(system, matrix[index].faults, slo))
+    faulty_reports = dict(
+        zip(faulty_specs, run_cells(faulty_cells, jobs=jobs, cache=cache))
+    )
+
     rows: list[ChaosRow] = []
     for system in systems:
-        healthy_report = None
-        healthy_p95 = 0.0
-        for scenario in matrix:
-            if scenario.is_healthy:
-                report = _run_cell(world, system, trace, scenario, SLOConfig())
-                healthy_report = report
-                healthy_p95 = report.percentile_latency(95)
-            else:
-                if healthy_report is None:
-                    # No healthy reference in the matrix: run one anyway
-                    # so inflation stays well-defined.
-                    reference = _run_cell(
-                        world,
-                        system,
-                        trace,
-                        FaultScenario("healthy", FaultConfig(seed=base.seed)),
-                        SLOConfig(),
-                    )
-                    healthy_report = reference
-                    healthy_p95 = reference.percentile_latency(95)
-                slo = SLOConfig(
-                    queue_delay_budget_seconds=max(
-                        queue_budget_multiplier * healthy_p95, 1.0
-                    )
-                )
-                report = _run_cell(world, system, trace, scenario, slo)
+        healthy_p95 = reference[system].percentile_latency(95)
+        for index, scenario in enumerate(matrix):
+            report = (
+                reference[system]
+                if scenario.is_healthy
+                else faulty_reports[(system, index)]
+            )
             p95 = report.percentile_latency(95)
             rows.append(
                 ChaosRow(

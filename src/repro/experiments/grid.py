@@ -15,12 +15,9 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.errors import ConfigError
-from repro.experiments.common import (
-    ExperimentConfig,
-    SYSTEM_NAMES,
-    build_world,
-    run_system,
-)
+from repro.experiments.common import ExperimentConfig, SYSTEM_NAMES
+from repro.experiments.runner import SimCell, WorldCache, run_cells
+from repro.moe.config import get_model_config
 
 
 @dataclass(frozen=True)
@@ -55,46 +52,59 @@ def run_grid(
     systems: Sequence[str] = SYSTEM_NAMES,
     budgets_gb: Sequence[float] | None = None,
     config: ExperimentConfig | None = None,
+    jobs: int | None = 1,
+    cache: WorldCache | None = None,
 ) -> list[GridCell]:
-    """Run every grid cell; ``budgets_gb=None`` uses the default budget."""
+    """Run every grid cell; ``budgets_gb=None`` uses the default budget.
+
+    ``jobs`` fans independent cells across a process pool (0 = all
+    cores); results are merged in sweep order, so the output is identical
+    to a sequential run.  Worlds are shared across budgets and systems
+    through ``cache`` (or each worker's process cache).
+    """
     if not models or not datasets or not systems:
         raise ConfigError("models, datasets, and systems must be non-empty")
     base = config or ExperimentConfig()
-    cells = []
+    specs: list[tuple[str, str, str, float]] = []
+    cells: list[SimCell] = []
+    budget_list: list[int | None] = (
+        [None] if budgets_gb is None else [int(g * 1e9) for g in budgets_gb]
+    )
     for model in models:
         for dataset in datasets:
-            world = build_world(
-                base.with_(model_name=model, dataset=dataset)
-            )
-            budget_list: list[int | None] = (
-                [None]
-                if budgets_gb is None
-                else [int(g * 1e9) for g in budgets_gb]
+            world_config = base.with_(model_name=model, dataset=dataset)
+            # Resolved once per world from the *world's* config, so a
+            # config whose budget rule depends on the model reports
+            # exactly the budget the cells below actually ran with.
+            default_budget = world_config.resolve_budget(
+                get_model_config(model)
             )
             for budget in budget_list:
-                effective = (
-                    budget
-                    if budget is not None
-                    else base.resolve_budget(world.model_config)
-                )
+                effective = budget if budget is not None else default_budget
                 for system in systems:
-                    report = run_system(
-                        world, system, cache_budget_bytes=budget
-                    )
+                    specs.append((model, dataset, system, effective / 1e9))
                     cells.append(
-                        GridCell(
-                            model=model,
-                            dataset=dataset,
+                        SimCell(
+                            config=world_config,
                             system=system,
-                            cache_budget_gb=effective / 1e9,
-                            ttft_seconds=report.mean_ttft(),
-                            tpot_seconds=report.mean_tpot(),
-                            hit_rate=report.hit_rate,
-                            peak_cache_gb=report.peak_cache_bytes / 1e9,
-                            peak_kv_gb=report.peak_kv_bytes / 1e9,
+                            cache_budget_bytes=budget,
                         )
                     )
-    return cells
+    reports = run_cells(cells, jobs=jobs, cache=cache)
+    return [
+        GridCell(
+            model=model,
+            dataset=dataset,
+            system=system,
+            cache_budget_gb=budget_gb,
+            ttft_seconds=report.mean_ttft(),
+            tpot_seconds=report.mean_tpot(),
+            hit_rate=report.hit_rate,
+            peak_cache_gb=report.peak_cache_bytes / 1e9,
+            peak_kv_gb=report.peak_kv_bytes / 1e9,
+        )
+        for (model, dataset, system, budget_gb), report in zip(specs, reports)
+    ]
 
 
 def grid_to_csv(

@@ -9,12 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import (
-    ExperimentConfig,
-    build_world,
-    run_system,
-    SYSTEM_NAMES,
-)
+from repro.experiments.common import ExperimentConfig, SYSTEM_NAMES
+from repro.experiments.runner import SimCell, WorldCache, run_cells
 
 
 @dataclass(frozen=True)
@@ -40,28 +36,40 @@ def overall_rows(
     datasets: tuple[str, ...] = ("lmsys-chat-1m", "sharegpt"),
     systems: tuple[str, ...] = SYSTEM_NAMES,
     config: ExperimentConfig | None = None,
+    jobs: int | None = 1,
+    cache: WorldCache | None = None,
 ) -> list[OverallRow]:
-    """TTFT/TPOT/hit-rate rows for every (model, dataset, system) cell."""
+    """TTFT/TPOT/hit-rate rows for every (model, dataset, system) cell.
+
+    Cells are independent simulations; ``jobs`` spreads them over a
+    process pool (0 = all cores) with results merged in sweep order.
+    """
     base = config or ExperimentConfig()
-    rows = []
-    for model in models:
-        for dataset in datasets:
-            world = build_world(
-                base.with_(model_name=model, dataset=dataset)
-            )
-            for system in systems:
-                report = run_system(world, system)
-                rows.append(
-                    OverallRow(
-                        model=model,
-                        dataset=dataset,
-                        system=system,
-                        ttft_seconds=report.mean_ttft(),
-                        tpot_seconds=report.mean_tpot(),
-                        hit_rate=report.hit_rate,
-                    )
-                )
-    return rows
+    specs = [
+        (model, dataset, system)
+        for model in models
+        for dataset in datasets
+        for system in systems
+    ]
+    cells = [
+        SimCell(
+            config=base.with_(model_name=model, dataset=dataset),
+            system=system,
+        )
+        for model, dataset, system in specs
+    ]
+    reports = run_cells(cells, jobs=jobs, cache=cache)
+    return [
+        OverallRow(
+            model=model,
+            dataset=dataset,
+            system=system,
+            ttft_seconds=report.mean_ttft(),
+            tpot_seconds=report.mean_tpot(),
+            hit_rate=report.hit_rate,
+        )
+        for (model, dataset, system), report in zip(specs, reports)
+    ]
 
 
 def improvement_summary(rows: list[OverallRow]) -> dict[str, dict[str, float]]:

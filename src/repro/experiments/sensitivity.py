@@ -106,11 +106,11 @@ def store_capacity_sensitivity(
             assert sem is not None
             sem_scores.append(float(sem.scores[0]))
             for iteration_map in trace.iteration_maps:
-                observed = iteration_map[None, :, :]
+                query = matcher.trajectory_query(iteration_map[None, :, :])
                 for layer in (4, 12, 20):
                     if layer >= world.model_config.num_layers - 3:
                         continue
-                    result = matcher.match_trajectory(observed, layer + 1)
+                    result = query.match(layer + 1) if query else None
                     assert result is not None
                     traj_scores.append(float(result.scores[0]))
         rows.append(

@@ -201,14 +201,21 @@ class ServingReport:
             "slo_violations": self.slo_violations,
         }
 
-    def absorb(self, other: "ServingReport") -> None:
+    def absorb(
+        self, other: "ServingReport", distinct_sinks: bool = False
+    ) -> None:
         """Fold another run's requests and counters into this report.
 
         Used by dispatch loops that serve one request at a time and merge
         the partial reports.  Counters add; peak byte gauges take the max
-        (they are engine-level high-water marks, not additive), as does
-        ``events_dropped`` (partials from one engine share one sink, so
-        each already carries the cumulative count).
+        (they are engine-level high-water marks, not additive).
+
+        ``events_dropped`` depends on sink topology: partials from one
+        engine share one sink, so each carries the cumulative count and
+        the max is correct (the default).  Reports produced by separate
+        engines with their own sinks — e.g. parallel-runner workers —
+        must pass ``distinct_sinks=True`` so per-sink drop counts add up
+        instead of being silently collapsed.
         """
         self.requests.extend(other.requests)
         self.hits += other.hits
@@ -220,7 +227,12 @@ class ServingReport:
             self.peak_cache_bytes, other.peak_cache_bytes
         )
         self.peak_kv_bytes = max(self.peak_kv_bytes, other.peak_kv_bytes)
-        self.events_dropped = max(self.events_dropped, other.events_dropped)
+        if distinct_sinks:
+            self.events_dropped += other.events_dropped
+        else:
+            self.events_dropped = max(
+                self.events_dropped, other.events_dropped
+            )
         for layer, count in other.layer_hits.items():
             self.layer_hits[layer] += count
         for layer, count in other.layer_misses.items():

@@ -73,6 +73,54 @@ class TestMatcher:
         assert np.allclose(row, records[2][1][3], atol=1e-6)
 
 
+class TestCachedTrajectoryQuery:
+    def test_matches_match_trajectory_at_every_prefix(
+        self, loaded_matcher, rng
+    ):
+        matcher, _ = loaded_matcher
+        observed = rng.random((3, 6, 4))
+        query = matcher.trajectory_query(observed)
+        assert query is not None
+        assert query.batch_size == 3
+        for prefix in range(1, query.max_layers + 1):
+            cached = query.match(prefix)
+            direct = matcher.match_trajectory(observed, prefix)
+            assert cached.indices.tolist() == direct.indices.tolist()
+            assert np.allclose(cached.scores, direct.scores, atol=1e-6)
+
+    def test_empty_store_returns_none(self):
+        matcher = ExpertMapMatcher(ExpertMapStore(4, 6, 4, 8, 2))
+        assert matcher.trajectory_query(np.ones((1, 6, 4))) is None
+
+    def test_prefix_bounds(self, loaded_matcher, rng):
+        matcher, _ = loaded_matcher
+        query = matcher.trajectory_query(rng.random((1, 6, 4)))
+        with pytest.raises(ValueError):
+            query.match(0)
+        with pytest.raises(ValueError):
+            query.match(7)
+
+    def test_expert_dimension_validated(self, loaded_matcher, rng):
+        matcher, _ = loaded_matcher
+        with pytest.raises(ValueError):
+            matcher.trajectory_query(rng.random((1, 6, 5)))
+
+    def test_snapshot_is_stable_across_adds(self, loaded_matcher, rng):
+        """Records added after the query is built don't shift its scores."""
+        matcher, _ = loaded_matcher
+        observed = rng.random((2, 6, 4))
+        query = matcher.trajectory_query(observed)
+        before = query.match(4)
+        emb = rng.standard_normal(8)
+        matcher.store.add(
+            emb / np.linalg.norm(emb),
+            softmax_rows(rng.standard_normal((6, 4))),
+        )
+        after = query.match(4)
+        assert before.indices.tolist() == after.indices.tolist()
+        assert np.array_equal(before.scores, after.scores)
+
+
 class TestSelectionThreshold:
     def test_clip_behavior(self):
         assert selection_threshold(1.0) == 0.0

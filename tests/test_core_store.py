@@ -172,6 +172,102 @@ class TestDeduplication:
         assert sims.max() == pytest.approx(1.0, abs=1e-4)
 
 
+def naive_cosine(a, b):
+    """Reference cosine matrix: normalize both sides per call."""
+    a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+    na = np.linalg.norm(a, axis=1, keepdims=True)
+    nb = np.linalg.norm(b, axis=1, keepdims=True)
+    na[na == 0.0] = 1.0
+    nb[nb == 0.0] = 1.0
+    return (a / na) @ (b / nb).T
+
+
+class TestVectorizedConsistency:
+    """The pre-normalized search path must match a naive cosine reference."""
+
+    def filled(self, rng, capacity=8, count=8):
+        store = make_store(capacity=capacity)
+        for _ in range(count):
+            store.add(*random_record(rng))
+        return store
+
+    def test_semantic_matches_naive(self, rng):
+        store = self.filled(rng)
+        queries = rng.standard_normal((5, 8))
+        expected = naive_cosine(queries, store._embeddings[: len(store)])
+        assert np.allclose(
+            store.semantic_scores(queries), expected, atol=1e-6
+        )
+
+    def test_trajectory_matches_naive_at_every_prefix(self, rng):
+        store = self.filled(rng)
+        observed = rng.random((3, 6, 4))
+        stored = store._maps[: len(store)]
+        for prefix in range(1, 7):
+            expected = naive_cosine(
+                observed[:, :prefix, :].reshape(3, -1),
+                stored[:, :prefix, :].reshape(len(store), -1),
+            )
+            assert np.allclose(
+                store.trajectory_scores(observed, prefix),
+                expected,
+                atol=1e-6,
+            )
+
+    def test_redundancy_matches_naive(self, rng):
+        store = self.filled(rng)
+        embs = rng.standard_normal((2, 8))
+        maps = softmax_rows(rng.standard_normal((2, 6, 4)))
+        sem = naive_cosine(embs, store._embeddings[: len(store)])
+        traj = naive_cosine(
+            maps.reshape(2, -1), store._maps[: len(store)].reshape(8, -1)
+        )
+        d, total = store.prefetch_distance, store.num_layers
+        expected = (d / total) * sem + ((total - d) / total) * traj
+        assert np.allclose(
+            store.redundancy_scores(embs, maps), expected, atol=1e-6
+        )
+
+    def test_derived_rows_consistent_after_eviction(self, rng):
+        """Dedup replacement must rewrite every derived row it touches."""
+        store = self.filled(rng, capacity=4, count=12)
+        assert store.replacements == 8
+        for slot in range(len(store)):
+            emb = store._embeddings[slot].astype(np.float64)
+            assert np.allclose(
+                store._embeddings_unit[slot],
+                emb / np.linalg.norm(emb),
+                atol=1e-12,
+            )
+            stored = store._maps[slot].astype(np.float64)
+            assert np.array_equal(
+                store._maps_flat[slot], stored.reshape(-1)
+            )
+            assert np.allclose(
+                store._prefix_norms[slot],
+                np.sqrt(np.cumsum((stored**2).sum(axis=1))),
+                atol=1e-12,
+            )
+        # The searches built on those rows agree with the reference too.
+        queries = rng.standard_normal((2, 8))
+        assert np.allclose(
+            store.semantic_scores(queries),
+            naive_cosine(queries, store._embeddings[: len(store)]),
+            atol=1e-6,
+        )
+
+    def test_zero_records_score_zero_without_nan(self, rng):
+        store = make_store()
+        store.add(np.zeros(8), np.zeros((6, 4)))
+        store.add(*random_record(rng))
+        sem = store.semantic_scores(rng.standard_normal((2, 8)))
+        traj = store.trajectory_scores(rng.random((2, 6, 4)), 3)
+        assert np.isfinite(sem).all() and np.isfinite(traj).all()
+        assert np.all(sem[:, 0] == 0.0)
+        assert np.all(traj[:, 0] == 0.0)
+
+
 class TestMemoryFootprint:
     def test_memory_bytes_used_vs_allocated(self, rng):
         store = make_store(capacity=8)
