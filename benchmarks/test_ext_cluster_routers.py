@@ -1,0 +1,78 @@
+"""Extension: cluster router comparison at fleet scale.
+
+Runs the ``cluster_scaling`` experiment — every router at 1, 2, and 4
+replicas over the same seeded Azure-style trace — and records the
+aggregate hit rate, load-imbalance CV, and latency of each (router,
+fleet-size) cell in ``benchmarks/BENCH_cluster.json``.
+
+The headline claim mirrors the paper's trade-off at fleet scale: the
+semantic-affinity router buys a strictly higher aggregate expert hit
+rate than round-robin placement on every multi-replica fleet, paying
+for it with load imbalance.  The assertion is exact (not tolerance
+based) because the whole simulation is a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from _util import emit, run_once
+from conftest import BENCH_CONFIG
+
+from repro.experiments.cluster_scaling import cluster_scaling_rows
+
+REPLICA_COUNTS = (1, 2, 4)
+CLUSTER_CONFIG = BENCH_CONFIG.with_(num_requests=24, num_test_requests=4)
+TRACE_REQUESTS = 32
+RESULT_PATH = Path(__file__).parent / "BENCH_cluster.json"
+
+
+def test_ext_cluster_routers(benchmark):
+    def experiment():
+        return cluster_scaling_rows(
+            replica_counts=REPLICA_COUNTS,
+            config=CLUSTER_CONFIG,
+            trace_requests=TRACE_REQUESTS,
+        )
+
+    rows = run_once(benchmark, experiment)
+
+    by_cell = {(r.router, r.replicas): r for r in rows}
+    result = {
+        "benchmark": "cluster_routers",
+        "replica_counts": list(REPLICA_COUNTS),
+        "trace_requests": TRACE_REQUESTS,
+        "rows": [
+            {
+                "router": r.router,
+                "replicas": r.replicas,
+                "hit_rate": round(r.hit_rate, 6),
+                "affinity_hit_rate": round(r.affinity_hit_rate, 6),
+                "load_imbalance": round(r.load_imbalance, 6),
+                "mean_ttft_seconds": round(r.mean_ttft_seconds, 6),
+                "p95_e2e_seconds": round(r.p95_e2e_seconds, 6),
+                "shed_requests": r.shed_requests,
+            }
+            for r in rows
+        ],
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+
+    emit("ext_cluster_routers", [r.format() for r in rows])
+
+    # Every request is admitted at this scale; shedding would make the
+    # hit-rate comparison apples-to-oranges.
+    assert all(r.shed_requests == 0 for r in rows)
+    # One replica leaves nothing to route: every router serves the same
+    # machine, so the hit rates coincide exactly.
+    single = {r.hit_rate for r in rows if r.replicas == 1}
+    assert len(single) == 1
+    # At fleet scale, affinity placement keeps expert caches hotter than
+    # naive rotation — strictly, at every multi-replica point.
+    for n in REPLICA_COUNTS:
+        if n == 1:
+            continue
+        affinity = by_cell[("semantic-affinity", n)]
+        rotation = by_cell[("round-robin", n)]
+        assert affinity.hit_rate > rotation.hit_rate

@@ -11,6 +11,7 @@ Commands:
 - ``pearson``  — similarity/hit-rate Pearson coefficients (Fig. 8 style).
 - ``tune``     — prefetch-distance profiling (the paper's §6.1 setup step).
 - ``faults``   — chaos matrix: systems under scripted fault scenarios.
+- ``cluster``  — multi-replica cluster simulation with affinity routing.
 - ``grid``     — sweep (model, dataset, system, budget) grids to CSV.
 - ``report``   — collate ``benchmarks/results`` into one markdown report.
 - ``profile``  — profile a workload and save traces / a warm store to disk.
@@ -40,6 +41,7 @@ POLICY_CHOICES = (
     "no-offload",
     "oracle",
 )
+ROUTER_CHOICES = ("round-robin", "least-outstanding", "semantic-affinity")
 
 
 def _prefix_choice(choices: tuple[str, ...]):
@@ -409,6 +411,84 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Multi-replica cluster simulation with pluggable routing."""
+    from repro.cluster import (
+        AutoscalerConfig,
+        ClusterSpec,
+        cluster_report_to_json,
+        run_cluster,
+    )
+    from repro.experiments.cluster_scaling import (
+        _scaling_trace,
+        cluster_scaling_rows,
+    )
+    from repro.experiments.common import build_world
+
+    config = _config_from_args(args)
+    if args.compare:
+        rows = cluster_scaling_rows(
+            replica_counts=tuple(args.replica_counts),
+            config=config,
+            system=args.system,
+            trace_requests=args.trace_requests,
+            rate_seconds=args.rate,
+            jobs=args.jobs,
+        )
+        for row in rows:
+            print(row.format())
+        return 0
+    autoscaler = None
+    if args.autoscale:
+        autoscaler = AutoscalerConfig(
+            max_replicas=max(args.replicas, AutoscalerConfig().max_replicas)
+        )
+    spec = ClusterSpec(
+        replicas=args.replicas,
+        router=args.router,
+        shared_store=args.shared_store,
+        warm=not args.cold,
+        autoscaler=autoscaler,
+    )
+    world = build_world(config)
+    trace = _scaling_trace(config, args.trace_requests, args.rate)
+    report = run_cluster(world, args.system, spec, requests=trace)
+    print(
+        f"{args.system} x{args.replicas} router={args.router}: "
+        f"routed={report.routed} served={len(report.aggregate.requests)} "
+        f"shed={report.shed_requests}"
+    )
+    print(
+        f"  hit={report.hit_rate:.4f} "
+        f"affinity={report.affinity_hit_rate:.3f} "
+        f"imbalance={report.load_imbalance():.3f} "
+        f"ttft={report.mean_ttft():.2f}s "
+        f"p95={report.percentile_latency(95):.2f}s"
+    )
+    for summary in report.replicas:
+        state = (
+            "retired"
+            if summary.retired
+            else "draining" if summary.draining else "active"
+        )
+        print(
+            f"  replica {summary.replica_id}: {summary.assigned} assigned, "
+            f"{summary.served} served, hit={summary.hit_rate:.4f}, "
+            f"{state}"
+        )
+    if report.scale_events:
+        for event in report.scale_events:
+            print(
+                f"  t={event.time:8.2f}s scale:{event.action} "
+                f"replica={event.replica_id} "
+                f"outstanding={event.outstanding}"
+            )
+    if args.out is not None:
+        cluster_report_to_json(report, args.out)
+        print(f"  report written to {args.out}")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run one policy with full telemetry; write trace + metrics files."""
     from repro.obs.runner import run_traced
@@ -556,6 +636,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=2.0)
     _add_jobs_arg(p)
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "cluster",
+        help="multi-replica cluster simulation with affinity routing",
+    )
+    _add_world_args(p)
+    p.add_argument("--replicas", type=int, default=2)
+    p.add_argument(
+        "--router",
+        default="round-robin",
+        type=_prefix_choice(ROUTER_CHOICES),
+        help="placement policy (unambiguous prefixes accepted)",
+    )
+    p.add_argument(
+        "--system", default="fmoe", type=_prefix_choice(POLICY_CHOICES)
+    )
+    p.add_argument(
+        "--shared-store",
+        action="store_true",
+        help="share one expert-map store across every fmoe replica",
+    )
+    p.add_argument(
+        "--cold",
+        action="store_true",
+        help="skip warm-up so per-replica stores diverge (what "
+        "semantic-affinity routing exploits)",
+    )
+    p.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="enable the queue-depth autoscaler (drain-before-kill)",
+    )
+    p.add_argument(
+        "--compare",
+        action="store_true",
+        help="run the router x replica-count comparison grid instead "
+        "of one cluster",
+    )
+    p.add_argument(
+        "--replica-counts",
+        nargs="*",
+        type=int,
+        default=[1, 2, 4],
+        help="replica counts for --compare",
+    )
+    p.add_argument("--trace-requests", type=int, default=24)
+    p.add_argument("--rate", type=float, default=1.0)
+    p.add_argument(
+        "--out", default=None, help="write the cluster report JSON here"
+    )
+    _add_jobs_arg(p)
+    p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser(
         "profile", help="profile a workload; save traces / a warm store"

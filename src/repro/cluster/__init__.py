@@ -1,0 +1,51 @@
+"""Multi-replica cluster serving simulation (fleet-level fMoE).
+
+The paper evaluates one serving instance; this package scales the same
+simulation out to a fleet: N independent engine replicas on one shared
+virtual clock, pluggable routers (round-robin, least-outstanding, and
+semantic-affinity routing against per-replica expert-map stores), an
+optional drain-before-kill autoscaler, and cluster-level metrics —
+including the affinity hit rate and load-imbalance coefficient the
+router comparison experiment reports.
+"""
+
+from repro.cluster.autoscaler import Autoscaler
+from repro.cluster.config import AutoscalerConfig, ClusterSpec, ROUTER_NAMES
+from repro.cluster.driver import ClusterDriver, run_cluster
+from repro.cluster.metrics import (
+    ClusterReport,
+    ReplicaSummary,
+    ScaleEvent,
+    cluster_report_to_dict,
+    cluster_report_to_json,
+)
+from repro.cluster.replica import Replica
+from repro.cluster.router import (
+    LeastOutstandingRouter,
+    RoundRobinRouter,
+    RouteDecision,
+    Router,
+    SemanticAffinityRouter,
+    make_router,
+)
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ClusterDriver",
+    "ClusterReport",
+    "ClusterSpec",
+    "LeastOutstandingRouter",
+    "ROUTER_NAMES",
+    "Replica",
+    "ReplicaSummary",
+    "RoundRobinRouter",
+    "RouteDecision",
+    "Router",
+    "ScaleEvent",
+    "SemanticAffinityRouter",
+    "cluster_report_to_dict",
+    "cluster_report_to_json",
+    "make_router",
+    "run_cluster",
+]

@@ -1,0 +1,93 @@
+"""Virtual-clock autoscaler: queue- and tail-latency-driven fleet sizing.
+
+The autoscaler is a pure decision function evaluated at request-dispatch
+points on the cluster's shared virtual clock.  It never creates or
+destroys replicas itself — it tells the driver to *grow* (add one
+replica) or *shrink* (mark the least-loaded replica draining), and the
+driver owns the mechanics, including drain-before-kill: a draining
+replica receives no new work and is retired only once its last in-flight
+request has finished.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.cluster.config import AutoscalerConfig
+from repro.cluster.replica import Replica
+
+
+class Autoscaler:
+    """Decide scale-up/scale-down actions from fleet load signals.
+
+    Signals, evaluated over the *routable* fleet (draining and retired
+    replicas excluded):
+
+    - mean outstanding requests per replica vs. the configured queue-depth
+      thresholds, and
+    - optionally, the p95 TTFT over a sliding window of recently finished
+      requests.
+
+    Actions respect a cooldown so one burst cannot thrash the fleet.
+    """
+
+    def __init__(self, config: AutoscalerConfig) -> None:
+        self.config = config
+        self._ttfts: deque[float] = deque(maxlen=config.ttft_window)
+        self._last_action_at: float | None = None
+
+    def observe_ttft(self, ttft: float) -> None:
+        """Feed one finished request's TTFT into the sliding window."""
+        self._ttfts.append(ttft)
+
+    def _in_cooldown(self, now: float) -> bool:
+        """Whether a recent action still blocks the next one."""
+        return (
+            self._last_action_at is not None
+            and now - self._last_action_at < self.config.cooldown_seconds
+        )
+
+    def window_p95_ttft(self) -> float:
+        """p95 TTFT over the recent window (0 when nothing finished yet)."""
+        if not self._ttfts:
+            return 0.0
+        return float(np.percentile(list(self._ttfts), 95))
+
+    def decide(self, now: float, routable: list[Replica]) -> str | None:
+        """``"up"``, ``"down"``, or ``None`` for the fleet at ``now``.
+
+        ``routable`` is the set of replicas currently accepting work; its
+        size bounds the decision against ``min_replicas``/``max_replicas``.
+        """
+        if not routable or self._in_cooldown(now):
+            return None
+        cfg = self.config
+        mean_depth = float(
+            np.mean([r.outstanding_requests(now) for r in routable])
+        )
+        tail = self.window_p95_ttft()
+        wants_up = mean_depth > cfg.scale_up_queue_depth or (
+            cfg.scale_up_p95_ttft_seconds is not None
+            and tail > cfg.scale_up_p95_ttft_seconds
+        )
+        if wants_up and len(routable) < cfg.max_replicas:
+            self._last_action_at = now
+            return "up"
+        if (
+            mean_depth < cfg.scale_down_queue_depth
+            and len(routable) > cfg.min_replicas
+        ):
+            self._last_action_at = now
+            return "down"
+        return None
+
+    def pick_drain_target(
+        self, now: float, routable: list[Replica]
+    ) -> Replica:
+        """The replica a scale-down should drain: least loaded, id-tied."""
+        return min(
+            routable,
+            key=lambda r: (r.outstanding_tokens(now), r.replica_id),
+        )

@@ -1,0 +1,112 @@
+"""Cluster-level configuration: replica fleet shape and autoscaling knobs.
+
+Kept dependency-light on purpose: :class:`ClusterSpec` rides inside the
+parallel runner's picklable :class:`~repro.experiments.runner.SimCell`, so
+this module must be importable without pulling in the serving stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Pluggable routing policies the cluster driver knows how to build.
+ROUTER_NAMES: tuple[str, ...] = (
+    "round-robin",
+    "least-outstanding",
+    "semantic-affinity",
+)
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Knobs of the virtual-clock autoscaler (queue + tail-latency driven).
+
+    The autoscaler evaluates at request-dispatch points: it adds a replica
+    when the fleet-mean outstanding request count (or the recent p95 TTFT)
+    crosses the scale-up thresholds, and marks the least-loaded replica
+    *draining* when load falls below the scale-down threshold.  A draining
+    replica receives no new requests and is retired only once its last
+    in-flight request has finished — drain-before-kill.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    scale_up_queue_depth: float = 4.0
+    """Fleet-mean outstanding requests per replica that triggers a new
+    replica."""
+
+    scale_up_p95_ttft_seconds: float | None = None
+    """Recent-window p95 TTFT that triggers a new replica (None: queue
+    depth only)."""
+
+    scale_down_queue_depth: float = 1.0
+    """Fleet-mean outstanding requests per replica below which one replica
+    starts draining."""
+
+    cooldown_seconds: float = 10.0
+    """Minimum virtual time between scaling actions."""
+
+    ttft_window: int = 16
+    """Recently finished requests the p95-TTFT signal is computed over."""
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ConfigError("min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise ConfigError("max_replicas must be >= min_replicas")
+        if self.scale_up_queue_depth <= self.scale_down_queue_depth:
+            raise ConfigError(
+                "scale_up_queue_depth must exceed scale_down_queue_depth"
+            )
+        if (
+            self.scale_up_p95_ttft_seconds is not None
+            and self.scale_up_p95_ttft_seconds <= 0
+        ):
+            raise ConfigError("scale_up_p95_ttft_seconds must be > 0")
+        if self.cooldown_seconds < 0:
+            raise ConfigError("cooldown_seconds must be >= 0")
+        if self.ttft_window < 1:
+            raise ConfigError("ttft_window must be >= 1")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape of one simulated cluster: replicas, router, store topology.
+
+    Fully picklable — a cluster cell is one
+    :class:`~repro.experiments.runner.SimCell` unit, so every field here
+    must survive a trip through a process pool.
+    """
+
+    replicas: int = 2
+    router: str = "round-robin"
+    shared_store: bool = False
+    """Share one expert-map store across every fMoE replica instead of
+    giving each replica a private store."""
+
+    warm: bool = True
+    """Warm each replica's policy with the world's profiled traces (a
+    cold start lets per-replica stores diverge, which is what
+    semantic-affinity routing exploits)."""
+
+    autoscaler: AutoscalerConfig | None = None
+    fault_replica: int | None = None
+    """Apply the cell's fault schedule to this replica only (None: every
+    replica lives on the same degrading fleet)."""
+
+    route_around_device_loss: bool = True
+    """Stop routing new requests to a replica that has lost a device
+    (router failover); the replica still finishes what it already holds."""
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ConfigError("replicas must be >= 1")
+        if self.router not in ROUTER_NAMES:
+            raise ConfigError(
+                f"unknown router {self.router!r}; "
+                f"choose from: {', '.join(ROUTER_NAMES)}"
+            )
+        if self.fault_replica is not None and self.fault_replica < 0:
+            raise ConfigError("fault_replica must be >= 0")

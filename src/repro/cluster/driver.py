@@ -1,0 +1,398 @@
+"""The cluster driver: N engine replicas on one shared virtual clock.
+
+Requests are dispatched in arrival order (stable for ties).  At each
+dispatch point the driver retires fully drained replicas, lets the
+autoscaler act, filters the routable fleet (draining replicas and — under
+failover — replicas that lost a device are excluded), asks the router for
+a placement, and hands the request to the chosen replica's engine, which
+serves it to completion on its private timeline.  Eager per-request
+serving is sound because replicas are independent machines: a routing
+decision at time ``t`` only observes work dispatched at earlier arrival
+times, never the future of any replica.
+
+A 1-replica round-robin cluster is *the same machine* as a bare
+:func:`~repro.experiments.common.run_system` run: engines come from the
+shared :func:`~repro.experiments.common.make_engine` path and requests
+flow through the same :meth:`ServingEngine.serve_step` /
+:meth:`ServingEngine.finalize_report` calls, so the reports are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.autoscaler import Autoscaler
+from repro.cluster.config import ClusterSpec
+from repro.cluster.metrics import (
+    ClusterReport,
+    ReplicaSummary,
+    ScaleEvent,
+)
+from repro.cluster.replica import Replica
+from repro.cluster.router import make_router
+from repro.core.policy import FMoEPolicy
+from repro.core.store import ExpertMapStore
+from repro.errors import ConfigError
+from repro.experiments.common import World, make_engine
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import CLUSTER_LANE, Tracer, replica_lane
+from repro.serving.faults import FaultConfig, FaultSchedule, SLOConfig
+from repro.serving.metrics import ServingReport
+from repro.serving.request import Request
+
+
+class ClusterDriver:
+    """Drives one multi-replica serving simulation to completion."""
+
+    def __init__(
+        self,
+        world: World,
+        system: str,
+        spec: ClusterSpec,
+        fault_config: FaultConfig | None = None,
+        slo: SLOConfig | None = None,
+        cache_budget_bytes: int | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if spec.shared_store and system != "fmoe":
+            raise ConfigError(
+                "shared_store only applies to the fmoe system "
+                f"(got {system!r})"
+            )
+        self.world = world
+        self.system = system
+        self.spec = spec
+        self.fault_config = fault_config
+        self.slo = slo
+        self.cache_budget_bytes = cache_budget_bytes
+        self.tracer = tracer
+        self.metrics = metrics
+        self.router = make_router(spec.router)
+        self.autoscaler = (
+            Autoscaler(spec.autoscaler) if spec.autoscaler else None
+        )
+        self._shared_store = self._build_shared_store() if (
+            spec.shared_store
+        ) else None
+        self._store_warmed = False
+        # The probe model peeks request embeddings for affinity routing
+        # without touching any replica: a session's embedding is a pure
+        # function of (model seed, cluster, request seed).
+        self._probe = world.fresh_model()
+        self.replicas: list[Replica] = []
+        self.report = ClusterReport(system=system, router=spec.router)
+        for _ in range(spec.replicas):
+            self._spawn(now=0.0)
+
+    # ------------------------------------------------------------------ #
+    # Fleet construction
+    # ------------------------------------------------------------------ #
+
+    def _build_shared_store(self) -> ExpertMapStore:
+        """One expert-map store every fMoE replica learns into."""
+        config = self.world.config
+        model = self.world.model_config
+        return ExpertMapStore(
+            capacity=config.store_capacity,
+            num_layers=model.num_layers,
+            num_experts=model.experts_per_layer,
+            embedding_dim=model.embedding_dim,
+            prefetch_distance=min(
+                config.prefetch_distance, model.num_layers
+            ),
+        )
+
+    def _replica_faults(self, replica_id: int) -> FaultSchedule | None:
+        """This replica's fault oracle (None when it lives fault-free)."""
+        if self.fault_config is None:
+            return None
+        if (
+            self.spec.fault_replica is not None
+            and self.spec.fault_replica != replica_id
+        ):
+            return None
+        return FaultSchedule(self.fault_config)
+
+    def _spawn(self, now: float) -> Replica:
+        """Add one replica to the fleet at virtual time ``now``."""
+        replica_id = len(self.replicas)
+        policy = None
+        if self._shared_store is not None:
+            config = self.world.config
+            policy = FMoEPolicy(
+                prefetch_distance=config.prefetch_distance,
+                store_capacity=config.store_capacity,
+                shared_store=self._shared_store,
+            )
+        engine = make_engine(
+            self.world,
+            self.system,
+            policy=policy,
+            cache_budget_bytes=self.cache_budget_bytes,
+            faults=self._replica_faults(replica_id),
+            slo=self.slo,
+        )
+        if self.spec.warm:
+            if self._shared_store is None:
+                engine.policy.warm(self.world.warm_traces)
+            elif not self._store_warmed:
+                # A shared store is warmed exactly once: every replica
+                # searches the same rows, so re-warming would duplicate.
+                engine.policy.warm(self.world.warm_traces)
+                self._store_warmed = True
+        replica = Replica(replica_id, engine)
+        replica.spawned_at = now
+        self.replicas.append(replica)
+        if self.tracer is not None:
+            self.tracer.set_lane_name(
+                replica_lane(replica_id), f"replica {replica_id}"
+            )
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "repro_cluster_replicas",
+                "Replicas currently accepting work",
+            ).set(len(self._accepting()))
+        return replica
+
+    # ------------------------------------------------------------------ #
+    # Fleet state
+    # ------------------------------------------------------------------ #
+
+    def _accepting(self) -> list[Replica]:
+        """Replicas currently accepting new work."""
+        return [
+            r for r in self.replicas if not r.draining and not r.retired
+        ]
+
+    def _routable(self, now: float) -> list[Replica]:
+        """The accepting fleet minus device-loss casualties (failover).
+
+        When every accepting replica has lost a device the filter is
+        waived — degraded service beats no service.
+        """
+        accepting = self._accepting()
+        if not self.spec.route_around_device_loss:
+            return accepting
+        healthy = [r for r in accepting if r.device_failures == 0]
+        if healthy and len(healthy) < len(accepting):
+            self.report.routed_around_failures += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_cluster_failover_routes_total",
+                    "Routing decisions that excluded a failed replica",
+                ).inc()
+        return healthy or accepting
+
+    def _record_scale(
+        self, now: float, action: str, replica: Replica, outstanding: int
+    ) -> None:
+        """Append one scale event (and mirror it to trace/metrics)."""
+        self.report.scale_events.append(
+            ScaleEvent(now, action, replica.replica_id, outstanding)
+        )
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"scale:{action}",
+                now,
+                tid=CLUSTER_LANE,
+                category="cluster",
+                replica=replica.replica_id,
+                outstanding=outstanding,
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_cluster_scale_actions_total",
+                "Autoscaler actions by kind",
+            ).inc(action=action)
+            self.metrics.gauge(
+                "repro_cluster_replicas",
+                "Replicas currently accepting work",
+            ).set(len(self._accepting()))
+
+    def _retire_drained(self, now: float) -> None:
+        """Retire draining replicas whose last in-flight work finished."""
+        for replica in self.replicas:
+            if replica.draining and not replica.retired:
+                outstanding = replica.outstanding_requests(now)
+                if outstanding == 0:
+                    replica.retired = True
+                    self._record_scale(now, "retire", replica, outstanding)
+
+    def _autoscale(self, now: float) -> None:
+        """Apply at most one autoscaler action at this dispatch point."""
+        if self.autoscaler is None:
+            return
+        accepting = self._accepting()
+        action = self.autoscaler.decide(now, accepting)
+        if action == "up":
+            replica = self._spawn(now)
+            self.report.scale_ups += 1
+            self._record_scale(now, "up", replica, 0)
+        elif action == "down":
+            target = self.autoscaler.pick_drain_target(now, accepting)
+            target.draining = True
+            self.report.scale_downs += 1
+            self._record_scale(
+                now, "drain", target, target.outstanding_requests(now)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def _embedding(self, request: Request):
+        """Peek the request's embedding via the probe model."""
+        session = self._probe.start_session(
+            request.cluster,
+            request.input_tokens,
+            request.output_tokens,
+            seed=request.seed,
+        )
+        return session.embedding
+
+    def _dispatch(self, request: Request) -> None:
+        """Route and serve one request at its arrival time."""
+        now = request.arrival_time
+        self._retire_drained(now)
+        self._autoscale(now)
+        routable = self._routable(now)
+        decision = self.router.select(
+            request, self._embedding(request), routable, now
+        )
+        replica = decision.replica
+        self.report.routed += 1
+        if decision.reason == "affinity":
+            self.report.affinity_routed += 1
+        elif decision.reason == "fallback":
+            self.report.fallback_routed += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_cluster_routed_total",
+                "Requests dispatched, by replica and decision reason",
+            ).inc(replica=str(replica.replica_id), reason=decision.reason)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "route",
+                now,
+                tid=CLUSTER_LANE,
+                category="cluster",
+                request=request.request_id,
+                replica=replica.replica_id,
+                reason=decision.reason,
+                score=round(decision.score, 4),
+            )
+        finish = replica.serve(request)
+        if finish is None:
+            return
+        served = replica.report.requests[-1]
+        if self.tracer is not None:
+            self.tracer.complete(
+                f"request {request.request_id}",
+                served.start_time,
+                served.finish_time,
+                tid=replica_lane(replica.replica_id),
+                category="cluster",
+                ttft=round(served.ttft, 6),
+            )
+        if self.autoscaler is not None:
+            self.autoscaler.observe_ttft(served.ttft)
+
+    # ------------------------------------------------------------------ #
+    # Run
+    # ------------------------------------------------------------------ #
+
+    def run(self, requests: Sequence[Request]) -> ClusterReport:
+        """Serve ``requests`` across the fleet; returns the full report."""
+        # Stable sort: ties keep the caller's order, so a 1-replica
+        # cluster serves exactly the sequence a bare engine run would.
+        ordered = sorted(requests, key=lambda r: r.arrival_time)
+        tracing = self.tracer is not None and bool(ordered)
+        if tracing:
+            self.tracer.set_lane_name(CLUSTER_LANE, "cluster")
+            self.tracer.begin(
+                "cluster",
+                ordered[0].arrival_time,
+                tid=CLUSTER_LANE,
+                category="cluster",
+                router=self.spec.router,
+            )
+        for request in ordered:
+            self._dispatch(request)
+        self._finalize()
+        if tracing:
+            end_ts = max(
+                [ordered[0].arrival_time]
+                + [r.engine.now for r in self.replicas]
+            )
+            self.tracer.end(
+                end_ts, tid=CLUSTER_LANE, replicas=len(self.replicas)
+            )
+        return self.report
+
+    def _finalize(self) -> None:
+        """Fold per-replica reports into summaries and the aggregate."""
+        aggregate = ServingReport()
+        names = set()
+        for replica in self.replicas:
+            replica_report = replica.finalize()
+            if replica_report.policy_name:
+                names.add(replica_report.policy_name)
+            self.report.replica_reports.append(replica_report)
+            self.report.replicas.append(
+                ReplicaSummary(
+                    replica_id=replica.replica_id,
+                    assigned=replica.assigned,
+                    served=len(replica_report.requests),
+                    shed_requests=replica_report.shed_requests,
+                    hit_rate=replica_report.hit_rate,
+                    mean_ttft_seconds=replica_report.mean_ttft(),
+                    p95_e2e_seconds=replica_report.percentile_latency(95),
+                    device_failures=replica_report.device_failures,
+                    draining=replica.draining,
+                    retired=replica.retired,
+                    spawned_at=replica.spawned_at,
+                )
+            )
+            # Each replica engine owns its own sink: drop counters add.
+            aggregate.absorb(replica_report, distinct_sinks=True)
+        if len(names) == 1:
+            aggregate.policy_name = names.pop()
+        self.report.aggregate = aggregate
+        self.report.final_replicas = len(self._accepting())
+
+
+def run_cluster(
+    world: World,
+    system: str,
+    spec: ClusterSpec,
+    requests: Sequence[Request] | None = None,
+    fault_config: FaultConfig | None = None,
+    slo: SLOConfig | None = None,
+    cache_budget_bytes: int | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> ClusterReport:
+    """Serve a request trace on a simulated multi-replica cluster.
+
+    ``requests`` defaults to the world's test split.  ``fault_config`` is
+    instantiated into an independent (pure, seeded) fault oracle per
+    replica — or only on ``spec.fault_replica`` when set.  ``tracer`` and
+    ``metrics`` attach cluster-level observability (routing instants and
+    scale events on the cluster lane, per-replica serve spans, and
+    ``repro_cluster_*`` instruments).
+    """
+    driver = ClusterDriver(
+        world,
+        system,
+        spec,
+        fault_config=fault_config,
+        slo=slo,
+        cache_budget_bytes=cache_budget_bytes,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    return driver.run(
+        list(requests) if requests is not None else world.test_requests
+    )

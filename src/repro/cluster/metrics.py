@@ -1,0 +1,229 @@
+"""Cluster-level metrics: per-replica summaries plus fleet aggregates.
+
+A :class:`ClusterReport` carries one :class:`ServingReport` per replica,
+the fleet aggregate (the same :meth:`ServingReport.absorb` fold the
+parallel runner uses), the routing/scaling counters, and the scale-event
+timeline.  It quacks like a :class:`ServingReport` for the chaos matrix
+(``percentile_latency``, ``hit_rate``, the fault counters), so existing
+fault tooling accepts cluster cells unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.serving.metrics import ServingReport
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaler action on the cluster's virtual timeline."""
+
+    time: float
+    action: str
+    """``up`` (replica added), ``drain`` (replica stops taking work), or
+    ``retire`` (a drained replica leaves the fleet)."""
+
+    replica_id: int
+    outstanding: int
+    """In-flight requests on the affected replica at event time (retire
+    events must always record 0 — drain-before-kill)."""
+
+
+@dataclass(frozen=True)
+class ReplicaSummary:
+    """Routing-level outcome of one replica's run."""
+
+    replica_id: int
+    assigned: int
+    """Requests the router dispatched to this replica."""
+
+    served: int
+    shed_requests: int
+    hit_rate: float
+    mean_ttft_seconds: float
+    p95_e2e_seconds: float
+    device_failures: int
+    draining: bool
+    retired: bool
+    spawned_at: float
+
+
+@dataclass
+class ClusterReport:
+    """Aggregated outcome of one multi-replica cluster run."""
+
+    system: str = ""
+    router: str = ""
+    replicas: list[ReplicaSummary] = field(default_factory=list)
+    replica_reports: list[ServingReport] = field(default_factory=list)
+    aggregate: ServingReport = field(default_factory=ServingReport)
+    """Fleet-wide fold of the per-replica reports (replica-id order,
+    ``distinct_sinks=True`` — each replica engine owns its own sink)."""
+
+    scale_events: list[ScaleEvent] = field(default_factory=list)
+    routed: int = 0
+    affinity_routed: int = 0
+    """Requests placed by a semantic-affinity store match (0 under the
+    load-only routers)."""
+
+    fallback_routed: int = 0
+    """Affinity-router requests that fell back to least-outstanding."""
+
+    routed_around_failures: int = 0
+    """Routing decisions that excluded at least one replica because it
+    had lost a device (router failover)."""
+
+    scale_ups: int = 0
+    scale_downs: int = 0
+    final_replicas: int = 0
+    """Replicas still accepting work when the run ended."""
+
+    # ------------------------------------------------------------------ #
+    # Fleet-level derived metrics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def affinity_hit_rate(self) -> float:
+        """Fraction of routed requests placed by store affinity."""
+        if self.routed == 0:
+            return 0.0
+        return self.affinity_routed / self.routed
+
+    def load_imbalance(self) -> float:
+        """Coefficient of variation of per-replica assignment counts.
+
+        0 means perfectly even; higher means the router concentrated
+        load.  Affinity routing *buys* locality with imbalance, so this
+        is reported alongside hit rate rather than minimized.
+        """
+        counts = np.array([r.assigned for r in self.replicas], dtype=float)
+        if counts.size == 0 or counts.mean() == 0:
+            return 0.0
+        return float(counts.std() / counts.mean())
+
+    def slo_attainment(self, deadline_seconds: float) -> float:
+        """Fraction of *admitted* requests finishing within the deadline.
+
+        Shed requests count as missed — dropping work must not improve
+        the attainment number.
+        """
+        served = self.aggregate.e2e_latencies()
+        admitted = served.size + self.aggregate.shed_requests
+        if admitted == 0:
+            return 0.0
+        return float((served <= deadline_seconds).sum()) / admitted
+
+    # ------------------------------------------------------------------ #
+    # ServingReport-compatible surface (chaos matrix, exporters)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def hit_rate(self) -> float:
+        """Fleet-wide expert hit rate (aggregate report)."""
+        return self.aggregate.hit_rate
+
+    def percentile_latency(self, q: float) -> float:
+        """Fleet-wide ``q``-th percentile end-to-end latency."""
+        return self.aggregate.percentile_latency(q)
+
+    def mean_ttft(self) -> float:
+        """Fleet-wide mean Time-To-First-Token."""
+        return self.aggregate.mean_ttft()
+
+    @property
+    def retries(self) -> int:
+        """Fleet-wide transfer retries (aggregate report)."""
+        return self.aggregate.retries
+
+    @property
+    def failovers(self) -> int:
+        """Fleet-wide expert re-placements (aggregate report)."""
+        return self.aggregate.failovers
+
+    @property
+    def device_failures(self) -> int:
+        """Fleet-wide whole-GPU losses (aggregate report)."""
+        return self.aggregate.device_failures
+
+    @property
+    def shed_requests(self) -> int:
+        """Fleet-wide SLO-shed requests (aggregate report)."""
+        return self.aggregate.shed_requests
+
+    @property
+    def degraded_tokens(self) -> int:
+        """Fleet-wide degraded activations (aggregate report)."""
+        return self.aggregate.degraded_tokens
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Fleet-wide failure-recovery seconds (aggregate report)."""
+        return self.aggregate.recovery_seconds
+
+    @property
+    def slo_violations(self) -> int:
+        """Fleet-wide SLO violations (aggregate report)."""
+        return self.aggregate.slo_violations
+
+
+def cluster_report_to_dict(report: ClusterReport) -> dict:
+    """A JSON-serializable summary of one cluster run."""
+    return {
+        "system": report.system,
+        "router": report.router,
+        "routed": report.routed,
+        "served": len(report.aggregate.requests),
+        "affinity_routed": report.affinity_routed,
+        "fallback_routed": report.fallback_routed,
+        "affinity_hit_rate": report.affinity_hit_rate,
+        "routed_around_failures": report.routed_around_failures,
+        "scale_ups": report.scale_ups,
+        "scale_downs": report.scale_downs,
+        "final_replicas": report.final_replicas,
+        "load_imbalance": report.load_imbalance(),
+        "hit_rate": report.hit_rate,
+        "mean_ttft_seconds": report.mean_ttft(),
+        "p95_e2e_seconds": report.percentile_latency(95),
+        "shed_requests": report.shed_requests,
+        "device_failures": report.device_failures,
+        "scale_events": [
+            {
+                "time": e.time,
+                "action": e.action,
+                "replica_id": e.replica_id,
+                "outstanding": e.outstanding,
+            }
+            for e in report.scale_events
+        ],
+        "replicas": [
+            {
+                "replica_id": r.replica_id,
+                "assigned": r.assigned,
+                "served": r.served,
+                "shed_requests": r.shed_requests,
+                "hit_rate": r.hit_rate,
+                "mean_ttft_seconds": r.mean_ttft_seconds,
+                "p95_e2e_seconds": r.p95_e2e_seconds,
+                "device_failures": r.device_failures,
+                "draining": r.draining,
+                "retired": r.retired,
+                "spawned_at": r.spawned_at,
+            }
+            for r in report.replicas
+        ],
+    }
+
+
+def cluster_report_to_json(
+    report: ClusterReport, path: str | Path | None = None
+) -> str:
+    """Serialize a cluster report to JSON; optionally write to ``path``."""
+    text = json.dumps(cluster_report_to_dict(report), indent=2, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text + "\n")
+    return text

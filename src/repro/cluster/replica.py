@@ -1,0 +1,101 @@
+"""One cluster replica: an engine plus its dispatch-side bookkeeping.
+
+A :class:`Replica` wraps one independent :class:`ServingEngine` (its own
+model instance, expert pool, and policy) and tracks what the *router*
+needs to know about it: how much routed work is still outstanding at any
+virtual time, whether the replica is draining, and whether it has lost a
+device.  Serving is eager — a routed request runs to completion on the
+replica's private timeline immediately — which is sound because replicas
+are independent machines and routing decisions only ever depend on work
+dispatched at earlier arrival times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.engine import ServingEngine
+from repro.serving.metrics import ServingReport
+from repro.serving.request import Request
+
+
+@dataclass
+class _Outstanding:
+    """One routed-but-unfinished request on a replica's timeline."""
+
+    finish_time: float
+    output_tokens: int
+
+
+class Replica:
+    """One engine replica and the routing-visible state around it."""
+
+    def __init__(self, replica_id: int, engine: ServingEngine) -> None:
+        self.replica_id = replica_id
+        self.engine = engine
+        self.report = ServingReport(policy_name=engine.policy.name)
+        self._retries_before = engine.pool.total_retries()
+        self.assigned = 0
+        self.draining = False
+        self.retired = False
+        self.spawned_at = 0.0
+        self._outstanding: list[_Outstanding] = []
+        self._finalized = False
+
+    # ------------------------------------------------------------------ #
+    # Routing-visible state
+    # ------------------------------------------------------------------ #
+
+    def outstanding_requests(self, now: float) -> int:
+        """Routed requests not yet finished at virtual time ``now``."""
+        self._prune(now)
+        return len(self._outstanding)
+
+    def outstanding_tokens(self, now: float) -> int:
+        """Output tokens of routed-but-unfinished requests at ``now``."""
+        self._prune(now)
+        return sum(o.output_tokens for o in self._outstanding)
+
+    def _prune(self, now: float) -> None:
+        """Drop outstanding entries whose requests finished by ``now``."""
+        self._outstanding = [
+            o for o in self._outstanding if o.finish_time > now
+        ]
+
+    @property
+    def device_failures(self) -> int:
+        """Whole-GPU losses this replica has absorbed so far."""
+        return self.report.device_failures
+
+    def expert_map_store(self):
+        """The policy's :class:`ExpertMapStore` (None for storeless ones)."""
+        return getattr(self.engine.policy, "store", None)
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+
+    def serve(self, request: Request) -> float | None:
+        """Serve one routed request on this replica's own timeline.
+
+        The engine idles until the request's arrival if the replica is
+        free, or queues it behind in-flight work otherwise; overdue
+        requests are shed under the engine's SLO.  Returns the finish
+        time, or ``None`` when the request was shed.
+        """
+        self.assigned += 1
+        served = self.engine.serve_step(
+            [request], self.report, respect_arrivals=True
+        )
+        if not served:
+            return None
+        finish = self.engine.now
+        self._outstanding.append(_Outstanding(finish, request.output_tokens))
+        return finish
+
+    def finalize(self) -> ServingReport:
+        """Stamp run-level counters onto this replica's report (idempotent)."""
+        if not self._finalized:
+            self._finalized = True
+            self.engine.finalize_report(self.report, self._retries_before)
+        return self.report

@@ -1,0 +1,167 @@
+"""Pluggable request routers for the cluster driver.
+
+Three policies, all pure functions of the routable replica set and the
+virtual clock (so a fixed seed replays the same assignment):
+
+- :class:`RoundRobinRouter` — rotate through the routable replicas.
+- :class:`LeastOutstandingRouter` — fewest outstanding output tokens wins
+  (replica id breaks ties).
+- :class:`SemanticAffinityRouter` — fMoE's §5/Fig. 8 insight lifted to
+  the fleet: semantically similar prompts activate similar experts, so a
+  request embedding is searched against each replica's expert-map store
+  and the request lands on the replica that has already seen its semantic
+  neighborhood.  Replicas whose stores are empty (or whose policies carry
+  no store at all) contribute no signal; when nobody has evidence, or the
+  best match is weaker than ``min_score``, routing degrades to
+  least-outstanding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.cluster.config import ROUTER_NAMES
+from repro.cluster.replica import Replica
+from repro.errors import ConfigError
+from repro.serving.request import Request
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Outcome of one routing choice (replica + why it was picked)."""
+
+    replica: Replica
+    reason: str
+    """``round-robin`` / ``least-outstanding`` / ``affinity`` /
+    ``fallback`` (affinity router with no usable store signal)."""
+
+    score: float = 0.0
+    """Best semantic-affinity score (affinity decisions only)."""
+
+
+class Router(Protocol):
+    """Structural interface every cluster routing policy implements."""
+
+    name: str
+
+    def select(
+        self,
+        request: Request,
+        embedding: np.ndarray,
+        replicas: Sequence[Replica],
+        now: float,
+    ) -> RouteDecision:
+        """Pick the replica ``request`` is dispatched to at time ``now``."""
+        ...
+
+
+def _least_outstanding(
+    replicas: Sequence[Replica], now: float
+) -> Replica:
+    """Fewest outstanding output tokens; replica id breaks ties."""
+    return min(
+        replicas,
+        key=lambda r: (r.outstanding_tokens(now), r.replica_id),
+    )
+
+
+class RoundRobinRouter:
+    """Rotate through the routable replicas in dispatch order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(
+        self,
+        request: Request,
+        embedding: np.ndarray,
+        replicas: Sequence[Replica],
+        now: float,
+    ) -> RouteDecision:
+        """The next replica in rotation (a pure counter, seed-free)."""
+        replica = replicas[self._next % len(replicas)]
+        self._next += 1
+        return RouteDecision(replica, self.name)
+
+
+class LeastOutstandingRouter:
+    """Route to the replica with the fewest outstanding output tokens."""
+
+    name = "least-outstanding"
+
+    def select(
+        self,
+        request: Request,
+        embedding: np.ndarray,
+        replicas: Sequence[Replica],
+        now: float,
+    ) -> RouteDecision:
+        """The least-loaded replica at ``now`` (id breaks ties)."""
+        return RouteDecision(_least_outstanding(replicas, now), self.name)
+
+
+class SemanticAffinityRouter:
+    """Steer similar prompts to replicas holding their expert maps."""
+
+    name = "semantic-affinity"
+
+    def __init__(self, min_score: float = 0.0) -> None:
+        self.min_score = min_score
+        self.affinity_decisions = 0
+        self.fallback_decisions = 0
+
+    def select(
+        self,
+        request: Request,
+        embedding: np.ndarray,
+        replicas: Sequence[Replica],
+        now: float,
+    ) -> RouteDecision:
+        """Best store match above ``min_score``, else least-outstanding.
+
+        Candidates are ranked by (score desc, outstanding asc, id asc),
+        so equal evidence falls back to load — affinity concentrates
+        locality without starving the rest of the fleet on ties.
+        """
+        scored: list[tuple[float, int, int, Replica]] = []
+        for replica in replicas:
+            store = replica.expert_map_store()
+            if store is None or len(store) == 0:
+                continue
+            score = store.best_semantic_score(embedding)
+            scored.append(
+                (
+                    score,
+                    replica.outstanding_tokens(now),
+                    replica.replica_id,
+                    replica,
+                )
+            )
+        if scored:
+            scored.sort(key=lambda item: (-item[0], item[1], item[2]))
+            best_score, _, _, best = scored[0]
+            if best_score >= self.min_score:
+                self.affinity_decisions += 1
+                return RouteDecision(best, "affinity", float(best_score))
+        self.fallback_decisions += 1
+        return RouteDecision(
+            _least_outstanding(replicas, now), "fallback"
+        )
+
+
+def make_router(name: str) -> Router:
+    """Instantiate one of the cluster routing policies by name."""
+    if name == "round-robin":
+        return RoundRobinRouter()
+    if name == "least-outstanding":
+        return LeastOutstandingRouter()
+    if name == "semantic-affinity":
+        return SemanticAffinityRouter()
+    raise ConfigError(
+        f"unknown router {name!r}; choose from: {', '.join(ROUTER_NAMES)}"
+    )

@@ -67,6 +67,7 @@ class FMoEPolicy(BasePolicy):
         overheads: OverheadModel | None = None,
         update_store_online: bool = True,
         eviction_algorithm: str = "fmoe",
+        shared_store: ExpertMapStore | None = None,
     ) -> None:
         super().__init__()
         if prefetch_distance < 1:
@@ -92,6 +93,10 @@ class FMoEPolicy(BasePolicy):
         self.overheads = overheads or OverheadModel()
         self.update_store_online = update_store_online
         self.eviction_algorithm = eviction_algorithm
+        self._shared_store = shared_store
+        """Externally owned store to attach to instead of building one —
+        cluster replicas configured for a shared store all learn into (and
+        search) the same map collection."""
         self._lru = LRUTracker()
         self._lfu = LFUTracker()
         self.store: ExpertMapStore | None = None
@@ -109,13 +114,29 @@ class FMoEPolicy(BasePolicy):
         super().attach(engine)
         config = engine.config
         distance = min(self.prefetch_distance, config.num_layers)
-        self.store = ExpertMapStore(
-            capacity=self.store_capacity,
-            num_layers=config.num_layers,
-            num_experts=config.experts_per_layer,
-            embedding_dim=config.embedding_dim,
-            prefetch_distance=distance,
-        )
+        if self._shared_store is not None:
+            store = self._shared_store
+            if (
+                store.num_layers != config.num_layers
+                or store.num_experts != config.experts_per_layer
+                or store.embedding_dim != config.embedding_dim
+            ):
+                raise ConfigError(
+                    "shared store dimensions "
+                    f"(L={store.num_layers}, J={store.num_experts}, "
+                    f"h={store.embedding_dim}) do not match the model "
+                    f"(L={config.num_layers}, J={config.experts_per_layer}, "
+                    f"h={config.embedding_dim})"
+                )
+            self.store = store
+        else:
+            self.store = ExpertMapStore(
+                capacity=self.store_capacity,
+                num_layers=config.num_layers,
+                num_experts=config.experts_per_layer,
+                embedding_dim=config.embedding_dim,
+                prefetch_distance=distance,
+            )
         self.matcher = ExpertMapMatcher(
             self.store,
             base_seconds=self.overheads.map_match_base_seconds,

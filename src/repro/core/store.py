@@ -183,6 +183,35 @@ class ExpertMapStore:
         return (d / total) * sem + ((total - d) / total) * traj
 
     # ------------------------------------------------------------------ #
+    # Affinity summaries (cluster routing)
+    # ------------------------------------------------------------------ #
+
+    def embedding_centroid(self) -> np.ndarray | None:
+        """Mean of the stored unit embeddings (``None`` when empty).
+
+        A cheap one-vector summary of the semantic region this store has
+        seen; cluster routers compare request embeddings against replica
+        centroids to steer similar prompts to replicas that already hold
+        their expert maps.
+        """
+        if self.is_empty:
+            return None
+        return self._embeddings_unit[: self._size].mean(axis=0)
+
+    def best_semantic_score(self, embedding: np.ndarray) -> float:
+        """Best cosine match of one query embedding against the store.
+
+        The affinity-routing signal: the maximum of
+        :meth:`semantic_scores` for a single query, or ``-1.0`` when the
+        store is empty (no evidence, defer to load-based routing).
+        """
+        if self.is_empty:
+            return -1.0
+        embedding = np.asarray(embedding, dtype=np.float64)
+        scores = self.semantic_scores(embedding[None, :])
+        return float(scores[0].max())
+
+    # ------------------------------------------------------------------ #
     # Search primitives (Eqs. 4 and 5)
     # ------------------------------------------------------------------ #
 

@@ -9,6 +9,7 @@ from repro.experiments.common import (
     ExperimentConfig,
     World,
     build_world,
+    make_engine,
     make_policy,
     run_system,
     SYSTEM_NAMES,
@@ -18,6 +19,7 @@ __all__ = [
     "ExperimentConfig",
     "World",
     "build_world",
+    "make_engine",
     "make_policy",
     "run_system",
     "SYSTEM_NAMES",

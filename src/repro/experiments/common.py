@@ -142,6 +142,47 @@ def make_policy(name: str, config: ExperimentConfig) -> BasePolicy:
     raise ConfigError(f"unknown system {name!r}")
 
 
+def make_engine(
+    world: World,
+    system: str,
+    policy: BasePolicy | None = None,
+    cache_budget_bytes: int | None = None,
+    faults: FaultSchedule | None = None,
+    slo: SLOConfig | None = None,
+) -> ServingEngine:
+    """Build a fresh engine for ``world`` under one system.
+
+    The single construction path shared by :func:`run_system` and the
+    cluster driver (one engine per replica), so a 1-replica cluster run
+    is the same machine as a bare run.  ``policy`` overrides the default
+    :func:`make_policy` construction (shared-store cluster replicas).
+    """
+    config = world.config
+    if policy is None:
+        policy = make_policy(system, config)
+    budget = cache_budget_bytes
+    if budget is None:
+        budget = config.resolve_budget(world.model_config)
+    if system == "no-offload":
+        # The latency floor needs every expert resident; add per-device
+        # headroom because round-robin placement is not perfectly even.
+        model = world.model_config
+        headroom = (
+            config.hardware.num_gpus
+            * model.experts_per_layer
+            * model.expert_bytes
+        )
+        budget = max(budget, model.total_expert_bytes + headroom)
+    return ServingEngine(
+        world.fresh_model(),
+        policy,
+        cache_budget_bytes=budget,
+        hardware=config.hardware,
+        faults=faults,
+        slo=slo,
+    )
+
+
 def run_system(
     world: World,
     system: str,
@@ -163,25 +204,10 @@ def run_system(
     leave the latency results untouched.
     """
     config = world.config
-    policy = make_policy(system, config)
-    budget = cache_budget_bytes
-    if budget is None:
-        budget = config.resolve_budget(world.model_config)
-    if system == "no-offload":
-        # The latency floor needs every expert resident; add per-device
-        # headroom because round-robin placement is not perfectly even.
-        model = world.model_config
-        headroom = (
-            config.hardware.num_gpus
-            * model.experts_per_layer
-            * model.expert_bytes
-        )
-        budget = max(budget, model.total_expert_bytes + headroom)
-    engine = ServingEngine(
-        world.fresh_model(),
-        policy,
-        cache_budget_bytes=budget,
-        hardware=config.hardware,
+    engine = make_engine(
+        world,
+        system,
+        cache_budget_bytes=cache_budget_bytes,
         faults=faults,
         slo=slo,
     )
@@ -190,7 +216,7 @@ def run_system(
     if recorder is not None:
         engine.set_recorder(recorder)
     if warm:
-        policy.warm(world.warm_traces)
+        engine.policy.warm(world.warm_traces)
     report = engine.run(
         list(requests) if requests is not None else world.test_requests,
         batch_size=batch_size or config.batch_size,

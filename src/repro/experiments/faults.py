@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cluster.config import ClusterSpec
 from repro.experiments.common import ExperimentConfig
 from repro.experiments.runner import SimCell, WorldCache, run_cells
 from repro.serving.faults import (
@@ -142,6 +143,7 @@ def chaos_rows(
     queue_budget_multiplier: float = 2.0,
     jobs: int | None = 1,
     cache: WorldCache | None = None,
+    cluster: ClusterSpec | None = None,
 ) -> list[ChaosRow]:
     """Run the full (system, scenario) chaos matrix.
 
@@ -156,6 +158,12 @@ def chaos_rows(
     (system, scenario) order regardless.  A healthy run never depends on
     the fault seed (a zero fault config perturbs nothing), so the
     reference wave reproduces the matrix's own healthy cells exactly.
+
+    ``cluster`` subjects a whole replica fleet to each scenario instead
+    of a single engine: cells run through the cluster driver (router
+    failover included) and rows aggregate fleet-wide counters — the
+    :class:`~repro.cluster.metrics.ClusterReport` exposes the same
+    latency/fault surface a :class:`ServingReport` does.
     """
     base = config or ExperimentConfig()
     trace = tuple(_chaos_trace(base, trace_requests, rate_seconds))
@@ -169,6 +177,7 @@ def chaos_rows(
             respect_arrivals=True,
             faults=faults,
             slo=slo,
+            cluster=cluster,
         )
 
     healthy_faults = FaultConfig(seed=base.seed)

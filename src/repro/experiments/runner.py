@@ -40,6 +40,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.cluster.config import ClusterSpec
 from repro.errors import ConfigError
 from repro.experiments.common import (
     ExperimentConfig,
@@ -154,11 +155,40 @@ class SimCell:
     counts surface in ``ServingReport.events_dropped``.  Sinks are never
     shared across processes."""
 
+    cluster: ClusterSpec | None = None
+    """Run this cell as a multi-replica cluster simulation instead of a
+    single engine; the report comes back as a
+    :class:`~repro.cluster.metrics.ClusterReport`.  Warm-up is governed
+    by the spec's own ``warm`` flag (``SimCell.warm`` is ignored), and
+    arrivals are always respected — cluster routing is an online
+    decision by construction."""
+
 
 def run_cell(cell: SimCell, cache: WorldCache | None = None) -> ServingReport:
     """Execute one cell in this process (worlds come from ``cache``)."""
     cache = cache if cache is not None else _PROCESS_CACHE
     world = cache.get(cell.config)
+    if cell.cluster is not None:
+        if cell.ring_buffer_events is not None:
+            raise ConfigError(
+                "cluster cells do not support ring_buffer_events "
+                "(replica engines own their sinks)"
+            )
+        # Imported lazily: the cluster driver pulls in the serving stack,
+        # while this module stays importable for cheap cell construction.
+        from repro.cluster.driver import run_cluster
+
+        return run_cluster(
+            world,
+            cell.system,
+            cell.cluster,
+            requests=(
+                list(cell.requests) if cell.requests is not None else None
+            ),
+            fault_config=cell.faults,
+            slo=cell.slo,
+            cache_budget_bytes=cell.cache_budget_bytes,
+        )
     recorder = None
     if cell.ring_buffer_events is not None:
         from repro.obs.sinks import RingBufferSink

@@ -16,8 +16,10 @@ Spans come in two flavours:
 Lane (``tid``) conventions used by the serving stack:
 
 - lane 0 — the engine timeline (iteration → layer → serve spans);
+- lane 500 — the cluster-router timeline (routing/scaling decisions);
 - lanes ``1000 + device`` — per-GPU PCIe transfer lanes;
-- lanes ``10000 + request_id`` — per-request lifetime spans.
+- lanes ``10000 + request_id`` — per-request lifetime spans;
+- lanes ``20000 + replica`` — per-replica serve lanes (cluster runs).
 
 Timestamps are virtual seconds; export converts to the microseconds the
 trace-event schema expects.
@@ -33,8 +35,10 @@ from repro.errors import TelemetryError
 
 #: Lane conventions (see module docstring).
 ENGINE_LANE = 0
+CLUSTER_LANE = 500
 DEVICE_LANE_BASE = 1_000
 REQUEST_LANE_BASE = 10_000
+REPLICA_LANE_BASE = 20_000
 
 
 def device_lane(device: int) -> int:
@@ -45,6 +49,11 @@ def device_lane(device: int) -> int:
 def request_lane(request_id: int) -> int:
     """Trace lane of one request's lifetime span."""
     return REQUEST_LANE_BASE + request_id
+
+
+def replica_lane(replica_id: int) -> int:
+    """Trace lane of one cluster replica's serve timeline."""
+    return REPLICA_LANE_BASE + replica_id
 
 
 @dataclass

@@ -299,14 +299,44 @@ class ServingEngine:
         report = ServingReport(policy_name=self.policy.name)
         retries_before = self.pool.total_retries()
         for start in range(0, len(requests), batch_size):
-            batch: Sequence[Request] = requests[start : start + batch_size]
-            if respect_arrivals:
-                ready_at = max(r.arrival_time for r in batch)
-                self._now = max(self._now, ready_at)
-                batch = self.shed_overdue(batch, report)
-                if not batch:
-                    continue
-            self._serve_batch(batch, report, respect_arrivals)
+            self.serve_step(
+                requests[start : start + batch_size], report, respect_arrivals
+            )
+        return self.finalize_report(report, retries_before)
+
+    def serve_step(
+        self,
+        batch: Sequence[Request],
+        report: ServingReport,
+        respect_arrivals: bool = False,
+    ) -> list[Request]:
+        """Serve one batch incrementally, accumulating into ``report``.
+
+        The incremental half of :meth:`run`: external dispatch loops (the
+        cluster driver, schedulers) feed batches one at a time on the same
+        virtual clock and finish with :meth:`finalize_report`, producing a
+        report byte-identical to a single :meth:`run` call over the same
+        sequence.  Returns the requests actually served (overdue requests
+        are shed under ``respect_arrivals`` and an SLO queue budget).
+        """
+        batch = list(batch)
+        if respect_arrivals:
+            ready_at = max(r.arrival_time for r in batch)
+            self._now = max(self._now, ready_at)
+            batch = self.shed_overdue(batch, report)
+            if not batch:
+                return []
+        self._serve_batch(batch, report, respect_arrivals)
+        return batch
+
+    def finalize_report(
+        self, report: ServingReport, retries_before: int = 0
+    ) -> ServingReport:
+        """Stamp run-level counters onto an incrementally built report.
+
+        ``retries_before`` is the pool's retry count captured before the
+        first :meth:`serve_step` (0 for a fresh engine).
+        """
         report.retries += self.pool.total_retries() - retries_before
         report.peak_cache_bytes = self.pool.used_bytes()
         report.peak_kv_bytes = self.kv_tracker.peak_bytes
@@ -392,11 +422,7 @@ class ServingEngine:
                     active.remove(entry)
             iteration += 1
             report.iterations += 1
-        report.retries += self.pool.total_retries() - retries_before
-        report.peak_cache_bytes = self.pool.used_bytes()
-        report.peak_kv_bytes = self.kv_tracker.peak_bytes
-        report.events_dropped = self._events_dropped()
-        return report
+        return self.finalize_report(report, retries_before)
 
     def _events_dropped(self) -> int:
         """Events the attached sink(s) discarded so far (max across them)."""

@@ -1,0 +1,122 @@
+"""Cluster fault handling: router failover and chaos-matrix integration.
+
+Covers the two regression surfaces the cluster layer adds to the fault
+stack: a device loss on one replica must steer subsequent requests to the
+survivors, and the chaos-matrix machinery must accept cluster cells
+(fleet-wide counters flow through the same row-building code).
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ClusterSpec, run_cluster
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.faults import FaultScenario, chaos_rows
+from repro.experiments.runner import SimCell, process_cache, run_cell
+from repro.serving.faults import DeviceFailure, FaultConfig
+
+from tests._cluster_testkit import arrival_trace, tiny_world
+
+SMALL = ExperimentConfig(num_requests=8, num_test_requests=2)
+
+
+def _device_loss(seed=0, time=0.1):
+    return FaultConfig(
+        seed=seed, device_failures=(DeviceFailure(time=time, device=0),)
+    )
+
+
+class TestRouterFailover:
+    def test_routes_around_lost_device(self):
+        """After replica 0 loses a GPU, new requests go elsewhere."""
+        world = tiny_world()
+        trace = arrival_trace(world, n=8, gap=0.5)
+        report = run_cluster(
+            world,
+            "fmoe",
+            ClusterSpec(
+                replicas=2, router="round-robin", fault_replica=0
+            ),
+            requests=trace,
+            fault_config=_device_loss(),
+        )
+        by_id = {r.replica_id: r for r in report.replicas}
+        assert by_id[0].device_failures > 0
+        assert by_id[1].device_failures == 0
+        assert report.routed_around_failures > 0
+        # Replica 0 only kept what it was assigned before the loss
+        # surfaced; the survivor absorbed the rest of the trace.
+        assert by_id[1].assigned > by_id[0].assigned
+        assert report.device_failures == by_id[0].device_failures
+
+    def test_failover_can_be_disabled(self):
+        world = tiny_world()
+        trace = arrival_trace(world, n=8, gap=0.5)
+        report = run_cluster(
+            world,
+            "fmoe",
+            ClusterSpec(
+                replicas=2,
+                router="round-robin",
+                fault_replica=0,
+                route_around_device_loss=False,
+            ),
+            requests=trace,
+            fault_config=_device_loss(),
+            # Generous budget: the surviving GPU must absorb the whole
+            # working set once its peer is gone.
+            cache_budget_bytes=10**9,
+        )
+        assert report.routed_around_failures == 0
+        by_id = {r.replica_id: r for r in report.replicas}
+        # Round-robin keeps alternating straight through the failure.
+        assert by_id[0].assigned == by_id[1].assigned == 4
+
+    def test_fault_on_every_replica_waives_filter(self):
+        """When the whole fleet is degraded, service continues anyway."""
+        world = tiny_world()
+        trace = arrival_trace(world, n=6, gap=0.5)
+        report = run_cluster(
+            world,
+            "fmoe",
+            ClusterSpec(replicas=2, router="round-robin"),
+            requests=trace,
+            fault_config=_device_loss(),
+            cache_budget_bytes=10**9,
+        )
+        assert all(r.device_failures > 0 for r in report.replicas)
+        assert report.routed == 6
+        assert len(report.aggregate.requests) == 6
+
+
+class TestChaosMatrixClusterCells:
+    def test_run_cell_accepts_cluster_spec(self):
+        process_cache().get(SMALL)
+        report = run_cell(
+            SimCell(
+                config=SMALL,
+                system="fmoe",
+                cluster=ClusterSpec(replicas=2, warm=False),
+            )
+        )
+        assert report.routed == len(report.aggregate.requests)
+
+    def test_chaos_rows_accept_cluster(self):
+        """The fault matrix runs whole fleets through unchanged rows."""
+        scenarios = (
+            FaultScenario("healthy", FaultConfig(seed=0)),
+            FaultScenario("device-loss", _device_loss(time=1.0)),
+        )
+        rows = chaos_rows(
+            systems=("fmoe",),
+            scenarios=scenarios,
+            config=SMALL,
+            trace_requests=5,
+            cluster=ClusterSpec(replicas=2, router="round-robin"),
+        )
+        assert [r.scenario for r in rows] == ["healthy", "device-loss"]
+        healthy, lossy = rows
+        assert healthy.p95_inflation == 1.0
+        # The fleet-wide failure counters surfaced through the same
+        # row-building code a single-engine report feeds.
+        assert lossy.failovers >= 0
+        assert lossy.p95_seconds > 0

@@ -64,6 +64,14 @@ class TestExamples:
         assert "degraded_tokens" in result.stdout
         assert "replay identical: True" in result.stdout
 
+    def test_cluster_demo(self):
+        result = run_example(
+            "cluster_demo.py", "--requests", "8", "--replicas", "2"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "semantic-affinity" in result.stdout
+        assert "affinity routing hit-rate delta" in result.stdout
+
     def test_trace_a_run(self, tmp_path):
         result = run_example(
             "trace_a_run.py",

@@ -1,0 +1,220 @@
+"""Property-based tests for the cluster layer.
+
+Invariants, under randomized fleet shapes, routers, and arrival traces:
+
+- conservation — every admitted request finishes on exactly one replica
+  or is shed with the counter incremented; nothing is lost or duplicated;
+- determinism — a fixed spec and trace replays byte-identically;
+- drain-before-kill — the autoscaler never retires a replica that still
+  has in-flight requests;
+- graceful degradation — affinity routing on a storeless system is
+  exactly least-outstanding routing plus fallback accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    AutoscalerConfig,
+    ClusterSpec,
+    cluster_report_to_json,
+    run_cluster,
+)
+from repro.serving.faults import SLOConfig
+
+from tests._cluster_testkit import arrival_trace, tiny_world
+
+ROUTERS = ("round-robin", "least-outstanding", "semantic-affinity")
+
+
+def _trace(n, gap, seed):
+    return arrival_trace(tiny_world(), n=n, gap=gap, seed=seed)
+
+
+class TestConservation:
+    @given(
+        replicas=st.integers(1, 4),
+        router=st.sampled_from(ROUTERS),
+        n=st.integers(1, 8),
+        gap=st.sampled_from((0.0, 0.2, 1.0)),
+        seed=st.integers(0, 3),
+        budget=st.sampled_from((None, 0.5, 2.0)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_every_request_served_once_or_shed(
+        self, replicas, router, n, gap, seed, budget
+    ):
+        world = tiny_world()
+        trace = _trace(n, gap, seed)
+        slo = (
+            SLOConfig(queue_delay_budget_seconds=budget)
+            if budget is not None
+            else None
+        )
+        report = run_cluster(
+            world,
+            "fmoe",
+            ClusterSpec(replicas=replicas, router=router),
+            requests=trace,
+            slo=slo,
+        )
+        served_ids = [
+            r.request_id
+            for rep in report.replica_reports
+            for r in rep.requests
+        ]
+        shed_ids = list(report.aggregate.shed_request_ids)
+        # Exactly-once: the served and shed id multisets partition the
+        # admitted trace.
+        assert sorted(served_ids + shed_ids) == sorted(
+            r.request_id for r in trace
+        )
+        assert report.routed == len(trace)
+        assert report.shed_requests == len(shed_ids)
+        assert sum(r.assigned for r in report.replicas) == report.routed
+
+
+class TestDeterminism:
+    @given(
+        replicas=st.integers(1, 3),
+        router=st.sampled_from(ROUTERS),
+        shared=st.booleans(),
+        seed=st.integers(0, 3),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_fixed_seed_replays_identically(
+        self, replicas, router, shared, seed
+    ):
+        world = tiny_world()
+        trace = _trace(6, 0.4, seed)
+        spec = ClusterSpec(
+            replicas=replicas, router=router, shared_store=shared
+        )
+        first = run_cluster(world, "fmoe", spec, requests=trace)
+        second = run_cluster(world, "fmoe", spec, requests=trace)
+        assert cluster_report_to_json(first) == cluster_report_to_json(
+            second
+        )
+
+
+class TestAutoscalerProperties:
+    @given(
+        n=st.integers(4, 12),
+        gap=st.sampled_from((0.05, 0.2, 0.5, 2.0)),
+        cooldown=st.sampled_from((0.0, 0.5, 2.0)),
+        up=st.sampled_from((0.5, 1.5, 3.0)),
+        seed=st.integers(0, 3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_never_retires_replica_with_inflight_work(
+        self, n, gap, cooldown, up, seed
+    ):
+        world = tiny_world()
+        trace = _trace(n, gap, seed)
+        spec = ClusterSpec(
+            replicas=1,
+            router="least-outstanding",
+            autoscaler=AutoscalerConfig(
+                min_replicas=1,
+                max_replicas=4,
+                scale_up_queue_depth=up,
+                scale_down_queue_depth=up / 2,
+                cooldown_seconds=cooldown,
+            ),
+        )
+        report = run_cluster(world, "fmoe", spec, requests=trace)
+        retires = [
+            e for e in report.scale_events if e.action == "retire"
+        ]
+        # Drain-before-kill: a retire only happens once the replica's
+        # last in-flight request has finished.
+        assert all(e.outstanding == 0 for e in retires)
+        # Every retire is preceded by a drain of the same replica.
+        drained = set()
+        for event in report.scale_events:
+            if event.action == "drain":
+                drained.add(event.replica_id)
+            elif event.action == "retire":
+                assert event.replica_id in drained
+        # Retired replicas keep what they already served.
+        for summary in report.replicas:
+            if summary.retired:
+                assert summary.served == summary.assigned
+
+    @given(
+        n=st.integers(4, 10),
+        gap=st.sampled_from((0.05, 0.3)),
+        seed=st.integers(0, 2),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_fleet_stays_within_bounds(self, n, gap, seed):
+        world = tiny_world()
+        trace = _trace(n, gap, seed)
+        scaler = AutoscalerConfig(
+            min_replicas=1,
+            max_replicas=3,
+            scale_up_queue_depth=1.0,
+            scale_down_queue_depth=0.5,
+            cooldown_seconds=0.0,
+        )
+        report = run_cluster(
+            world,
+            "fmoe",
+            ClusterSpec(
+                replicas=1, router="round-robin", autoscaler=scaler
+            ),
+            requests=trace,
+        )
+        assert len(report.replicas) <= scaler.max_replicas
+        assert 1 <= report.final_replicas <= scaler.max_replicas
+
+
+class TestAffinityFallback:
+    @given(
+        replicas=st.integers(2, 4),
+        n=st.integers(2, 8),
+        gap=st.sampled_from((0.1, 0.6)),
+        seed=st.integers(0, 3),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_storeless_system_degrades_to_least_outstanding(
+        self, replicas, n, gap, seed
+    ):
+        """With no stores anywhere, affinity == least-outstanding."""
+        world = tiny_world()
+        trace = _trace(n, gap, seed)
+        affinity = run_cluster(
+            world,
+            "deepspeed-inference",
+            ClusterSpec(replicas=replicas, router="semantic-affinity"),
+            requests=trace,
+        )
+        least = run_cluster(
+            world,
+            "deepspeed-inference",
+            ClusterSpec(replicas=replicas, router="least-outstanding"),
+            requests=trace,
+        )
+        assert affinity.affinity_routed == 0
+        assert affinity.fallback_routed == affinity.routed
+        # Same placements, hence identical per-replica assignments and
+        # an identical aggregate.
+        assert [r.assigned for r in affinity.replicas] == [
+            r.assigned for r in least.replicas
+        ]
+        assert cluster_report_to_json(
+            replace_router(affinity, "least-outstanding")
+        ) == cluster_report_to_json(least)
+
+
+def replace_router(report, router):
+    """A copy of ``report`` relabeled with ``router`` (and its fallback
+    counter zeroed) so placement-identical runs compare byte-equal."""
+    clone = replace(report)
+    clone.router = router
+    clone.fallback_routed = 0
+    return clone
