@@ -17,6 +17,7 @@ Commands:
 - ``profile``  — profile a workload and save traces / a warm store to disk.
 - ``trace``    — run one policy with full telemetry; write trace + metrics.
 - ``inspect``  — summarize a recorded trace directory (stalls, tables).
+- ``validate`` — invariant monitors, metamorphic laws, mutant detection.
 """
 
 from __future__ import annotations
@@ -95,6 +96,15 @@ def _add_world_args(
     parser.add_argument("--prefetch-distance", type=int, default=3)
     parser.add_argument("--store-capacity", type=int, default=1024)
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_validate_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="attach runtime invariant monitors to every cell and fail "
+        "on the first breach (results are unchanged otherwise)",
+    )
 
 
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
@@ -179,6 +189,7 @@ def cmd_overall(args: argparse.Namespace) -> int:
         systems=tuple(args.systems or SYSTEM_NAMES),
         config=config,
         jobs=args.jobs,
+        validate=args.validate,
     )
     for row in rows:
         print(row.format())
@@ -245,6 +256,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         limits_gb=tuple(args.limits),
         config=config,
         jobs=args.jobs,
+        validate=args.validate,
     )
     for row in rows:
         print(
@@ -335,6 +347,7 @@ def cmd_grid(args: argparse.Namespace) -> int:
         budgets_gb=args.budgets or None,
         config=config,
         jobs=args.jobs,
+        validate=args.validate,
     )
     text = grid_to_csv(cells, args.output)
     if args.output:
@@ -405,6 +418,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         trace_requests=args.trace_requests,
         rate_seconds=args.rate,
         jobs=args.jobs,
+        validate=args.validate,
     )
     for row in rows:
         print(row.format())
@@ -523,6 +537,56 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Validate the simulator: invariants, laws, and mutant detection."""
+    import json
+    from pathlib import Path
+
+    from repro.validate import validate_model, validation_config
+
+    include_mutants = None
+    if args.mutants:
+        include_mutants = True
+    elif args.no_mutants:
+        include_mutants = False
+    reports = []
+    for model in args.models:
+        config = validation_config(
+            model,
+            dataset=args.dataset,
+            num_requests=args.requests,
+            num_test_requests=args.test_requests,
+            seed=args.seed,
+        )
+        report = validate_model(
+            config,
+            tier=args.tier,
+            jobs=args.jobs,
+            include_mutants=include_mutants,
+        )
+        reports.append(report)
+        status = "PASS" if report.passed else "FAIL"
+        print(
+            f"{model:14s} [{args.tier}] {status}: "
+            f"{len(report.checks)} checks, {len(report.mutants)} mutants"
+        )
+        for check in report.checks:
+            mark = "ok " if check.passed else "FAIL"
+            line = f"  {mark} {check.name}"
+            if check.detail:
+                line += f" — {check.detail}"
+            print(line)
+        for mutant in report.mutants:
+            mark = "ok " if mutant.flagged else "MISS"
+            detectors = ", ".join(mutant.detectors) or "undetected"
+            print(f"  {mark} mutant:{mutant.name} ({detectors})")
+    if args.json:
+        payload = json.dumps([r.to_dict() for r in reports], indent=2)
+        Path(args.json).write_text(payload + "\n")
+        print(f"wrote {args.json}")
+    return 0 if all(r.passed for r in reports) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -560,6 +624,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print fMoE's mean improvement over each baseline",
     )
+    _add_validate_arg(p)
     _add_jobs_arg(p)
     p.set_defaults(func=cmd_overall)
 
@@ -581,6 +646,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--limits", nargs="*", type=float, default=[6, 12, 24, 48, 96]
     )
+    _add_validate_arg(p)
     _add_jobs_arg(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -605,6 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--budgets", nargs="*", type=float, default=None)
     p.add_argument("--output", default=None)
+    _add_validate_arg(p)
     _add_jobs_arg(p)
     p.set_defaults(func=cmd_grid)
 
@@ -634,6 +701,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--trace-requests", type=int, default=24)
     p.add_argument("--rate", type=float, default=2.0)
+    _add_validate_arg(p)
     _add_jobs_arg(p)
     p.set_defaults(func=cmd_faults)
 
@@ -736,6 +804,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path", help="trace directory (or trace.json file)")
     p.add_argument("--top", type=int, default=5)
     p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser(
+        "validate",
+        help="validate the simulator: invariants, laws, mutant detection",
+    )
+    p.add_argument(
+        "--tier",
+        default="fast",
+        choices=("fast", "full"),
+        help="fast = monitored runs + cheap laws; full adds every "
+        "system, faulted/continuous/cluster runs, and mutant detection",
+    )
+    p.add_argument(
+        "--models",
+        nargs="*",
+        default=["mixtral-8x7b", "qwen1.5-moe"],
+        help="models to validate (each gets its own world and report)",
+    )
+    p.add_argument("--dataset", default="lmsys-chat-1m", choices=DATASET_CHOICES)
+    p.add_argument("--requests", type=int, default=14)
+    p.add_argument("--test-requests", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--mutants",
+        action="store_true",
+        help="force mutant detection even on the fast tier",
+    )
+    p.add_argument(
+        "--no-mutants",
+        action="store_true",
+        help="skip mutant detection even on the full tier",
+    )
+    p.add_argument(
+        "--json", default=None, help="write the validation reports here"
+    )
+    _add_jobs_arg(p)
+    p.set_defaults(func=cmd_validate)
 
     return parser
 

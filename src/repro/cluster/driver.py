@@ -55,6 +55,7 @@ class ClusterDriver:
         cache_budget_bytes: int | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        validate: bool = False,
     ) -> None:
         if spec.shared_store and system != "fmoe":
             raise ConfigError(
@@ -69,6 +70,9 @@ class ClusterDriver:
         self.cache_budget_bytes = cache_budget_bytes
         self.tracer = tracer
         self.metrics = metrics
+        self.validate = validate
+        self._suites: dict[int, object] = {}
+        self.violations: list = []
         self.router = make_router(spec.router)
         self.autoscaler = (
             Autoscaler(spec.autoscaler) if spec.autoscaler else None
@@ -142,6 +146,13 @@ class ClusterDriver:
                 # searches the same rows, so re-warming would duplicate.
                 engine.policy.warm(self.world.warm_traces)
                 self._store_warmed = True
+        if self.validate:
+            # Every replica engine gets its own invariant monitors; the
+            # suite rides the recorder plumbing and only observes, so a
+            # validated cluster run stays byte-identical to a plain one.
+            from repro.validate.monitors import MonitorSuite
+
+            self._suites[replica_id] = MonitorSuite().bind(engine)
         replica = Replica(replica_id, engine)
         replica.spawned_at = now
         self.replicas.append(replica)
@@ -321,6 +332,14 @@ class ClusterDriver:
         for request in ordered:
             self._dispatch(request)
         self._finalize()
+        if self.validate and self.violations:
+            from repro.errors import ValidationError
+
+            preview = "\n".join(str(v) for v in self.violations[:5])
+            raise ValidationError(
+                f"cluster run violated {len(self.violations)} "
+                f"invariant(s)\n{preview}"
+            )
         if tracing:
             end_ts = max(
                 [ordered[0].arrival_time]
@@ -361,6 +380,18 @@ class ClusterDriver:
             aggregate.policy_name = names.pop()
         self.report.aggregate = aggregate
         self.report.final_replicas = len(self._accepting())
+        if self.validate:
+            from repro.validate.monitors import check_cluster_report
+
+            for replica in self.replicas:
+                suite = self._suites.get(replica.replica_id)
+                if suite is not None:
+                    self.violations.extend(
+                        suite.finish(
+                            replica.report, admitted=replica.assigned
+                        )
+                    )
+            self.violations.extend(check_cluster_report(self.report))
 
 
 def run_cluster(
@@ -373,6 +404,7 @@ def run_cluster(
     cache_budget_bytes: int | None = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    validate: bool = False,
 ) -> ClusterReport:
     """Serve a request trace on a simulated multi-replica cluster.
 
@@ -381,7 +413,10 @@ def run_cluster(
     replica — or only on ``spec.fault_replica`` when set.  ``tracer`` and
     ``metrics`` attach cluster-level observability (routing instants and
     scale events on the cluster lane, per-replica serve spans, and
-    ``repro_cluster_*`` instruments).
+    ``repro_cluster_*`` instruments).  ``validate`` attaches invariant
+    monitors to every replica engine plus fleet-level conservation
+    checks, raising :class:`~repro.errors.ValidationError` on any breach
+    (the monitors only observe — results are unchanged).
     """
     driver = ClusterDriver(
         world,
@@ -392,6 +427,7 @@ def run_cluster(
         cache_budget_bytes=cache_budget_bytes,
         tracer=tracer,
         metrics=metrics,
+        validate=validate,
     )
     return driver.run(
         list(requests) if requests is not None else world.test_requests

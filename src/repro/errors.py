@@ -35,3 +35,7 @@ class DeadlineExceededError(SimulationError):
 
 class TelemetryError(ReproError):
     """The observability layer was misused (unbalanced spans, bad metric)."""
+
+
+class ValidationError(SimulationError):
+    """A runtime invariant monitor or metamorphic law was violated."""

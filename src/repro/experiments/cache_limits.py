@@ -34,11 +34,13 @@ def tpot_vs_cache_limit(
     config: ExperimentConfig | None = None,
     jobs: int | None = 1,
     cache: WorldCache | None = None,
+    validate: bool = False,
 ) -> list[CacheLimitRow]:
     """One row per (model, system, cache-GB) point of the Fig. 11 sweep.
 
     ``jobs`` fans the independent (model, system, budget) cells across a
-    process pool; rows come back in sweep order either way.
+    process pool; rows come back in sweep order either way.  ``validate``
+    attaches invariant monitors to every cell (see :class:`SimCell`).
     """
     base = config or ExperimentConfig()
     specs: list[tuple[str, str, float]] = []
@@ -60,6 +62,7 @@ def tpot_vs_cache_limit(
                         config=world_config,
                         system=system,
                         cache_budget_bytes=budget,
+                        validate=validate,
                     )
                 )
     reports = run_cells(cells, jobs=jobs, cache=cache)

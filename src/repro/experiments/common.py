@@ -195,13 +195,20 @@ def run_system(
     slo: SLOConfig | None = None,
     telemetry=None,
     recorder=None,
+    monitor=None,
+    mutate=None,
 ) -> ServingReport:
     """Serve the world's test requests under one system.
 
     ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`) and
     ``recorder`` (any :class:`repro.serving.events.EventSink`) attach
     observability to the run; both observe through the virtual clock and
-    leave the latency results untouched.
+    leave the latency results untouched.  ``monitor`` (a
+    :class:`repro.validate.monitors.MonitorSuite`) binds invariant
+    checking to the engine's event stream — the caller runs its
+    end-of-run checks via ``monitor.finish``.  ``mutate`` is a callable
+    applied to the freshly built engine (the validation harness injects
+    registered defects through it).
     """
     config = world.config
     engine = make_engine(
@@ -211,10 +218,14 @@ def run_system(
         faults=faults,
         slo=slo,
     )
+    if mutate is not None:
+        mutate(engine)
     if telemetry is not None:
         engine.set_telemetry(telemetry)
     if recorder is not None:
         engine.set_recorder(recorder)
+    if monitor is not None:
+        monitor.bind(engine)
     if warm:
         engine.policy.warm(world.warm_traces)
     report = engine.run(

@@ -144,6 +144,7 @@ def chaos_rows(
     jobs: int | None = 1,
     cache: WorldCache | None = None,
     cluster: ClusterSpec | None = None,
+    validate: bool = False,
 ) -> list[ChaosRow]:
     """Run the full (system, scenario) chaos matrix.
 
@@ -164,6 +165,10 @@ def chaos_rows(
     failover included) and rows aggregate fleet-wide counters — the
     :class:`~repro.cluster.metrics.ClusterReport` exposes the same
     latency/fault surface a :class:`ServingReport` does.
+
+    ``validate`` attaches runtime invariant monitors to every cell —
+    fault scenarios are exactly where a bookkeeping bug would hide, so
+    the chaos matrix doubles as an invariant stress test.
     """
     base = config or ExperimentConfig()
     trace = tuple(_chaos_trace(base, trace_requests, rate_seconds))
@@ -178,6 +183,7 @@ def chaos_rows(
             faults=faults,
             slo=slo,
             cluster=cluster,
+            validate=validate,
         )
 
     healthy_faults = FaultConfig(seed=base.seed)

@@ -54,13 +54,16 @@ def run_grid(
     config: ExperimentConfig | None = None,
     jobs: int | None = 1,
     cache: WorldCache | None = None,
+    validate: bool = False,
 ) -> list[GridCell]:
     """Run every grid cell; ``budgets_gb=None`` uses the default budget.
 
     ``jobs`` fans independent cells across a process pool (0 = all
     cores); results are merged in sweep order, so the output is identical
     to a sequential run.  Worlds are shared across budgets and systems
-    through ``cache`` (or each worker's process cache).
+    through ``cache`` (or each worker's process cache).  ``validate``
+    attaches runtime invariant monitors to every cell and raises
+    :class:`~repro.errors.ValidationError` on the first breach.
     """
     if not models or not datasets or not systems:
         raise ConfigError("models, datasets, and systems must be non-empty")
@@ -88,6 +91,7 @@ def run_grid(
                             config=world_config,
                             system=system,
                             cache_budget_bytes=budget,
+                            validate=validate,
                         )
                     )
     reports = run_cells(cells, jobs=jobs, cache=cache)

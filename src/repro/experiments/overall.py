@@ -38,11 +38,14 @@ def overall_rows(
     config: ExperimentConfig | None = None,
     jobs: int | None = 1,
     cache: WorldCache | None = None,
+    validate: bool = False,
 ) -> list[OverallRow]:
     """TTFT/TPOT/hit-rate rows for every (model, dataset, system) cell.
 
     Cells are independent simulations; ``jobs`` spreads them over a
     process pool (0 = all cores) with results merged in sweep order.
+    ``validate`` attaches invariant monitors to every cell (see
+    :class:`SimCell`).
     """
     base = config or ExperimentConfig()
     specs = [
@@ -55,6 +58,7 @@ def overall_rows(
         SimCell(
             config=base.with_(model_name=model, dataset=dataset),
             system=system,
+            validate=validate,
         )
         for model, dataset, system in specs
     ]

@@ -163,6 +163,12 @@ class SimCell:
     arrivals are always respected — cluster routing is an online
     decision by construction."""
 
+    validate: bool = False
+    """Attach runtime invariant monitors to this cell's engine(s) and
+    raise :class:`~repro.errors.ValidationError` on any breach.  The
+    monitors only observe the event stream, so a validated cell's report
+    is byte-identical to an unvalidated one."""
+
 
 def run_cell(cell: SimCell, cache: WorldCache | None = None) -> ServingReport:
     """Execute one cell in this process (worlds come from ``cache``)."""
@@ -188,23 +194,40 @@ def run_cell(cell: SimCell, cache: WorldCache | None = None) -> ServingReport:
             fault_config=cell.faults,
             slo=cell.slo,
             cache_budget_bytes=cell.cache_budget_bytes,
+            validate=cell.validate,
         )
     recorder = None
     if cell.ring_buffer_events is not None:
         from repro.obs.sinks import RingBufferSink
 
         recorder = RingBufferSink(cell.ring_buffer_events)
-    return run_system(
+    monitor = None
+    if cell.validate:
+        from repro.validate.monitors import MonitorSuite
+
+        monitor = MonitorSuite()
+    requests = list(cell.requests) if cell.requests is not None else None
+    report = run_system(
         world,
         cell.system,
         warm=cell.warm,
-        requests=list(cell.requests) if cell.requests is not None else None,
+        requests=requests,
         respect_arrivals=cell.respect_arrivals,
         cache_budget_bytes=cell.cache_budget_bytes,
         faults=FaultSchedule(cell.faults) if cell.faults is not None else None,
         slo=cell.slo,
         recorder=recorder,
+        monitor=monitor,
     )
+    if monitor is not None:
+        admitted = len(
+            requests if requests is not None else world.test_requests
+        )
+        monitor.finish(report, admitted=admitted)
+        monitor.raise_if_violated(
+            f"cell {cell.system} on {cell.config.model_name}"
+        )
+    return report
 
 
 def _worker_run(cell: SimCell) -> ServingReport:

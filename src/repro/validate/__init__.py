@@ -1,0 +1,82 @@
+"""Simulator validation: invariant monitors, metamorphic laws, mutants.
+
+Three layers of defense against a silently wrong simulator:
+
+- :mod:`repro.validate.monitors` — runtime invariant monitors riding the
+  engine's event stream (clock causality, VRAM ledger, cache coherence,
+  conservation, kv-cache hygiene, fault accounting);
+- :mod:`repro.validate.laws` — metamorphic laws between runs (budget and
+  bandwidth monotonicity, the oracle bound, cluster/jobs parity, the
+  differential reference);
+- :mod:`repro.validate.mutants` — intentionally-broken engine mutants
+  the other two layers must flag, proving the validators have teeth.
+
+:mod:`repro.validate.harness` ties them into the ``repro validate`` CLI
+tiers and the runner's ``--validate`` mode.
+"""
+
+from repro.validate.harness import (
+    DEFAULT_VALIDATE_MODELS,
+    TIERS,
+    MutantResult,
+    ValidationReport,
+    detect_mutant,
+    monitored_run,
+    validate_model,
+    validate_world,
+    validation_config,
+)
+from repro.validate.laws import (
+    FAST_LAWS,
+    FULL_LAWS,
+    CheckResult,
+    Law,
+    LawContext,
+    run_laws,
+)
+from repro.validate.monitors import (
+    BudgetMonitor,
+    ClockMonitor,
+    CoherenceMonitor,
+    ConservationMonitor,
+    FaultAccountingMonitor,
+    InvariantMonitor,
+    KVMonitor,
+    MonitorSuite,
+    Violation,
+    check_cluster_report,
+    default_monitors,
+)
+from repro.validate.mutants import MUTANTS, Mutant, get_mutant
+
+__all__ = [
+    "BudgetMonitor",
+    "CheckResult",
+    "ClockMonitor",
+    "CoherenceMonitor",
+    "ConservationMonitor",
+    "DEFAULT_VALIDATE_MODELS",
+    "FAST_LAWS",
+    "FULL_LAWS",
+    "FaultAccountingMonitor",
+    "InvariantMonitor",
+    "KVMonitor",
+    "Law",
+    "LawContext",
+    "MUTANTS",
+    "MonitorSuite",
+    "Mutant",
+    "MutantResult",
+    "TIERS",
+    "ValidationReport",
+    "Violation",
+    "check_cluster_report",
+    "default_monitors",
+    "detect_mutant",
+    "get_mutant",
+    "monitored_run",
+    "run_laws",
+    "validate_model",
+    "validate_world",
+    "validation_config",
+]

@@ -1,0 +1,306 @@
+"""Validation harness: tiers, monitored runs, and mutant detection.
+
+``validate_world`` is the entry point behind ``repro validate``: it runs
+invariant-monitored simulations (offline, online with shedding, and — on
+the full tier — faulted, continuous-batching, and cluster runs), then
+evaluates the metamorphic laws, and finally turns the mutant registry
+loose to prove the whole apparatus can actually catch a broken
+simulator.  Everything folds into a :class:`ValidationReport` with a
+stable JSON shape for CI and sweep tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError, ReproError, ValidationError
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_world,
+    make_engine,
+)
+from repro.serving.faults import (
+    DeviceFailure,
+    FaultConfig,
+    FaultSchedule,
+    SLOConfig,
+)
+from repro.validate.laws import (
+    FAST_LAWS,
+    FULL_LAWS,
+    CheckResult,
+    LawContext,
+    run_laws,
+)
+from repro.validate.monitors import MonitorSuite
+from repro.validate.mutants import MUTANTS, Mutant
+
+TIERS = ("fast", "full")
+
+#: Models ``repro validate`` exercises when none are named.
+DEFAULT_VALIDATE_MODELS = ("mixtral-8x7b", "qwen1.5-moe")
+
+#: Canonical sizing for validation worlds: small enough for CI, large
+#: enough that every system sees real eviction pressure.
+VALIDATE_NUM_REQUESTS = 14
+VALIDATE_NUM_TEST_REQUESTS = 3
+
+#: The subset of laws the mutant detector re-evaluates per mutant (the
+#: differential reference is the designated behavioral-mutant catcher;
+#: invariant monitors cover the physics-level ones).
+DETECTION_LAWS = tuple(
+    law for law in FAST_LAWS if law.name == "law:differential-reference"
+)
+
+
+@dataclass
+class MutantResult:
+    """Whether one registered mutant was flagged, and by what."""
+
+    name: str
+    flagged: bool
+    detectors: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of this detection result."""
+        return {
+            "name": self.name,
+            "flagged": self.flagged,
+            "detectors": list(self.detectors),
+        }
+
+
+@dataclass
+class ValidationReport:
+    """All checks (and mutant detections) for one validated world."""
+
+    model: str
+    dataset: str
+    tier: str
+    checks: list[CheckResult] = field(default_factory=list)
+    mutants: list[MutantResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks) and all(
+            m.flagged for m in self.mutants
+        )
+
+    @property
+    def failures(self) -> list[CheckResult]:
+        return [c for c in self.checks if not c.passed]
+
+    @property
+    def undetected_mutants(self) -> list[str]:
+        return [m.name for m in self.mutants if not m.flagged]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form with the stable CI report shape."""
+        return {
+            "model": self.model,
+            "dataset": self.dataset,
+            "tier": self.tier,
+            "passed": self.passed,
+            "checks": [c.to_dict() for c in self.checks],
+            "mutants": [m.to_dict() for m in self.mutants],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialized :meth:`to_dict` (what ``repro validate --json`` writes)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def validation_config(
+    model_name: str,
+    dataset: str = "lmsys-chat-1m",
+    num_requests: int = VALIDATE_NUM_REQUESTS,
+    num_test_requests: int = VALIDATE_NUM_TEST_REQUESTS,
+    seed: int = 0,
+) -> ExperimentConfig:
+    """The canonical config one validation world is built from."""
+    return ExperimentConfig(
+        model_name=model_name,
+        dataset=dataset,
+        num_requests=num_requests,
+        num_test_requests=num_test_requests,
+        seed=seed,
+    )
+
+
+def _arrivals(world, gap: float = 0.3):
+    """The world's test set respaced into an online arrival trace."""
+    return [
+        replace(r, arrival_time=i * gap)
+        for i, r in enumerate(world.test_requests)
+    ]
+
+
+def monitored_run(
+    ctx: LawContext,
+    label: str,
+    system: str,
+    requests=None,
+    **kwargs,
+) -> CheckResult:
+    """One engine run with every invariant monitor attached."""
+    suite = MonitorSuite()
+    served = requests if requests is not None else ctx.world.test_requests
+    name = f"invariant:{label}"
+    try:
+        report = ctx.run(system, monitor=suite, requests=requests, **kwargs)
+    except ReproError as exc:
+        return CheckResult(
+            name, False, f"crashed mid-run: {type(exc).__name__}: {exc}"
+        )
+    suite.finish(report, admitted=len(served))
+    return CheckResult(name, suite.ok, suite.summary() if not suite.ok else "")
+
+
+def _faulted_check(ctx: LawContext) -> CheckResult:
+    """Invariants must survive transfer faults, stragglers, and device loss."""
+    faults = FaultSchedule(
+        FaultConfig(
+            seed=ctx.config.seed + 7,
+            transfer_failure_prob=0.05,
+            pcie_degradation_prob=0.3,
+            straggler_prob=0.2,
+            device_failures=(DeviceFailure(time=1.0, device=1),),
+        )
+    )
+    return monitored_run(
+        ctx,
+        "fmoe-faulted",
+        "fmoe",
+        faults=faults,
+        slo=SLOConfig(),
+    )
+
+
+def _continuous_check(ctx: LawContext) -> CheckResult:
+    """Invariants must hold under continuous batching too."""
+    suite = MonitorSuite()
+    name = "invariant:fmoe-continuous"
+    trace = _arrivals(ctx.world, gap=0.5)
+    try:
+        engine = make_engine(ctx.world, "fmoe")
+        hook = ctx.mutate_hook("fmoe")
+        if hook is not None:
+            hook(engine)
+        suite.bind(engine)
+        engine.policy.warm(ctx.world.warm_traces)
+        report = engine.run_continuous(trace, max_batch_size=2)
+    except ReproError as exc:
+        return CheckResult(
+            name, False, f"crashed mid-run: {type(exc).__name__}: {exc}"
+        )
+    suite.finish(report, admitted=len(trace))
+    return CheckResult(name, suite.ok, suite.summary() if not suite.ok else "")
+
+
+def _cluster_check(ctx: LawContext) -> CheckResult:
+    """Per-replica invariants plus fleet conservation on a 2-replica run."""
+    from repro.cluster.config import ClusterSpec
+    from repro.cluster.driver import run_cluster
+
+    name = "invariant:cluster"
+    try:
+        run_cluster(
+            ctx.world,
+            "fmoe",
+            ClusterSpec(replicas=2, router="semantic-affinity"),
+            requests=_arrivals(ctx.world, gap=0.4),
+            validate=True,
+        )
+    except ValidationError as exc:
+        return CheckResult(name, False, str(exc))
+    except ReproError as exc:
+        return CheckResult(
+            name, False, f"crashed mid-run: {type(exc).__name__}: {exc}"
+        )
+    return CheckResult(name, True)
+
+
+def detect_mutant(world, mutant: Mutant) -> MutantResult:
+    """Inject ``mutant`` and record which validators (if any) flag it."""
+    ctx = LawContext(world=world, mutant=mutant)
+    checks = [monitored_run(ctx, "fmoe-offline", "fmoe")]
+    checks.extend(run_laws(ctx, DETECTION_LAWS))
+    detectors = [c.name for c in checks if not c.passed]
+    return MutantResult(
+        name=mutant.name, flagged=bool(detectors), detectors=detectors
+    )
+
+
+def validate_world(
+    world,
+    tier: str = "fast",
+    jobs: int = 1,
+    include_mutants: bool | None = None,
+) -> ValidationReport:
+    """Run one world through the validation tier and collect the report.
+
+    ``include_mutants`` defaults to the tier's convention: the full tier
+    always proves the validators' teeth, the fast tier skips that to
+    stay cheap (CI smoke covers it separately).
+    """
+    if tier not in TIERS:
+        raise ConfigError(f"tier must be one of {TIERS} (got {tier!r})")
+    thorough = tier == "full"
+    if include_mutants is None:
+        include_mutants = thorough
+    ctx = LawContext(world=world, jobs=jobs)
+    checks = [
+        monitored_run(ctx, "fmoe-offline", "fmoe"),
+        monitored_run(ctx, "moe-infinity-offline", "moe-infinity"),
+        monitored_run(
+            ctx,
+            "fmoe-online-shedding",
+            "fmoe",
+            requests=_arrivals(world),
+            respect_arrivals=True,
+            slo=SLOConfig(queue_delay_budget_seconds=2.0),
+        ),
+    ]
+    if thorough:
+        for system in (
+            "promoe",
+            "deepspeed-inference",
+            "mixtral-offloading",
+            "oracle",
+        ):
+            checks.append(monitored_run(ctx, f"{system}-offline", system))
+        checks.append(_faulted_check(ctx))
+        checks.append(_continuous_check(ctx))
+        checks.append(_cluster_check(ctx))
+    checks.extend(
+        run_laws(ctx, FULL_LAWS if thorough else FAST_LAWS, thorough)
+    )
+    mutants = (
+        [detect_mutant(world, m) for m in MUTANTS]
+        if include_mutants
+        else []
+    )
+    return ValidationReport(
+        model=world.config.model_name,
+        dataset=world.config.dataset,
+        tier=tier,
+        checks=checks,
+        mutants=mutants,
+    )
+
+
+def validate_model(
+    config: ExperimentConfig,
+    tier: str = "fast",
+    jobs: int = 1,
+    include_mutants: bool | None = None,
+) -> ValidationReport:
+    """Build the world for ``config`` and validate it (see
+    :func:`validate_world`)."""
+    return validate_world(
+        build_world(config),
+        tier=tier,
+        jobs=jobs,
+        include_mutants=include_mutants,
+    )

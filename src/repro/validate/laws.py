@@ -1,0 +1,348 @@
+"""Metamorphic laws: relations between runs that must hold by design.
+
+No single simulation output is "obviously correct", but *pairs* of runs
+are constrained by the physics the simulator claims to model (the laws
+formalized by the caching/pre-fetching analyses the paper builds on):
+
+- more cache can never lose hits (budget monotonicity, §6 / Fig. 11);
+- a faster PCIe link can never slow serving down (bandwidth
+  monotonicity);
+- hindsight-optimal prefetching lower-bounds every policy's miss count
+  on the same world (oracle bound);
+- a 1-replica cluster is the same machine as a bare engine;
+- a parallel fan-out (``jobs=N``) reproduces sequential results byte for
+  byte;
+- re-running a system on the same world reproduces the report byte for
+  byte (the *differential reference*: with a mutant injected into the
+  subject run, any deviation from the healthy reference flags it).
+
+Each law returns a :class:`CheckResult`; the harness aggregates them and
+the mutant registry proves they have teeth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.experiments.common import (
+    ExperimentConfig,
+    World,
+    run_system,
+)
+from repro.serving.export import report_to_json
+from repro.validate.mutants import Mutant
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one invariant run or law evaluation."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of this check outcome."""
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class LawContext:
+    """Everything a law needs: a world, budgets, and an optional mutant.
+
+    ``mutant`` (when set) is injected into every run of
+    ``mutant_target`` — except runs a law explicitly requests as the
+    healthy reference (``mutated=False``).
+    """
+
+    world: World
+    jobs: int = 1
+    mutant: Mutant | None = None
+    mutant_target: str = "fmoe"
+
+    @property
+    def config(self) -> ExperimentConfig:
+        return self.world.config
+
+    def base_budget(self) -> int:
+        """The default cache budget this world's config resolves to."""
+        return self.config.resolve_budget(self.world.model_config)
+
+    def scaled_budget(self, factor: float) -> int:
+        """``factor`` × the default budget, floored at one expert/GPU."""
+        model = self.world.model_config
+        floor = self.config.hardware.num_gpus * model.expert_bytes
+        return max(int(self.base_budget() * factor), floor)
+
+    def bandwidth_world(self, factor: float) -> World:
+        """This world with the PCIe link scaled by ``factor``."""
+        if factor == 1.0:
+            return self.world
+        hardware = dataclasses.replace(
+            self.config.hardware,
+            pcie_bandwidth_bps=self.config.hardware.pcie_bandwidth_bps
+            * factor,
+        )
+        return dataclasses.replace(
+            self.world, config=self.config.with_(hardware=hardware)
+        )
+
+    def mutate_hook(self, system: str):
+        """The mutant's apply hook — only for runs of ``mutant_target``."""
+        if self.mutant is not None and system == self.mutant_target:
+            return self.mutant.apply
+        return None
+
+    def run(
+        self,
+        system: str,
+        budget: int | None = None,
+        bandwidth_factor: float = 1.0,
+        mutated: bool = True,
+        **kwargs,
+    ):
+        """One engine run under this context's world (and mutant)."""
+        return run_system(
+            self.bandwidth_world(bandwidth_factor),
+            system,
+            cache_budget_bytes=(
+                budget if budget is not None else self.base_budget()
+            ),
+            mutate=self.mutate_hook(system) if mutated else None,
+            **kwargs,
+        )
+
+
+@dataclass(frozen=True)
+class Law:
+    """One registered metamorphic law."""
+
+    name: str
+    description: str
+    check: Callable[[LawContext, bool], CheckResult]
+
+
+def _result(name: str, failures: list[str], detail: str = "") -> CheckResult:
+    if failures:
+        return CheckResult(name, False, "; ".join(failures))
+    return CheckResult(name, True, detail)
+
+
+def law_budget_monotonicity(
+    ctx: LawContext, thorough: bool
+) -> CheckResult:
+    """Cache budget up ⇒ hit count monotone non-decreasing."""
+    systems = ("fmoe", "moe-infinity") if thorough else ("fmoe",)
+    factors = (0.5, 1.0, 1.5, 2.0) if thorough else (0.5, 1.0, 1.5)
+    failures = []
+    observed = []
+    for system in systems:
+        hits = [
+            ctx.run(system, budget=ctx.scaled_budget(f)).hits
+            for f in factors
+        ]
+        observed.append(f"{system}: {hits}")
+        for lo, hi, f_lo, f_hi in zip(
+            hits, hits[1:], factors, factors[1:]
+        ):
+            if lo > hi:
+                failures.append(
+                    f"{system} lost hits growing the budget "
+                    f"{f_lo}x -> {f_hi}x ({lo} -> {hi})"
+                )
+    return _result(
+        "law:budget-monotonicity", failures, "; ".join(observed)
+    )
+
+
+def law_bandwidth_monotonicity(
+    ctx: LawContext, thorough: bool
+) -> CheckResult:
+    """PCIe bandwidth up ⇒ total end-to-end latency monotone down."""
+    systems = ("fmoe", "moe-infinity") if thorough else ("fmoe",)
+    factors = (0.5, 1.0, 2.0)
+    failures = []
+    for system in systems:
+        totals = [
+            float(
+                ctx.run(system, bandwidth_factor=f).e2e_latencies().sum()
+            )
+            for f in factors
+        ]
+        for slow, fast, f_lo, f_hi in zip(
+            totals, totals[1:], factors, factors[1:]
+        ):
+            if fast > slow + 1e-9:
+                failures.append(
+                    f"{system} got slower on a faster link "
+                    f"{f_lo}x -> {f_hi}x ({slow:.6f}s -> {fast:.6f}s)"
+                )
+    return _result("law:bandwidth-monotonicity", failures)
+
+
+def law_oracle_bound(ctx: LawContext, thorough: bool) -> CheckResult:
+    """Hindsight-optimal prefetching lower-bounds every miss count."""
+    systems = ["fmoe", "moe-infinity", "deepspeed-inference"]
+    if thorough:
+        systems += ["promoe", "mixtral-offloading"]
+    oracle_misses = ctx.run("oracle", mutated=False).misses
+    failures = []
+    for system in systems:
+        misses = ctx.run(system).misses
+        if misses < oracle_misses:
+            failures.append(
+                f"{system} beat the oracle ({misses} < {oracle_misses} "
+                "misses)"
+            )
+    return _result(
+        "law:oracle-bound", failures, f"oracle misses={oracle_misses}"
+    )
+
+
+def law_cluster_parity(ctx: LawContext, thorough: bool) -> CheckResult:
+    """A 1-replica round-robin cluster == the bare engine, byte for byte.
+
+    The cluster side always runs healthy (its engines are built
+    internally), so under an injected mutant this law doubles as a
+    differential detector.
+    """
+    from repro.cluster.config import ClusterSpec
+    from repro.cluster.driver import run_cluster
+
+    systems = ("fmoe", "moe-infinity") if thorough else ("fmoe",)
+    failures = []
+    for system in systems:
+        bare = run_system(
+            ctx.world,
+            system,
+            respect_arrivals=True,
+            mutate=ctx.mutate_hook(system),
+        )
+        cluster = run_cluster(
+            ctx.world,
+            system,
+            ClusterSpec(replicas=1, router="round-robin"),
+        )
+        if report_to_json(cluster.aggregate) != report_to_json(bare):
+            failures.append(
+                f"{system}: 1-replica cluster diverged from the bare "
+                "engine"
+            )
+    return _result("law:cluster-parity", failures)
+
+
+def law_jobs_parity(ctx: LawContext, thorough: bool) -> CheckResult:
+    """``run_cells(jobs=2)`` reproduces ``jobs=1`` byte for byte."""
+    from repro.experiments.runner import SimCell, run_cells
+
+    if ctx.mutant is not None:
+        # Mutants patch live objects and cannot cross the process
+        # boundary; the in-process laws carry the detection burden.
+        return CheckResult(
+            "law:jobs-parity", True, "skipped under mutant injection"
+        )
+    cells = [
+        SimCell(
+            config=ctx.config,
+            system=system,
+            cache_budget_bytes=ctx.scaled_budget(factor),
+        )
+        for system in ("fmoe", "moe-infinity")
+        for factor in ((1.0, 1.5) if thorough else (1.0,))
+    ]
+    sequential = run_cells(cells, jobs=1)
+    parallel = run_cells(cells, jobs=2)
+    failures = []
+    for cell, seq, par in zip(cells, sequential, parallel):
+        if report_to_json(seq) != report_to_json(par):
+            failures.append(
+                f"{cell.system} @ {cell.cache_budget_bytes}B diverged "
+                "between jobs=1 and jobs=2"
+            )
+    return _result("law:jobs-parity", failures)
+
+
+def law_differential_reference(
+    ctx: LawContext, thorough: bool
+) -> CheckResult:
+    """The subject run reproduces the healthy reference byte for byte.
+
+    Without a mutant this pins determinism (same world, same report);
+    with one it is the differential oracle — the unmutated simulator —
+    that behavioral mutants (wrong eviction order, dropped prefetches)
+    cannot hide from even when they violate no single-run invariant.
+    """
+    failures = []
+    subject = ctx.run("fmoe")
+    reference = ctx.run("fmoe", mutated=False)
+    if report_to_json(subject) != report_to_json(reference):
+        failures.append(
+            "fmoe diverged from the healthy reference "
+            f"(hits {subject.hits} vs {reference.hits}, "
+            f"misses {subject.misses} vs {reference.misses})"
+        )
+    return _result("law:differential-reference", failures)
+
+
+#: Laws evaluated by the fast tier (and, with ``thorough=True``, the full
+#: tier).  ``law_jobs_parity`` is full-tier only: forking a process pool
+#: per validation run is the one genuinely expensive law.
+FAST_LAWS: tuple[Law, ...] = (
+    Law(
+        "law:budget-monotonicity",
+        "cache budget up => hits monotone non-decreasing",
+        law_budget_monotonicity,
+    ),
+    Law(
+        "law:bandwidth-monotonicity",
+        "PCIe bandwidth up => total latency monotone non-increasing",
+        law_bandwidth_monotonicity,
+    ),
+    Law(
+        "law:oracle-bound",
+        "oracle misses lower-bound every system's misses",
+        law_oracle_bound,
+    ),
+    Law(
+        "law:cluster-parity",
+        "1-replica cluster == bare engine, byte for byte",
+        law_cluster_parity,
+    ),
+    Law(
+        "law:differential-reference",
+        "subject run == healthy reference, byte for byte",
+        law_differential_reference,
+    ),
+)
+
+FULL_LAWS: tuple[Law, ...] = FAST_LAWS + (
+    Law(
+        "law:jobs-parity",
+        "run_cells(jobs=2) == run_cells(jobs=1), byte for byte",
+        law_jobs_parity,
+    ),
+)
+
+
+def run_laws(
+    ctx: LawContext, laws: tuple[Law, ...], thorough: bool = False
+) -> list[CheckResult]:
+    """Evaluate ``laws`` under ``ctx``; a crash is a failed check."""
+    results = []
+    for law in laws:
+        try:
+            results.append(law.check(ctx, thorough))
+        except ReproError as exc:
+            results.append(
+                CheckResult(
+                    law.name, False, f"crashed: {type(exc).__name__}: {exc}"
+                )
+            )
+    return results

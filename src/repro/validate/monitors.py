@@ -1,0 +1,498 @@
+"""Runtime invariant monitors for the serving simulator.
+
+A :class:`MonitorSuite` implements the event-sink protocol and rides the
+engine's existing recorder plumbing: every event the engine emits is
+checked, in place, against the simulation's own physics —
+
+- **clock causality** — event timestamps never move backwards;
+- **VRAM ledger** — per-device and total reservations stay within budget,
+  and the byte ledger always equals ``residents × expert_bytes``;
+- **cache coherence** — a served *hit* must be backed by a tracked expert
+  whose transfer has actually landed (belief == residency);
+- **conservation** — event counts reconcile with report counters, layer
+  histograms sum to totals, and ``served + shed == admitted``;
+- **kv-cache hygiene** — all sessions release their blocks by run end;
+- **fault accounting** — failure/failover/eviction events reconcile with
+  the pool's counters and the report.
+
+Monitors only observe: they never advance the virtual clock or touch any
+state, so an instrumented run produces byte-identical reports to an
+uninstrumented one (asserted by the telemetry-neutrality tests).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ValidationError
+from repro.obs.sinks import TeeSink
+from repro.serving.events import Event, EventKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.metrics import ClusterReport
+    from repro.serving.engine import ServingEngine
+    from repro.serving.metrics import ServingReport
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, stamped with the virtual time it surfaced."""
+
+    monitor: str
+    message: str
+    time: float = 0.0
+
+    def __str__(self) -> str:
+        return f"[{self.monitor}] t={self.time:.6f}: {self.message}"
+
+
+class InvariantMonitor:
+    """One invariant; subclasses override the hooks they need."""
+
+    name = "invariant"
+
+    def bind(self, engine: "ServingEngine") -> None:
+        """Snapshot whatever baseline state the checks compare against."""
+
+    def on_event(
+        self, engine: "ServingEngine", event: Event, suite: "MonitorSuite"
+    ) -> None:
+        """Check one emitted event (and the engine state behind it)."""
+
+    def on_run_end(
+        self,
+        engine: "ServingEngine",
+        report: "ServingReport",
+        admitted: int | None,
+        suite: "MonitorSuite",
+    ) -> None:
+        """Check end-of-run conservation against the finalized report."""
+
+
+class ClockMonitor(InvariantMonitor):
+    """Virtual time is monotone along the engine's event lane."""
+
+    name = "clock"
+
+    def bind(self, engine: "ServingEngine") -> None:
+        self._last = -math.inf
+
+    def on_event(self, engine, event, suite) -> None:
+        if event.time < self._last - _EPS:
+            suite.record(
+                self.name,
+                f"clock rewound: {event.kind.value} at {event.time:.9f} "
+                f"after {self._last:.9f}",
+                event.time,
+            )
+        self._last = max(self._last, event.time)
+
+
+class BudgetMonitor(InvariantMonitor):
+    """VRAM reservations never exceed the configured budgets."""
+
+    name = "budget"
+
+    def on_event(self, engine, event, suite) -> None:
+        pool = engine.pool
+        total = pool.used_bytes()
+        if total > pool.cache_budget_bytes:
+            suite.record(
+                self.name,
+                f"total reservations {total} exceed cache budget "
+                f"{pool.cache_budget_bytes}",
+                event.time,
+            )
+        for device in pool.devices:
+            if device.used_bytes > device.budget_bytes:
+                suite.record(
+                    self.name,
+                    f"GPU {device.index} ledger {device.used_bytes} "
+                    f"exceeds its budget {device.budget_bytes}",
+                    event.time,
+                )
+            if device.used_bytes < 0:
+                suite.record(
+                    self.name,
+                    f"GPU {device.index} ledger went negative "
+                    f"({device.used_bytes})",
+                    event.time,
+                )
+
+
+class CoherenceMonitor(InvariantMonitor):
+    """Pool residency, the byte ledger, and served hits agree.
+
+    Hits are checked against the raw tracking tables (``arrival_time``),
+    not the policy-facing ``is_ready`` — a broken readiness predicate must
+    not be able to vouch for itself.
+    """
+
+    name = "coherence"
+
+    def on_event(self, engine, event, suite) -> None:
+        pool = engine.pool
+        expert_bytes = pool.model.expert_bytes
+        union: set = set()
+        for device in pool.devices:
+            union |= device.resident
+            expected = len(device.resident) * expert_bytes
+            if device.used_bytes != expected:
+                suite.record(
+                    self.name,
+                    f"GPU {device.index} ledger {device.used_bytes} != "
+                    f"{len(device.resident)} residents x {expert_bytes}",
+                    event.time,
+                )
+        tracked = pool.resident_experts()
+        if union != tracked:
+            drift = union.symmetric_difference(tracked)
+            suite.record(
+                self.name,
+                f"residency drift: {len(drift)} experts tracked on one "
+                f"side only (e.g. {sorted(drift)[:3]})",
+                event.time,
+            )
+        if event.kind is EventKind.EXPERT_HIT and event.expert is not None:
+            arrival = pool.arrival_time(event.expert)
+            if arrival is None:
+                suite.record(
+                    self.name,
+                    f"hit on untracked expert {event.expert}",
+                    event.time,
+                )
+            elif arrival > event.time + _EPS:
+                suite.record(
+                    self.name,
+                    f"hit on in-flight expert {event.expert} "
+                    f"(arrives {arrival:.9f} > now {event.time:.9f})",
+                    event.time,
+                )
+
+
+class ConservationMonitor(InvariantMonitor):
+    """Requests, tokens, and hit/miss counts are conserved."""
+
+    name = "conservation"
+
+    def bind(self, engine: "ServingEngine") -> None:
+        self._starts = 0
+        self._ends = 0
+        self._hits = 0
+        self._misses = 0
+        self._shed = 0
+
+    def on_event(self, engine, event, suite) -> None:
+        if event.kind is EventKind.ITERATION_START:
+            self._starts += 1
+        elif event.kind is EventKind.ITERATION_END:
+            self._ends += 1
+        elif event.kind is EventKind.EXPERT_HIT:
+            self._hits += 1
+        elif event.kind is EventKind.EXPERT_MISS:
+            self._misses += 1
+        elif event.kind is EventKind.REQUEST_SHED:
+            self._shed += 1
+        if self._starts - self._ends not in (0, 1):
+            suite.record(
+                self.name,
+                f"unbalanced iterations: {self._starts} starts vs "
+                f"{self._ends} ends",
+                event.time,
+            )
+
+    def on_run_end(self, engine, report, admitted, suite) -> None:
+        checks = [
+            (self._starts == self._ends == report.iterations,
+             f"iteration events ({self._starts}/{self._ends}) disagree "
+             f"with report.iterations ({report.iterations})"),
+            (self._hits == report.hits,
+             f"{self._hits} hit events vs report.hits {report.hits}"),
+            (self._misses == report.misses,
+             f"{self._misses} miss events vs report.misses "
+             f"{report.misses}"),
+            (sum(report.layer_hits.values()) == report.hits,
+             "layer_hits histogram does not sum to report.hits"),
+            (sum(report.layer_misses.values()) == report.misses,
+             "layer_misses histogram does not sum to report.misses"),
+            (self._shed == report.shed_requests == len(
+                report.shed_request_ids),
+             f"{self._shed} shed events vs counter "
+             f"{report.shed_requests} vs "
+             f"{len(report.shed_request_ids)} recorded ids"),
+        ]
+        if admitted is not None:
+            checks.append(
+                (len(report.requests) + report.shed_requests == admitted,
+                 f"served ({len(report.requests)}) + shed "
+                 f"({report.shed_requests}) != admitted ({admitted})"))
+        attributed = sum(r.hits for r in report.requests)
+        checks.append(
+            (math.isclose(attributed, report.hits,
+                          rel_tol=1e-6, abs_tol=1e-6),
+             f"per-request attributed hits {attributed} drifted from "
+             f"report.hits {report.hits}"))
+        for ok, message in checks:
+            if not ok:
+                suite.record(self.name, message, engine.now)
+
+
+class KVMonitor(InvariantMonitor):
+    """Every admitted session releases its kv-cache blocks by run end."""
+
+    name = "kvcache"
+
+    def on_run_end(self, engine, report, admitted, suite) -> None:
+        leaked = engine.kv_tracker.current_bytes()
+        if leaked != 0:
+            suite.record(
+                self.name,
+                f"{leaked} kv-cache bytes still held at run end",
+                engine.now,
+            )
+        if report.peak_kv_bytes != engine.kv_tracker.peak_bytes:
+            suite.record(
+                self.name,
+                f"report peak_kv_bytes {report.peak_kv_bytes} != tracker "
+                f"peak {engine.kv_tracker.peak_bytes}",
+                engine.now,
+            )
+
+
+class FaultAccountingMonitor(InvariantMonitor):
+    """Failure/failover/eviction events reconcile with pool counters."""
+
+    name = "faults"
+
+    def bind(self, engine: "ServingEngine") -> None:
+        self._stats0 = dataclasses.replace(engine.pool.stats)
+        self._failures = 0
+        self._failovers = 0
+        self._evictions = 0
+        self._ondemand = 0
+        self._prefetch_issued = 0
+
+    def on_event(self, engine, event, suite) -> None:
+        if event.kind is EventKind.DEVICE_FAILURE:
+            self._failures += 1
+        elif event.kind is EventKind.FAILOVER:
+            self._failovers += int(event.detail or 0)
+        elif event.kind is EventKind.EVICTION:
+            self._evictions += 1
+        elif event.kind is EventKind.ONDEMAND_LOAD:
+            self._ondemand += 1
+        elif event.kind is EventKind.PREFETCH_ISSUED:
+            self._prefetch_issued += int(event.detail or 0)
+
+    def on_run_end(self, engine, report, admitted, suite) -> None:
+        stats, stats0 = engine.pool.stats, self._stats0
+        checks = [
+            (self._failures == report.device_failures ==
+             stats.devices_lost - stats0.devices_lost,
+             f"{self._failures} failure events vs report "
+             f"{report.device_failures} vs pool "
+             f"{stats.devices_lost - stats0.devices_lost}"),
+            (self._failovers == report.failovers ==
+             stats.failovers - stats0.failovers,
+             f"{self._failovers} failover events vs report "
+             f"{report.failovers} vs pool "
+             f"{stats.failovers - stats0.failovers}"),
+            (self._evictions == stats.evictions - stats0.evictions,
+             f"{self._evictions} eviction events vs pool "
+             f"{stats.evictions - stats0.evictions}"),
+            (self._ondemand == stats.ondemand_loads - stats0.ondemand_loads,
+             f"{self._ondemand} on-demand events vs pool "
+             f"{stats.ondemand_loads - stats0.ondemand_loads}"),
+            # Failover re-placements go through pool.prefetch but are
+            # announced as FAILOVER events, so they count toward the
+            # event-side total.
+            (self._prefetch_issued + self._failovers ==
+             stats.prefetch_issued - stats0.prefetch_issued,
+             f"{self._prefetch_issued} prefetch-issued + "
+             f"{self._failovers} failover events vs pool "
+             f"{stats.prefetch_issued - stats0.prefetch_issued}"),
+        ]
+        for ok, message in checks:
+            if not ok:
+                suite.record(self.name, message, engine.now)
+
+
+def default_monitors() -> list[InvariantMonitor]:
+    """One fresh instance of every invariant monitor."""
+    return [
+        ClockMonitor(),
+        BudgetMonitor(),
+        CoherenceMonitor(),
+        ConservationMonitor(),
+        KVMonitor(),
+        FaultAccountingMonitor(),
+    ]
+
+
+class MonitorSuite:
+    """All invariant monitors behind one event sink.
+
+    Satisfies the sink protocol (``emit`` / ``close`` / ``dropped``), so
+    :meth:`bind` can attach it through ``engine.set_recorder`` — tee'd
+    with any recorder the caller already installed, preserving that
+    sink's stream and drop accounting byte for byte.
+    """
+
+    #: Sink protocol: monitors check every event, none are ever dropped.
+    dropped = 0
+
+    def __init__(
+        self,
+        monitors: list[InvariantMonitor] | None = None,
+        max_recorded: int = 50,
+    ) -> None:
+        self.monitors = (
+            list(monitors) if monitors is not None else default_monitors()
+        )
+        self.max_recorded = max_recorded
+        self.violations: list[Violation] = []
+        self.total_violations = 0
+        self.engine: "ServingEngine | None" = None
+        self._finished = False
+
+    # ------------------------------------------------------------------ #
+    # Attachment and the sink protocol
+    # ------------------------------------------------------------------ #
+
+    def bind(self, engine: "ServingEngine") -> "MonitorSuite":
+        """Attach to ``engine``'s event stream (idempotent per engine)."""
+        self.engine = engine
+        for monitor in self.monitors:
+            monitor.bind(engine)
+        existing = engine._recorder
+        engine.set_recorder(
+            self if existing is None else TeeSink(existing, self)
+        )
+        return self
+
+    def emit(self, event: Event) -> None:
+        """Sink protocol: fan one event out to every monitor's checks."""
+        assert self.engine is not None, "suite not bound to an engine"
+        for monitor in self.monitors:
+            monitor.on_event(self.engine, event, self)
+
+    def close(self) -> None:
+        """Sink protocol; monitors hold no resources."""
+
+    # ------------------------------------------------------------------ #
+    # Violations
+    # ------------------------------------------------------------------ #
+
+    def record(self, monitor: str, message: str, time: float) -> None:
+        """Register one violation (kept up to ``max_recorded``)."""
+        self.total_violations += 1
+        if len(self.violations) < self.max_recorded:
+            self.violations.append(Violation(monitor, message, time))
+
+    @property
+    def ok(self) -> bool:
+        return self.total_violations == 0
+
+    def finish(
+        self, report: "ServingReport", admitted: int | None = None
+    ) -> list[Violation]:
+        """Run end-of-run conservation checks; returns all violations.
+
+        ``admitted`` is the number of requests handed to the engine
+        (served + shed must partition it).  Safe to call once per run.
+        """
+        assert self.engine is not None, "suite not bound to an engine"
+        if not self._finished:
+            self._finished = True
+            for monitor in self.monitors:
+                monitor.on_run_end(self.engine, report, admitted, self)
+        return self.violations
+
+    def summary(self, limit: int = 5) -> str:
+        """Human-readable digest of the recorded violations."""
+        if self.ok:
+            return "no invariant violations"
+        lines = [str(v) for v in self.violations[:limit]]
+        hidden = self.total_violations - len(lines)
+        if hidden > 0:
+            lines.append(f"... and {hidden} more")
+        return "\n".join(lines)
+
+    def raise_if_violated(self, context: str = "") -> None:
+        """Raise :class:`ValidationError` when any invariant broke."""
+        if self.ok:
+            return
+        prefix = f"{context}: " if context else ""
+        raise ValidationError(
+            f"{prefix}{self.total_violations} invariant violation(s)\n"
+            + self.summary()
+        )
+
+
+def check_cluster_report(report: "ClusterReport") -> list[Violation]:
+    """Cluster-level conservation checks over a finalized report.
+
+    The per-replica invariants are covered by each replica's own
+    :class:`MonitorSuite`; this reconciles the fleet bookkeeping — routing
+    counters, scale events, and the aggregate fold.
+    """
+    violations: list[Violation] = []
+
+    def record(message: str) -> None:
+        violations.append(Violation("cluster", message))
+
+    assigned = sum(r.assigned for r in report.replicas)
+    if assigned != report.routed:
+        record(
+            f"replica assignments ({assigned}) != routed ({report.routed})"
+        )
+    aggregate = report.aggregate
+    served = len(aggregate.requests)
+    if served + aggregate.shed_requests != report.routed:
+        record(
+            f"served ({served}) + shed ({aggregate.shed_requests}) != "
+            f"routed ({report.routed})"
+        )
+    if report.affinity_routed + report.fallback_routed > report.routed:
+        record("affinity + fallback routing counters exceed routed total")
+    for event in report.scale_events:
+        if event.action == "retire" and event.outstanding != 0:
+            record(
+                f"replica {event.replica_id} retired with "
+                f"{event.outstanding} in-flight request(s)"
+            )
+    ups = sum(1 for e in report.scale_events if e.action == "up")
+    downs = sum(1 for e in report.scale_events if e.action == "drain")
+    if ups != report.scale_ups or downs != report.scale_downs:
+        record(
+            f"scale events ({ups} up / {downs} drain) disagree with "
+            f"counters ({report.scale_ups} / {report.scale_downs})"
+        )
+    for field_name in ("hits", "misses", "iterations", "shed_requests"):
+        total = getattr(aggregate, field_name)
+        folded = sum(getattr(r, field_name) for r in report.replica_reports)
+        if total != folded:
+            record(
+                f"aggregate.{field_name} ({total}) != sum over replicas "
+                f"({folded})"
+            )
+    for summary, replica_report in zip(
+        report.replicas, report.replica_reports
+    ):
+        if summary.served != len(replica_report.requests):
+            record(
+                f"replica {summary.replica_id} summary served "
+                f"({summary.served}) != report ({len(replica_report.requests)})"
+            )
+        if summary.served + summary.shed_requests != summary.assigned:
+            record(
+                f"replica {summary.replica_id}: served ({summary.served}) "
+                f"+ shed ({summary.shed_requests}) != assigned "
+                f"({summary.assigned})"
+            )
+    return violations

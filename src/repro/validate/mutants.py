@@ -1,0 +1,164 @@
+"""Intentionally-broken simulator mutants: proof the validators have teeth.
+
+Each mutant installs one targeted defect into a freshly built engine —
+an eviction policy running backwards, a byte ledger that leaks, a cache
+that lies about readiness.  The differential harness then demands that
+*every* registered mutant is flagged by at least one invariant monitor or
+metamorphic law; a mutant that sails through means a validator has gone
+soft, exactly like a surviving mutant in mutation testing.
+
+Mutants patch instances (never classes), so a mutated engine poisons
+nothing beyond itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.engine import ServingEngine
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One registered defect to inject into a fresh engine."""
+
+    name: str
+    description: str
+    #: Which invariant family is expected to flag it (documentation).
+    expected_detector: str
+    apply: Callable[["ServingEngine"], None]
+
+
+def _budget_overcommit(engine: "ServingEngine") -> None:
+    """``_make_space`` claims success without evicting anything."""
+    pool = engine.pool
+    pool._make_space = lambda device, needed, now, urgent=False: True
+
+
+def _eviction_leak(engine: "ServingEngine") -> None:
+    """Evictions drop the expert but never return its bytes."""
+    pool = engine.pool
+    original = pool.evict
+
+    def leaky_evict(expert):
+        device = pool._home_of(expert) if expert in pool._tasks else None
+        original(expert)
+        if device is not None:
+            # Re-charge the bytes the real evict just freed: the ledger
+            # now leaks one expert per eviction.
+            device.used_bytes += pool.model.expert_bytes
+
+    pool.evict = leaky_evict
+
+
+def _phantom_ready(engine: "ServingEngine") -> None:
+    """The cache vouches for experts it never loaded."""
+    engine.pool.is_ready = lambda expert, now: True
+
+
+def _clock_rewind(engine: "ServingEngine") -> None:
+    """On-demand loads report completion before they were issued."""
+    pool = engine.pool
+    original = pool.load_on_demand
+
+    def rewinding_load(expert, now):
+        original(expert, now)
+        return now - 1e-3
+
+    pool.load_on_demand = rewinding_load
+
+
+class _HottestFirstOracle:
+    """Inverts the attached policy's eviction order: hottest goes first."""
+
+    def __init__(self, policy) -> None:
+        self._policy = policy
+
+    def eviction_priority(self, expert, now):
+        return -self._policy.eviction_priority(expert, now)
+
+
+def _evict_hottest(engine: "ServingEngine") -> None:
+    engine.pool.set_eviction_oracle(_HottestFirstOracle(engine.policy))
+
+
+class _PrefetchStripper:
+    """Delegates every policy hook but discards prefetch instructions."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.name = inner.name
+
+    def __getattr__(self, attr):
+        return getattr(self._inner, attr)
+
+    def _strip(self, action):
+        if action is not None:
+            action.prefetch = []
+        return action
+
+    def on_iteration_start(self, ctx):
+        return self._strip(self._inner.on_iteration_start(ctx))
+
+    def on_gate_output(self, ctx, layer):
+        return self._strip(self._inner.on_gate_output(ctx, layer))
+
+    def on_iteration_end(self, ctx):
+        return self._strip(self._inner.on_iteration_end(ctx))
+
+
+def _ignore_prefetch(engine: "ServingEngine") -> None:
+    engine.policy = _PrefetchStripper(engine.policy)
+
+
+MUTANTS: tuple[Mutant, ...] = (
+    Mutant(
+        name="budget-overcommit",
+        description="_make_space reports success without freeing bytes, "
+        "so reservations sail past the VRAM budget",
+        expected_detector="budget monitor",
+        apply=_budget_overcommit,
+    ),
+    Mutant(
+        name="eviction-leak",
+        description="evictions free the slot but leak the byte ledger",
+        expected_detector="coherence monitor",
+        apply=_eviction_leak,
+    ),
+    Mutant(
+        name="phantom-ready",
+        description="is_ready returns True for experts never loaded",
+        expected_detector="coherence monitor",
+        apply=_phantom_ready,
+    ),
+    Mutant(
+        name="clock-rewind",
+        description="on-demand loads complete before they were issued",
+        expected_detector="clock monitor",
+        apply=_clock_rewind,
+    ),
+    Mutant(
+        name="evict-hottest",
+        description="eviction order inverted: the hottest expert goes "
+        "first",
+        expected_detector="differential-reference law",
+        apply=_evict_hottest,
+    ),
+    Mutant(
+        name="ignore-prefetch",
+        description="all prefetch instructions silently discarded",
+        expected_detector="differential-reference law",
+        apply=_ignore_prefetch,
+    ),
+)
+
+
+def get_mutant(name: str) -> Mutant:
+    """Look up a registered mutant by name."""
+    for mutant in MUTANTS:
+        if mutant.name == name:
+            return mutant
+    known = ", ".join(m.name for m in MUTANTS)
+    raise KeyError(f"unknown mutant {name!r} (known: {known})")

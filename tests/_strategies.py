@@ -1,0 +1,86 @@
+"""Shared hypothesis strategies for the property-based test suites.
+
+One home for the generators several suites draw from: probability grids
+(core data structures), dataset profiles (workloads), and fleet shapes
+(cluster + validation properties).  Import from here rather than copying
+a strategy into a new test module — shrinkers and bounds stay in sync.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.moe.gating import softmax_rows
+from repro.workloads.datasets import DatasetProfile
+
+#: Every router the cluster driver accepts; sampled by fleet strategies.
+ROUTERS = ("round-robin", "least-outstanding", "semantic-affinity")
+
+
+def distributions(layers=st.integers(2, 6), experts=st.integers(2, 8)):
+    """Strategy producing valid (L, J) probability grids."""
+
+    @st.composite
+    def build(draw):
+        L = draw(layers)
+        J = draw(experts)
+        logits = draw(
+            hnp.arrays(
+                np.float64,
+                (L, J),
+                elements=st.floats(-5, 5, allow_nan=False),
+            )
+        )
+        return softmax_rows(logits)
+
+    return build()
+
+
+@st.composite
+def profiles(draw):
+    """Strategy producing internally-consistent dataset profiles."""
+    num_clusters = draw(st.integers(1, 32))
+    lo = draw(st.integers(0, num_clusters - 1))
+    hi = draw(st.integers(lo + 1, num_clusters))
+    input_min = draw(st.integers(1, 16))
+    input_max = draw(st.integers(input_min, 256))
+    output_min = draw(st.integers(1, 4))
+    output_max = draw(st.integers(output_min, 32))
+    return DatasetProfile(
+        name="hypo",
+        num_clusters=num_clusters,
+        zipf_alpha=draw(st.floats(0.1, 3.0)),
+        cluster_range=(lo, hi),
+        input_log_mean=draw(st.floats(1.0, 6.0)),
+        input_log_sigma=draw(st.floats(0.1, 1.5)),
+        input_min=input_min,
+        input_max=input_max,
+        output_log_mean=draw(st.floats(0.5, 4.0)),
+        output_log_sigma=draw(st.floats(0.1, 1.0)),
+        output_min=output_min,
+        output_max=output_max,
+    )
+
+
+def routers():
+    """Strategy sampling one cluster router name."""
+    return st.sampled_from(ROUTERS)
+
+
+@st.composite
+def fleet_shapes(draw, max_replicas: int = 4, max_requests: int = 8):
+    """Strategy producing one (replicas, router, n, gap, seed) fleet shape.
+
+    The shapes the cluster property suites sweep: a small replica count,
+    any router, a short arrival trace with bursty-to-sparse gaps, and a
+    trace seed.
+    """
+    return {
+        "replicas": draw(st.integers(1, max_replicas)),
+        "router": draw(routers()),
+        "n": draw(st.integers(1, max_requests)),
+        "gap": draw(st.sampled_from((0.0, 0.2, 1.0))),
+        "seed": draw(st.integers(0, 3)),
+    }

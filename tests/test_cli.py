@@ -1,8 +1,22 @@
 """Tests for the command-line interface."""
 
+import argparse
+
 import pytest
 
 from repro.cli import build_parser, main
+
+
+def all_subcommands() -> list[str]:
+    """Every registered subcommand, discovered from the parser itself
+    so new commands are covered without editing this list."""
+    parser = build_parser()
+    action = next(
+        a
+        for a in parser._actions
+        if isinstance(a, argparse._SubParsersAction)
+    )
+    return sorted(action.choices)
 
 
 class TestParser:
@@ -25,6 +39,18 @@ class TestParser:
     def test_invalid_model_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "--model", "gpt-4"])
+
+    def test_subcommand_discovery_sees_the_whole_surface(self):
+        commands = all_subcommands()
+        assert "validate" in commands
+        assert len(commands) >= 15
+
+    @pytest.mark.parametrize("command", all_subcommands())
+    def test_every_subcommand_help_exits_zero(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        assert "usage" in capsys.readouterr().out.lower()
 
 
 class TestCommands:

@@ -1,7 +1,5 @@
 """Tests for the newer CLI commands (grid, report, tune, charts)."""
 
-import pytest
-
 from repro.cli import main
 
 
@@ -99,3 +97,38 @@ class TestOnlineTraceFile:
         )
         assert code == 0
         assert "p50=" in capsys.readouterr().out
+
+
+class TestValidateCommand:
+    def test_fast_tier_passes_and_writes_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "validation.json"
+        code = main(
+            [
+                "validate",
+                "--tier", "fast",
+                "--models", "mixtral-8x7b",
+                "--requests", "8",
+                "--test-requests", "2",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "PASS" in text
+        assert "law:oracle-bound" in text
+        payload = json.loads(out.read_text())
+        assert payload[0]["passed"] is True
+        assert payload[0]["tier"] == "fast"
+        assert {c["name"] for c in payload[0]["checks"]} >= {
+            "invariant:fmoe-offline",
+            "law:budget-monotonicity",
+            "law:differential-reference",
+        }
+
+    def test_conflicting_mutant_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["validate", "--mutants"])
+        assert args.mutants and not args.no_mutants

@@ -27,8 +27,7 @@ from repro.cluster import (
 from repro.serving.faults import SLOConfig
 
 from tests._cluster_testkit import arrival_trace, tiny_world
-
-ROUTERS = ("round-robin", "least-outstanding", "semantic-affinity")
+from tests._strategies import ROUTERS
 
 
 def _trace(n, gap, seed):

@@ -16,24 +16,7 @@ from repro.core.store import ExpertMapStore
 from repro.moe.embeddings import cosine_similarity_matrix
 from repro.moe.gating import softmax_rows, top_k_indices
 
-
-def distributions(layers=st.integers(2, 6), experts=st.integers(2, 8)):
-    """Strategy producing valid (L, J) probability grids."""
-
-    @st.composite
-    def build(draw):
-        L = draw(layers)
-        J = draw(experts)
-        logits = draw(
-            hnp.arrays(
-                np.float64,
-                (L, J),
-                elements=st.floats(-5, 5, allow_nan=False),
-            )
-        )
-        return softmax_rows(logits)
-
-    return build()
+from tests._strategies import distributions
 
 
 class TestExpertMapProperties:

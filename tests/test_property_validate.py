@@ -1,0 +1,105 @@
+"""Property-based tests for the validation subsystem.
+
+Under randomized systems, budgets, and fleet shapes (drawn from the
+shared strategies), a healthy simulator must never trip an invariant
+monitor — the monitors' false-positive rate is pinned at zero across the
+whole sampled configuration space.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec, run_cluster
+from repro.experiments.common import run_system
+from repro.serving.faults import SLOConfig
+from repro.validate.monitors import MonitorSuite, check_cluster_report
+
+from tests._cluster_testkit import arrival_trace, tiny_world
+from tests._strategies import fleet_shapes, routers
+
+SYSTEMS = ("fmoe", "moe-infinity", "deepspeed-inference", "promoe")
+
+
+class TestMonitorsNeverFalsePositive:
+    @given(
+        system=st.sampled_from(SYSTEMS),
+        budget_experts=st.integers(1, 4),
+        seed=st.integers(0, 3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_offline_runs_are_clean(self, system, budget_experts, seed):
+        world = tiny_world(seed)
+        budget = budget_experts * world.config.hardware.num_gpus * (
+            world.model_config.expert_bytes
+        )
+        suite = MonitorSuite()
+        report = run_system(
+            world, system, cache_budget_bytes=budget, monitor=suite
+        )
+        suite.finish(report, admitted=len(world.test_requests))
+        assert suite.ok, suite.summary()
+
+    @given(
+        n=st.integers(1, 8),
+        gap=st.sampled_from((0.0, 0.2, 1.0)),
+        budget=st.sampled_from((None, 0.5, 2.0)),
+        seed=st.integers(0, 3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_online_shedding_runs_are_clean(self, n, gap, budget, seed):
+        world = tiny_world()
+        trace = arrival_trace(world, n=n, gap=gap, seed=seed)
+        slo = (
+            SLOConfig(queue_delay_budget_seconds=budget)
+            if budget is not None
+            else None
+        )
+        suite = MonitorSuite()
+        report = run_system(
+            world,
+            "fmoe",
+            requests=trace,
+            respect_arrivals=True,
+            slo=slo,
+            monitor=suite,
+        )
+        suite.finish(report, admitted=len(trace))
+        assert suite.ok, suite.summary()
+
+
+class TestClusterValidationProperties:
+    @given(shape=fleet_shapes())
+    @settings(max_examples=15, deadline=None)
+    def test_validated_cluster_never_raises_on_healthy_runs(self, shape):
+        world = tiny_world()
+        trace = arrival_trace(
+            world, n=shape["n"], gap=shape["gap"], seed=shape["seed"]
+        )
+        report = run_cluster(
+            world,
+            "fmoe",
+            ClusterSpec(replicas=shape["replicas"], router=shape["router"]),
+            requests=trace,
+            validate=True,
+        )
+        assert check_cluster_report(report) == []
+
+    @given(replicas=st.integers(1, 3), router=routers())
+    @settings(max_examples=9, deadline=None)
+    def test_validation_is_telemetry_neutral_for_clusters(
+        self, replicas, router
+    ):
+        from repro.cluster import cluster_report_to_json
+
+        world = tiny_world()
+        trace = arrival_trace(world, n=5, gap=0.3, seed=1)
+        spec = ClusterSpec(replicas=replicas, router=router)
+        plain = run_cluster(world, "fmoe", spec, requests=trace)
+        validated = run_cluster(
+            world, "fmoe", spec, requests=trace, validate=True
+        )
+        assert cluster_report_to_json(validated) == cluster_report_to_json(
+            plain
+        )

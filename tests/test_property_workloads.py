@@ -7,32 +7,9 @@ from hypothesis import strategies as st
 
 from repro.moe.config import tiny_test_model
 from repro.serving.kvcache import KVCacheTracker, kv_bytes_per_token
-from repro.workloads.datasets import DatasetProfile, make_dataset
+from repro.workloads.datasets import make_dataset
 
-
-@st.composite
-def profiles(draw):
-    num_clusters = draw(st.integers(1, 32))
-    lo = draw(st.integers(0, num_clusters - 1))
-    hi = draw(st.integers(lo + 1, num_clusters))
-    input_min = draw(st.integers(1, 16))
-    input_max = draw(st.integers(input_min, 256))
-    output_min = draw(st.integers(1, 4))
-    output_max = draw(st.integers(output_min, 32))
-    return DatasetProfile(
-        name="hypo",
-        num_clusters=num_clusters,
-        zipf_alpha=draw(st.floats(0.1, 3.0)),
-        cluster_range=(lo, hi),
-        input_log_mean=draw(st.floats(1.0, 6.0)),
-        input_log_sigma=draw(st.floats(0.1, 1.5)),
-        input_min=input_min,
-        input_max=input_max,
-        output_log_mean=draw(st.floats(0.5, 4.0)),
-        output_log_sigma=draw(st.floats(0.1, 1.0)),
-        output_min=output_min,
-        output_max=output_max,
-    )
+from tests._strategies import profiles
 
 
 class TestDatasetProperties:

@@ -1,0 +1,88 @@
+"""Metamorphic laws hold on the tiny-world substrate.
+
+The paper-scale laws are exercised by ``repro validate``; these tests pin
+the same relations on the millisecond-scale tiny world so regressions
+surface in tier-1, and cover the :class:`LawContext` plumbing the laws
+are built from.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validate.laws import (
+    FAST_LAWS,
+    FULL_LAWS,
+    LawContext,
+    law_budget_monotonicity,
+    law_jobs_parity,
+    run_laws,
+)
+from repro.validate.mutants import get_mutant
+
+from tests._cluster_testkit import tiny_world
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return LawContext(world=tiny_world())
+
+
+class TestFastLaws:
+    @pytest.mark.parametrize("law", FAST_LAWS, ids=lambda law: law.name)
+    def test_law_holds_on_tiny_world(self, ctx, law):
+        result = law.check(ctx, False)
+        assert result.passed, f"{result.name}: {result.detail}"
+
+    def test_run_laws_returns_one_result_per_law(self, ctx):
+        results = run_laws(ctx, FAST_LAWS)
+        assert [r.name for r in results] == [law.name for law in FAST_LAWS]
+        assert all(r.passed for r in results)
+
+
+class TestLawContext:
+    def test_scaled_budget_floors_at_one_expert_per_gpu(self, ctx):
+        floor = (
+            ctx.config.hardware.num_gpus
+            * ctx.world.model_config.expert_bytes
+        )
+        assert ctx.scaled_budget(0.0) == floor
+        assert ctx.scaled_budget(10.0) >= ctx.scaled_budget(1.0)
+
+    def test_bandwidth_world_scales_the_link(self, ctx):
+        doubled = ctx.bandwidth_world(2.0)
+        assert (
+            doubled.config.hardware.pcie_bandwidth_bps
+            == 2.0 * ctx.config.hardware.pcie_bandwidth_bps
+        )
+        # The materialized world (traces, requests) is shared, untouched.
+        assert doubled.test_requests is ctx.world.test_requests
+        assert ctx.bandwidth_world(1.0) is ctx.world
+
+    def test_mutate_hook_targets_only_the_subject_system(self):
+        mutant = get_mutant("phantom-ready")
+        mutated = LawContext(world=tiny_world(), mutant=mutant)
+        assert mutated.mutate_hook("fmoe") is mutant.apply
+        assert mutated.mutate_hook("oracle") is None
+        assert LawContext(world=tiny_world()).mutate_hook("fmoe") is None
+
+
+class TestLawFailureReporting:
+    def test_budget_monotonicity_reports_observed_hits(self, ctx):
+        result = law_budget_monotonicity(ctx, False)
+        assert result.passed
+        assert "fmoe" in result.detail
+
+    def test_jobs_parity_skips_under_mutant(self):
+        mutated = LawContext(
+            world=tiny_world(), mutant=get_mutant("phantom-ready")
+        )
+        result = law_jobs_parity(mutated, False)
+        assert result.passed
+        assert "skipped" in result.detail
+
+    def test_full_laws_extend_fast_laws(self):
+        assert FULL_LAWS[: len(FAST_LAWS)] == FAST_LAWS
+        assert {law.name for law in FULL_LAWS} > {
+            law.name for law in FAST_LAWS
+        }

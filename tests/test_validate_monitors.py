@@ -1,0 +1,171 @@
+"""Unit tests for the runtime invariant monitors.
+
+Covers the three contracts the monitors promise: clean runs produce zero
+violations, real breaches are recorded and surfaced, and attaching a
+suite never changes a single byte of the run's report
+(telemetry-neutrality).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.common import make_engine, run_system
+from repro.obs.sinks import RingBufferSink
+from repro.serving.events import Event, EventKind
+from repro.serving.export import report_to_json
+from repro.serving.faults import (
+    DeviceFailure,
+    FaultConfig,
+    FaultSchedule,
+    SLOConfig,
+)
+from repro.validate.monitors import (
+    ClockMonitor,
+    MonitorSuite,
+    Violation,
+    check_cluster_report,
+    default_monitors,
+)
+
+from tests._cluster_testkit import arrival_trace, tiny_world
+
+
+def _monitored(system="fmoe", **kwargs):
+    world = tiny_world()
+    suite = MonitorSuite()
+    report = run_system(world, system, monitor=suite, **kwargs)
+    admitted = len(kwargs.get("requests") or world.test_requests)
+    suite.finish(report, admitted=admitted)
+    return suite, report
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize(
+        "system", ["fmoe", "moe-infinity", "deepspeed-inference", "oracle"]
+    )
+    def test_offline_run_has_zero_violations(self, system):
+        suite, _ = _monitored(system)
+        assert suite.ok, suite.summary()
+        assert suite.total_violations == 0
+
+    def test_faulted_run_has_zero_violations(self):
+        world = tiny_world()
+        # Losing a device shrinks the fleet, so give the survivors room
+        # (three experts per GPU) for the failed-over residents.
+        budget = 3 * world.config.hardware.num_gpus * (
+            world.model_config.expert_bytes
+        )
+        suite, _ = _monitored(
+            "fmoe",
+            requests=arrival_trace(world, n=6, gap=0.3),
+            respect_arrivals=True,
+            cache_budget_bytes=budget,
+            faults=FaultSchedule(
+                FaultConfig(
+                    seed=3,
+                    transfer_failure_prob=0.1,
+                    straggler_prob=0.2,
+                    device_failures=(DeviceFailure(time=0.5, device=1),),
+                )
+            ),
+            slo=SLOConfig(),
+        )
+        assert suite.ok, suite.summary()
+
+    def test_shedding_run_conserves_requests(self):
+        world = tiny_world()
+        trace = arrival_trace(world, n=8, gap=0.0)
+        suite, report = _monitored(
+            "fmoe",
+            requests=trace,
+            respect_arrivals=True,
+            slo=SLOConfig(queue_delay_budget_seconds=0.5),
+        )
+        assert suite.ok, suite.summary()
+        assert len(report.requests) + report.shed_requests == len(trace)
+
+
+class TestTelemetryNeutrality:
+    def test_monitored_report_is_byte_identical(self):
+        world = tiny_world()
+        plain = run_system(world, "fmoe")
+        suite = MonitorSuite()
+        monitored = run_system(world, "fmoe", monitor=suite)
+        assert report_to_json(monitored) == report_to_json(plain)
+        assert suite.ok
+
+    def test_existing_recorder_keeps_its_stream(self):
+        world = tiny_world()
+        solo = RingBufferSink(4096)
+        run_system(world, "fmoe", recorder=solo)
+        tee = RingBufferSink(4096)
+        run_system(world, "fmoe", recorder=tee, monitor=MonitorSuite())
+        assert [e.to_dict() for e in tee.events] == [
+            e.to_dict() for e in solo.events
+        ]
+
+
+class TestViolationPlumbing:
+    def test_clock_monitor_flags_rewind(self):
+        engine = make_engine(tiny_world(), "fmoe")
+        suite = MonitorSuite(monitors=[ClockMonitor()])
+        suite.bind(engine)
+        suite.emit(Event(EventKind.ITERATION_START, time=1.0, iteration=0))
+        suite.emit(Event(EventKind.ITERATION_END, time=0.5, iteration=0))
+        assert not suite.ok
+        assert suite.violations[0].monitor == "clock"
+        with pytest.raises(ValidationError, match="clock"):
+            suite.raise_if_violated("unit")
+
+    def test_recording_caps_but_counts_everything(self):
+        suite = MonitorSuite(monitors=[], max_recorded=3)
+        for i in range(10):
+            suite.record("unit", f"breach {i}", float(i))
+        assert len(suite.violations) == 3
+        assert suite.total_violations == 10
+        assert "and 7 more" in suite.summary()
+
+    def test_finish_is_idempotent(self):
+        suite, report = _monitored("fmoe")
+        before = suite.total_violations
+        suite.finish(report, admitted=len(tiny_world().test_requests))
+        assert suite.total_violations == before
+
+    def test_default_monitors_are_fresh_instances(self):
+        first, second = default_monitors(), default_monitors()
+        assert {type(m) for m in first} == {type(m) for m in second}
+        assert all(a is not b for a, b in zip(first, second))
+
+    def test_violation_renders_with_time_and_monitor(self):
+        text = str(Violation("budget", "over by 42 bytes", 1.5))
+        assert "budget" in text and "over by 42 bytes" in text
+
+
+class TestClusterChecks:
+    def _report(self):
+        from repro.cluster import ClusterSpec, run_cluster
+
+        world = tiny_world()
+        return run_cluster(
+            world,
+            "fmoe",
+            ClusterSpec(replicas=2, router="round-robin"),
+            requests=arrival_trace(world, n=6, gap=0.4),
+        )
+
+    def test_healthy_cluster_report_is_clean(self):
+        assert check_cluster_report(self._report()) == []
+
+    def test_tampered_routing_counter_is_flagged(self):
+        report = self._report()
+        report.routed += 1
+        messages = [v.message for v in check_cluster_report(report)]
+        assert any("routed" in m for m in messages)
+
+    def test_tampered_aggregate_fold_is_flagged(self):
+        report = self._report()
+        report.aggregate.hits += 5
+        messages = [v.message for v in check_cluster_report(report)]
+        assert any("aggregate.hits" in m for m in messages)

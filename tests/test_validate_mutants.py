@@ -1,0 +1,69 @@
+"""Every registered mutant must be flagged — the validators have teeth.
+
+Runs the differential harness on a tiny world with real eviction pressure
+(two experts per GPU: enough residency that eviction *order* matters,
+little enough that the cache is always contended).  A mutant surviving
+this screen means an invariant monitor or law has gone soft.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.validate.harness import detect_mutant
+from repro.validate.mutants import MUTANTS, get_mutant
+
+from tests._cluster_testkit import tiny_world
+
+
+def _pressured_world():
+    """The tiny world with a two-experts-per-GPU cache budget.
+
+    At the default floor (one expert per GPU) eviction never has a
+    choice, which would let order-inverting mutants hide.
+    """
+    world = tiny_world()
+    total = world.model_config.total_expert_bytes
+    budget = 2 * world.config.hardware.num_gpus * (
+        world.model_config.expert_bytes
+    )
+    return dataclasses.replace(
+        world, config=world.config.with_(cache_fraction=budget / total)
+    )
+
+
+class TestMutantRegistry:
+    def test_registry_is_nonempty_with_unique_names(self):
+        names = [m.name for m in MUTANTS]
+        assert len(names) >= 6
+        assert len(set(names)) == len(names)
+
+    def test_get_mutant_roundtrip(self):
+        for mutant in MUTANTS:
+            assert get_mutant(mutant.name) is mutant
+
+    def test_get_mutant_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="unknown mutant"):
+            get_mutant("works-perfectly")
+
+
+class TestMutantDetection:
+    @pytest.mark.parametrize("mutant", MUTANTS, ids=lambda m: m.name)
+    def test_every_registered_mutant_is_flagged(self, mutant):
+        result = detect_mutant(_pressured_world(), mutant)
+        assert result.flagged, (
+            f"mutant {mutant.name!r} survived the validators "
+            f"(expected detector: {mutant.expected_detector})"
+        )
+
+    def test_healthy_engine_is_not_flagged(self):
+        """The screen has no false positives on an unmutated engine."""
+        healthy = dataclasses.replace(
+            get_mutant("phantom-ready"),
+            name="healthy",
+            apply=lambda engine: None,
+        )
+        result = detect_mutant(_pressured_world(), healthy)
+        assert not result.flagged, result.detectors
