@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Resilience demo: crash a replica mid-run and watch the fleet recover.
+
+Replays one bursty Azure-style trace against a small fMoE fleet twice,
+with an identical scripted failure — a replica crash partway through the
+trace, restarting a few seconds later — and compares the two arms:
+
+- **resilience off**: the crash silently kills the requests in flight on
+  the victim; they are accounted as failed, and the fleet simply runs on
+  with one replica fewer until the restart.
+- **resilience on**: the driver retracts the lost work and re-dispatches
+  it to survivors under a retry budget, hedges stragglers, and the
+  restarted replica re-warms from the shared expert store.
+
+The demo prints a per-window recovery curve — SLO attainment before,
+during, and after the crash — for both arms, then the outcome totals.
+
+Run:  python examples/resilience_demo.py [--requests N] [--replicas R]
+"""
+
+import argparse
+
+from repro.cluster import ClusterSpec, ResilienceConfig, run_cluster
+from repro.experiments.common import ExperimentConfig, build_world
+from repro.serving.faults import ClusterFaultConfig, ReplicaCrash
+from repro.workloads.azure import AzureTraceConfig, make_azure_trace
+from repro.workloads.datasets import get_dataset_profile
+
+
+def recovery_curve(report, deadline, window, horizon):
+    """Per-window SLO attainment from the tracked request outcomes."""
+    edges = []
+    t = 0.0
+    while t < horizon:
+        edges.append((t, t + window))
+        t += window
+    curve = []
+    for lo, hi in edges:
+        window_outcomes = [
+            o for o in report.outcomes if lo <= o.arrival < hi
+        ]
+        if not window_outcomes:
+            curve.append((lo, hi, None))
+            continue
+        good = sum(
+            1
+            for o in window_outcomes
+            if o.outcome == "served" and o.latency <= deadline
+        )
+        curve.append((lo, hi, good / len(window_outcomes)))
+    return curve
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=24)
+    parser.add_argument("--replicas", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--crash-time", type=float, default=8.0)
+    args = parser.parse_args()
+
+    config = ExperimentConfig(
+        num_requests=args.requests, num_test_requests=2, seed=args.seed
+    )
+    world = build_world(config)
+    trace = make_azure_trace(
+        AzureTraceConfig(
+            num_requests=args.requests, mean_interarrival_seconds=1.5
+        ),
+        get_dataset_profile(config.dataset),
+        seed=args.seed + 10,
+    )
+    chaos = ClusterFaultConfig(
+        crashes=(
+            ReplicaCrash(
+                time=args.crash_time, replica=0, restart_delay=4.0
+            ),
+        )
+    )
+
+    # A healthy reference run sets the SLO deadline for both arms.
+    base = ClusterSpec(
+        replicas=args.replicas,
+        router="least-outstanding",
+        shared_store=True,
+    )
+    healthy = run_cluster(world, "fmoe", base, requests=trace)
+    deadline = max(3.0 * healthy.percentile_latency(95), 1.0)
+    horizon = max(r.arrival_time for r in trace) + 1.0
+    window = max(horizon / 6, 1.0)
+    print(
+        f"fleet of {args.replicas} fMoE replicas, {len(trace)} requests; "
+        f"replica 0 crashes at t={args.crash_time:.0f}s, "
+        f"restarts at t={args.crash_time + 4.0:.0f}s"
+    )
+    print(f"SLO deadline: {deadline:.2f}s (3x healthy p95)\n")
+
+    armed = ResilienceConfig(
+        retry_budget_fraction=0.5,
+        max_attempts_per_request=3,
+        hedge_after_seconds=max(healthy.percentile_latency(95), 0.1),
+    )
+    for label, spec in (
+        ("resilience off", base),
+        ("resilience on", ClusterSpec(
+            replicas=args.replicas,
+            router="least-outstanding",
+            shared_store=True,
+            resilience=armed,
+        )),
+    ):
+        report = run_cluster(
+            world, "fmoe", spec, requests=trace, cluster_faults=chaos
+        )
+        res = report.resilience
+        print(f"{label}: slo={report.slo_attainment(deadline):.3f}")
+        for lo, hi, value in recovery_curve(
+            report, deadline, window, horizon
+        ):
+            bar = "" if value is None else "#" * round(value * 20)
+            shown = " --- " if value is None else f"{value:5.3f}"
+            print(f"  t=[{lo:5.1f},{hi:5.1f})  {shown}  {bar}")
+        served = sum(
+            1 for o in report.outcomes if o.outcome == "served"
+        )
+        print(
+            f"  served={served} shed={res.total_shed} "
+            f"failed={res.failed} lost={res.lost_in_flight} "
+            f"retries={res.retry_dispatches} hedges={res.hedges}"
+        )
+        if res.restarts:
+            event = report.recovery_events[0]
+            print(
+                f"  restart: replica {event.new_replica} replaced "
+                f"{event.crashed_replica}, re-warmed "
+                f"{event.restored_experts} experts from the store"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,9 @@ Commands:
 - ``pearson``  — similarity/hit-rate Pearson coefficients (Fig. 8 style).
 - ``tune``     — prefetch-distance profiling (the paper's §6.1 setup step).
 - ``faults``   — chaos matrix: systems under scripted fault scenarios.
-- ``cluster``  — multi-replica cluster simulation with affinity routing.
+- ``cluster``  — multi-replica cluster simulation with affinity routing
+  (``--chaos`` / ``--resilience`` engage the cluster resilience layer).
+- ``storm-lite`` — resilience off vs. on under cluster-scope chaos.
 - ``grid``     — sweep (model, dataset, system, budget) grids to CSV.
 - ``report``   — collate ``benchmarks/results`` into one markdown report.
 - ``profile``  — profile a workload and save traces / a warm store to disk.
@@ -430,6 +432,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     from repro.cluster import (
         AutoscalerConfig,
         ClusterSpec,
+        ResilienceConfig,
         cluster_report_to_json,
         run_cluster,
     )
@@ -438,6 +441,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         cluster_scaling_rows,
     )
     from repro.experiments.common import build_world
+    from repro.experiments.resilience import default_storm_scenarios
 
     config = _config_from_args(args)
     if args.compare:
@@ -457,16 +461,35 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         autoscaler = AutoscalerConfig(
             max_replicas=max(args.replicas, AutoscalerConfig().max_replicas)
         )
+    cluster_faults = None
+    if args.chaos:
+        scenarios = {
+            s.name: s for s in default_storm_scenarios(args.seed)
+        }
+        if args.chaos not in scenarios:
+            known = ", ".join(sorted(scenarios))
+            print(f"unknown chaos scenario {args.chaos!r}; "
+                  f"choose from: {known}")
+            return 2
+        cluster_faults = scenarios[args.chaos].cluster_faults
     spec = ClusterSpec(
         replicas=args.replicas,
         router=args.router,
         shared_store=args.shared_store,
         warm=not args.cold,
         autoscaler=autoscaler,
+        resilience=ResilienceConfig() if args.resilience else None,
     )
     world = build_world(config)
     trace = _scaling_trace(config, args.trace_requests, args.rate)
-    report = run_cluster(world, args.system, spec, requests=trace)
+    report = run_cluster(
+        world,
+        args.system,
+        spec,
+        requests=trace,
+        cluster_faults=cluster_faults,
+        validate=args.validate,
+    )
     print(
         f"{args.system} x{args.replicas} router={args.router}: "
         f"routed={report.routed} served={len(report.aggregate.requests)} "
@@ -481,7 +504,9 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     )
     for summary in report.replicas:
         state = (
-            "retired"
+            "crashed"
+            if summary.crashed
+            else "retired"
             if summary.retired
             else "draining" if summary.draining else "active"
         )
@@ -489,6 +514,16 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             f"  replica {summary.replica_id}: {summary.assigned} assigned, "
             f"{summary.served} served, hit={summary.hit_rate:.4f}, "
             f"{state}"
+        )
+    if report.resilience is not None:
+        res = report.resilience
+        print(
+            f"  resilience: shed={res.total_shed} failed={res.failed} "
+            f"retries={res.retry_dispatches}/{res.retry_budget_limit} "
+            f"hedges={res.hedges} (won {res.hedge_wins}) "
+            f"breaker_opens={res.breaker_opens} "
+            f"crashes={res.crashes} restarts={res.restarts} "
+            f"lost={res.lost_in_flight}"
         )
     if report.scale_events:
         for event in report.scale_events:
@@ -500,6 +535,38 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     if args.out is not None:
         cluster_report_to_json(report, args.out)
         print(f"  report written to {args.out}")
+    return 0
+
+
+def cmd_storm_lite(args: argparse.Namespace) -> int:
+    """Storm-lite: resilience off vs. on under cluster-scope chaos."""
+    from repro.experiments.resilience import (
+        default_storm_scenarios,
+        storm_rows,
+    )
+
+    config = _config_from_args(args)
+    scenarios = default_storm_scenarios(args.seed)
+    if args.scenarios:
+        by_name = {s.name: s for s in scenarios}
+        unknown = [name for name in args.scenarios if name not in by_name]
+        if unknown:
+            known = ", ".join(sorted(by_name))
+            print(f"unknown scenario(s) {unknown}; choose from: {known}")
+            return 2
+        scenarios = tuple(by_name[name] for name in args.scenarios)
+    rows = storm_rows(
+        scenarios=scenarios,
+        config=config,
+        system=args.system,
+        trace_requests=args.trace_requests,
+        rate_seconds=args.rate,
+        deadline_multiplier=args.deadline_multiplier,
+        jobs=args.jobs,
+        validate=args.validate,
+    )
+    for row in rows:
+        print(row.format())
     return 0
 
 
@@ -749,13 +816,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=[1, 2, 4],
         help="replica counts for --compare",
     )
+    p.add_argument(
+        "--chaos",
+        default=None,
+        help="subject the fleet to a named storm scenario "
+        "(see `repro storm-lite`)",
+    )
+    p.add_argument(
+        "--resilience",
+        action="store_true",
+        help="enable the cluster resilience layer (admission control, "
+        "degradation ladder, retry budgets, circuit breakers)",
+    )
     p.add_argument("--trace-requests", type=int, default=24)
     p.add_argument("--rate", type=float, default=1.0)
     p.add_argument(
         "--out", default=None, help="write the cluster report JSON here"
     )
+    _add_validate_arg(p)
     _add_jobs_arg(p)
     p.set_defaults(func=cmd_cluster)
+
+    p = sub.add_parser(
+        "storm-lite",
+        help="resilience off vs. on under cluster-scope chaos",
+    )
+    _add_world_args(p)
+    p.add_argument(
+        "--system", default="fmoe", type=_prefix_choice(POLICY_CHOICES)
+    )
+    p.add_argument(
+        "--scenarios",
+        nargs="*",
+        default=None,
+        help="subset of storm scenario names (default: the full storm)",
+    )
+    p.add_argument("--trace-requests", type=int, default=24)
+    p.add_argument("--rate", type=float, default=1.5)
+    p.add_argument(
+        "--deadline-multiplier",
+        type=float,
+        default=3.0,
+        help="SLO deadline as a multiple of the healthy p95 latency",
+    )
+    _add_validate_arg(p)
+    _add_jobs_arg(p)
+    p.set_defaults(func=cmd_storm_lite)
 
     p = sub.add_parser(
         "profile", help="profile a workload; save traces / a warm store"

@@ -10,16 +10,33 @@ router comparison experiment reports.
 """
 
 from repro.cluster.autoscaler import Autoscaler
-from repro.cluster.config import AutoscalerConfig, ClusterSpec, ROUTER_NAMES
+from repro.cluster.config import (
+    AutoscalerConfig,
+    ClusterSpec,
+    ResilienceConfig,
+    ROUTER_NAMES,
+)
 from repro.cluster.driver import ClusterDriver, run_cluster
 from repro.cluster.metrics import (
+    BreakerTransition,
     ClusterReport,
+    DispatchRecord,
+    RecoveryEvent,
     ReplicaSummary,
+    RequestOutcome,
+    ResilienceReport,
     ScaleEvent,
     cluster_report_to_dict,
     cluster_report_to_json,
 )
 from repro.cluster.replica import Replica
+from repro.cluster.resilience import (
+    RUNG_NAMES,
+    CircuitBreaker,
+    DegradationLadder,
+    DispatchBudget,
+    TokenBucket,
+)
 from repro.cluster.router import (
     LeastOutstandingRouter,
     RoundRobinRouter,
@@ -27,25 +44,38 @@ from repro.cluster.router import (
     Router,
     SemanticAffinityRouter,
     make_router,
+    pick_secondary,
 )
 
 __all__ = [
     "Autoscaler",
     "AutoscalerConfig",
+    "BreakerTransition",
+    "CircuitBreaker",
     "ClusterDriver",
     "ClusterReport",
     "ClusterSpec",
+    "DegradationLadder",
+    "DispatchBudget",
+    "DispatchRecord",
     "LeastOutstandingRouter",
-    "ROUTER_NAMES",
-    "Replica",
+    "RecoveryEvent",
     "ReplicaSummary",
+    "Replica",
+    "RequestOutcome",
+    "ResilienceConfig",
+    "ResilienceReport",
+    "ROUTER_NAMES",
     "RoundRobinRouter",
     "RouteDecision",
     "Router",
+    "RUNG_NAMES",
     "ScaleEvent",
     "SemanticAffinityRouter",
+    "TokenBucket",
     "cluster_report_to_dict",
     "cluster_report_to_json",
     "make_router",
+    "pick_secondary",
     "run_cluster",
 ]

@@ -72,6 +72,139 @@ class AutoscalerConfig:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs of the cluster resilience layer (all features opt-in).
+
+    Attached to :class:`ClusterSpec`; ``None`` on the spec means the
+    driver takes exactly the legacy dispatch path and reports stay
+    byte-identical to a pre-resilience run.  Each feature degrades to
+    off when its knob is ``None``:
+
+    - **admission control** — a token bucket (``admission_rate`` /
+      ``admission_burst``) plus the degradation ladder's shed rung;
+      requests with ``priority >= priority_bypass_level`` are never shed
+      at admission.
+    - **degradation ladder** — fleet-mean queue depth drives service
+      down the rungs *full → prefetch-off → expert-substitution → shed*
+      (the SMoE-style nearest-resident substitution becomes a measured
+      rung instead of a hidden fault fallback).
+    - **retry budget** — cross-replica re-dispatch of shed or
+      crash-lost requests, globally capped at
+      ``retry_budget_fraction`` of routed requests so retries can never
+      storm.
+    - **hedged dispatch** — a request whose primary TTFT exceeds
+      ``hedge_after_seconds`` is re-dispatched to a second replica;
+      first response wins, the loser is counted as cancelled work.
+    - **circuit breakers** — per-replica closed/open/half-open state on
+      a rolling failure window; open replicas leave the router's
+      candidate set, half-open replicas receive probe requests.
+    """
+
+    admission_rate: float | None = None
+    """Token-bucket admission rate in requests per virtual second
+    (None: no rate limit)."""
+
+    admission_burst: int = 8
+    priority_bypass_level: int | None = None
+    """Requests with ``priority`` at or above this are never shed by
+    admission control (None: no bypass)."""
+
+    prefetch_off_depth: float | None = 6.0
+    """Fleet-mean outstanding requests per replica at which prefetching
+    is switched off (ladder rung 1; None disables the rung)."""
+
+    substitution_depth: float | None = 10.0
+    """Queue depth at which misses are served by nearest-resident
+    substitution instead of blocking loads (rung 2; None disables)."""
+
+    shed_depth: float | None = 14.0
+    """Queue depth at which new arrivals are shed outright (rung 3;
+    None disables)."""
+
+    retry_budget_fraction: float = 0.25
+    """Global retry budget: re-dispatches may never exceed this fraction
+    of routed requests."""
+
+    max_attempts_per_request: int = 2
+    hedge_after_seconds: float | None = None
+    """Hedge a request whose primary TTFT exceeds this (None: hedging
+    off)."""
+
+    hedge_budget_fraction: float = 0.1
+    """Hedges may never exceed this fraction of routed requests."""
+
+    breakers_enabled: bool = True
+    breaker_window: int = 8
+    """Rolling per-replica outcome window the failure rate is computed
+    over."""
+
+    breaker_min_samples: int = 4
+    breaker_failure_threshold: float = 0.5
+    """Failure rate at which a closed breaker opens."""
+
+    breaker_open_seconds: float = 20.0
+    """Seconds an open breaker waits before allowing a half-open probe."""
+
+    breaker_failure_ttft_seconds: float | None = None
+    """Count a served request as a breaker *failure* when its TTFT
+    exceeds this (None: only sheds and crashes count)."""
+
+    restart_warm_from_store: bool = True
+    """Restarted replicas share the cluster's shared expert-map store
+    when one exists (their ExpertPool still rejoins cold)."""
+
+    def __post_init__(self) -> None:
+        if self.admission_rate is not None and self.admission_rate <= 0:
+            raise ConfigError("admission_rate must be > 0 (or None)")
+        if self.admission_burst < 1:
+            raise ConfigError("admission_burst must be >= 1")
+        depths = [
+            ("prefetch_off_depth", self.prefetch_off_depth),
+            ("substitution_depth", self.substitution_depth),
+            ("shed_depth", self.shed_depth),
+        ]
+        for name, value in depths:
+            if value is not None and value <= 0:
+                raise ConfigError(f"{name} must be > 0 (or None)")
+        ordered = [v for _, v in depths if v is not None]
+        if ordered != sorted(ordered):
+            raise ConfigError(
+                "degradation depths must be non-decreasing: "
+                "prefetch_off <= substitution <= shed"
+            )
+        for name in ("retry_budget_fraction", "hedge_budget_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1]")
+        if self.max_attempts_per_request < 1:
+            raise ConfigError("max_attempts_per_request must be >= 1")
+        if self.hedge_after_seconds is not None and (
+            self.hedge_after_seconds <= 0
+        ):
+            raise ConfigError("hedge_after_seconds must be > 0 (or None)")
+        if self.breaker_window < 1:
+            raise ConfigError("breaker_window must be >= 1")
+        if self.breaker_min_samples < 1:
+            raise ConfigError("breaker_min_samples must be >= 1")
+        if self.breaker_min_samples > self.breaker_window:
+            raise ConfigError(
+                "breaker_min_samples must be <= breaker_window"
+            )
+        if not 0.0 < self.breaker_failure_threshold <= 1.0:
+            raise ConfigError(
+                "breaker_failure_threshold must be in (0, 1]"
+            )
+        if self.breaker_open_seconds <= 0:
+            raise ConfigError("breaker_open_seconds must be > 0")
+        if self.breaker_failure_ttft_seconds is not None and (
+            self.breaker_failure_ttft_seconds <= 0
+        ):
+            raise ConfigError(
+                "breaker_failure_ttft_seconds must be > 0 (or None)"
+            )
+
+
+@dataclass(frozen=True)
 class ClusterSpec:
     """Shape of one simulated cluster: replicas, router, store topology.
 
@@ -99,6 +232,11 @@ class ClusterSpec:
     route_around_device_loss: bool = True
     """Stop routing new requests to a replica that has lost a device
     (router failover); the replica still finishes what it already holds."""
+
+    resilience: ResilienceConfig | None = None
+    """Cluster resilience layer (admission control, degradation ladder,
+    retry budgets, hedged dispatch, circuit breakers).  ``None`` keeps
+    the legacy dispatch path and byte-identical reports."""
 
     def __post_init__(self) -> None:
         if self.replicas < 1:

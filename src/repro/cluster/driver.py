@@ -20,26 +20,60 @@ byte-identical.
 
 from __future__ import annotations
 
+import heapq
+from dataclasses import replace
 from typing import Sequence
 
 from repro.cluster.autoscaler import Autoscaler
 from repro.cluster.config import ClusterSpec
 from repro.cluster.metrics import (
+    BreakerTransition,
     ClusterReport,
+    DispatchRecord,
+    RecoveryEvent,
     ReplicaSummary,
+    RequestOutcome,
+    ResilienceReport,
     ScaleEvent,
 )
 from repro.cluster.replica import Replica
-from repro.cluster.router import make_router
+from repro.cluster.resilience import (
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    RUNG_FULL,
+    RUNG_NO_PREFETCH,
+    RUNG_SHED,
+    RUNG_SUBSTITUTE,
+    CircuitBreaker,
+    DegradationLadder,
+    DispatchBudget,
+    TokenBucket,
+)
+from repro.cluster.router import make_router, pick_secondary
 from repro.core.policy import FMoEPolicy
 from repro.core.store import ExpertMapStore
 from repro.errors import ConfigError
 from repro.experiments.common import World, make_engine
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import CLUSTER_LANE, Tracer, replica_lane
-from repro.serving.faults import FaultConfig, FaultSchedule, SLOConfig
+from repro.serving.faults import (
+    ClusterFaultConfig,
+    FaultConfig,
+    FaultSchedule,
+    ReplicaCrash,
+    SLOConfig,
+)
 from repro.serving.metrics import ServingReport
 from repro.serving.request import Request
+
+#: Outcome ``reason`` → :class:`ResilienceReport` shed-counter field.
+_SHED_FIELDS = {
+    "admission": "shed_admission",
+    "ladder": "shed_ladder",
+    "breaker": "shed_breaker",
+    "no-capacity": "shed_no_capacity",
+    "replica": "shed_replica",
+}
 
 
 class ClusterDriver:
@@ -51,6 +85,7 @@ class ClusterDriver:
         system: str,
         spec: ClusterSpec,
         fault_config: FaultConfig | None = None,
+        cluster_faults: ClusterFaultConfig | None = None,
         slo: SLOConfig | None = None,
         cache_budget_bytes: int | None = None,
         tracer: Tracer | None = None,
@@ -87,6 +122,52 @@ class ClusterDriver:
         self._probe = world.fresh_model()
         self.replicas: list[Replica] = []
         self.report = ClusterReport(system=system, router=spec.router)
+        # Resilience layer.  ``tracked`` turns on outcome accounting and
+        # the resilient dispatch path; it engages when either resilience
+        # features or cluster-scope faults are present, so a no-resilience
+        # baseline under a fault schedule still produces comparable
+        # request-level outcomes.  When both are absent the driver takes
+        # exactly the legacy code path (byte-identical reports).
+        self.resilience = spec.resilience
+        self.cluster_faults = (
+            cluster_faults
+            if cluster_faults is not None and not cluster_faults.is_zero
+            else None
+        )
+        self.tracked = (
+            self.resilience is not None or self.cluster_faults is not None
+        )
+        self._seq = 0
+        self._fault_order = 0
+        self._outcomes: dict[int, RequestOutcome] = {}
+        self._breakers: dict[int, CircuitBreaker] = {}
+        self._fault_events: list[tuple[float, int, str, ReplicaCrash]] = []
+        self._bucket: TokenBucket | None = None
+        self._ladder: DegradationLadder | None = None
+        self._retry_budget = DispatchBudget(0.0)
+        self._hedge_budget = DispatchBudget(0.0)
+        if self.tracked:
+            self.report.resilience = ResilienceReport()
+            cfg = self.resilience
+            if cfg is not None:
+                if cfg.admission_rate is not None:
+                    self._bucket = TokenBucket(
+                        cfg.admission_rate, cfg.admission_burst
+                    )
+                self._ladder = DegradationLadder(cfg)
+                self._retry_budget = DispatchBudget(
+                    cfg.retry_budget_fraction
+                )
+                self._hedge_budget = DispatchBudget(
+                    cfg.hedge_budget_fraction
+                )
+            if self.cluster_faults is not None:
+                for crash in self.cluster_faults.expand_crashes():
+                    self._fault_order += 1
+                    heapq.heappush(
+                        self._fault_events,
+                        (crash.time, self._fault_order, "crash", crash),
+                    )
         for _ in range(spec.replicas):
             self._spawn(now=0.0)
 
@@ -119,11 +200,24 @@ class ClusterDriver:
             return None
         return FaultSchedule(self.fault_config)
 
-    def _spawn(self, now: float) -> Replica:
-        """Add one replica to the fleet at virtual time ``now``."""
+    def _spawn(self, now: float, restart: bool = False) -> Replica:
+        """Add one replica to the fleet at virtual time ``now``.
+
+        ``restart`` spawns a crash replacement: it rejoins *cold* — no
+        warm traces, an empty expert pool — and must measurably re-warm,
+        except that under ``restart_warm_from_store`` a shared-store
+        fleet lets the replacement search the surviving store (the store
+        outlives its replicas, which is the point of sharing it).
+        """
         replica_id = len(self.replicas)
         policy = None
-        if self._shared_store is not None:
+        use_shared = self._shared_store is not None
+        if restart:
+            cfg = self.resilience
+            use_shared = use_shared and (
+                cfg is not None and cfg.restart_warm_from_store
+            )
+        if use_shared:
             config = self.world.config
             policy = FMoEPolicy(
                 prefetch_distance=config.prefetch_distance,
@@ -138,7 +232,7 @@ class ClusterDriver:
             faults=self._replica_faults(replica_id),
             slo=self.slo,
         )
-        if self.spec.warm:
+        if self.spec.warm and not restart:
             if self._shared_store is None:
                 engine.policy.warm(self.world.warm_traces)
             elif not self._store_warmed:
@@ -156,6 +250,14 @@ class ClusterDriver:
         replica = Replica(replica_id, engine)
         replica.spawned_at = now
         self.replicas.append(replica)
+        cfg = self.resilience
+        if cfg is not None and cfg.breakers_enabled:
+            self._breakers[replica_id] = CircuitBreaker(
+                cfg,
+                on_transition=lambda time, state, rid=replica_id: (
+                    self._note_breaker(rid, time, state)
+                ),
+            )
         if self.tracer is not None:
             self.tracer.set_lane_name(
                 replica_lane(replica_id), f"replica {replica_id}"
@@ -265,6 +367,9 @@ class ClusterDriver:
 
     def _dispatch(self, request: Request) -> None:
         """Route and serve one request at its arrival time."""
+        if self.tracked:
+            self._dispatch_resilient(request)
+            return
         now = request.arrival_time
         self._retire_drained(now)
         self._autoscale(now)
@@ -311,6 +416,416 @@ class ClusterDriver:
             self.autoscaler.observe_ttft(served.ttft)
 
     # ------------------------------------------------------------------ #
+    # Resilient dispatch
+    # ------------------------------------------------------------------ #
+
+    def _note_breaker(self, replica_id: int, time: float, state: str) -> None:
+        """Journal one breaker transition (sequenced against dispatches)."""
+        res = self.report.resilience
+        if state == BREAKER_OPEN:
+            res.breaker_opens += 1
+        elif state == "closed":
+            res.breaker_closes += 1
+        self._seq += 1
+        self.report.breaker_transitions.append(
+            BreakerTransition(self._seq, time, replica_id, state)
+        )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_cluster_breaker_transitions_total",
+                "Circuit-breaker state changes by replica and new state",
+            ).inc(replica=str(replica_id), state=state)
+
+    def _apply_due_cluster_faults(self, now: float) -> None:
+        """Apply scripted crashes/restarts whose virtual time has come."""
+        while self._fault_events and self._fault_events[0][0] <= now:
+            time, _, kind, crash = heapq.heappop(self._fault_events)
+            if kind == "crash":
+                self._apply_crash(time, crash)
+            else:
+                self._apply_restart(time, crash)
+
+    def _apply_crash(self, time: float, crash: ReplicaCrash) -> None:
+        """Kill one replica; failover re-dispatch of its in-flight work."""
+        if crash.replica >= len(self.replicas):
+            return
+        replica = self.replicas[crash.replica]
+        if replica.retired or replica.crashed:
+            return
+        lost = replica.crash(time)
+        res = self.report.resilience
+        res.crashes += 1
+        self._record_scale(time, "crash", replica, len(lost))
+        if crash.restart_delay is not None:
+            self._fault_order += 1
+            heapq.heappush(
+                self._fault_events,
+                (
+                    time + crash.restart_delay,
+                    self._fault_order,
+                    "restart",
+                    crash,
+                ),
+            )
+        for request in lost:
+            outcome = self._outcomes.get(request.request_id)
+            if (
+                outcome is None
+                or outcome.outcome != "served"
+                or outcome.replica_id != replica.replica_id
+            ):
+                # The defining serve lives elsewhere (hedge winner on a
+                # surviving replica) — losing this copy costs nothing.
+                continue
+            res.lost_in_flight += 1
+            self._redispatch_lost(request, time, replica.replica_id)
+
+    def _apply_restart(self, time: float, crash: ReplicaCrash) -> None:
+        """A crashed replica's replacement rejoins the fleet (cold)."""
+        res = self.report.resilience
+        replica = self._spawn(time, restart=True)
+        res.restarts += 1
+        restored = 0
+        if replica.expert_map_store() is self._shared_store and (
+            self._shared_store is not None
+        ):
+            restored = len(self._shared_store)
+        self.report.recovery_events.append(
+            RecoveryEvent(time, crash.replica, replica.replica_id, restored)
+        )
+        self._record_scale(time, "restart", replica, 0)
+
+    def _redispatch_lost(
+        self, request: Request, crash_time: float, crashed_id: int
+    ) -> None:
+        """Fail a crash-lost request over, retry budget permitting."""
+        cfg = self.resilience
+        res = self.report.resilience
+        outcome = self._outcomes[request.request_id]
+        outcome.outcome = "pending"
+        outcome.replica_id = None
+        outcome.latency = None
+        outcome.ttft = None
+        if (
+            cfg is not None
+            and outcome.attempts < cfg.max_attempts_per_request
+            and self._retry_budget.try_take(self.report.routed)
+        ):
+            retry = replace(request, arrival_time=crash_time)
+            self._serve_resilient(
+                retry,
+                outcome,
+                self._current_rung(crash_time),
+                excluded={crashed_id},
+            )
+            return
+        if cfg is not None and outcome.attempts < cfg.max_attempts_per_request:
+            res.retry_budget_exhausted += 1
+        outcome.outcome = "failed"
+        outcome.reason = "crash"
+        outcome.replica_id = crashed_id
+        res.failed += 1
+
+    def _current_rung(self, now: float) -> int:
+        """The degradation-ladder rung for the fleet's health at ``now``."""
+        if self._ladder is None:
+            return RUNG_FULL
+        accepting = self._accepting()
+        if not accepting:
+            return RUNG_FULL
+        depth = sum(
+            r.outstanding_requests(now) for r in accepting
+        ) / len(accepting)
+        open_fraction = 0.0
+        if self._breakers:
+            open_count = sum(
+                1
+                for r in accepting
+                if self._breakers[r.replica_id].state(now) == BREAKER_OPEN
+            )
+            open_fraction = open_count / len(accepting)
+        return self._ladder.rung(depth, open_fraction)
+
+    def _shed_outcome(self, outcome: RequestOutcome, reason: str) -> None:
+        """Resolve one outcome as shed and bump the matching counter."""
+        res = self.report.resilience
+        outcome.outcome = "shed"
+        outcome.reason = reason
+        field = _SHED_FIELDS[reason]
+        setattr(res, field, getattr(res, field) + 1)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_cluster_resilience_shed_total",
+                "Requests shed by the resilience layer, by reason",
+            ).inc(reason=reason)
+
+    def _dispatch_resilient(self, request: Request) -> None:
+        """The tracked dispatch path: faults, admission, retries, hedges."""
+        now = request.arrival_time
+        self._apply_due_cluster_faults(now)
+        self._retire_drained(now)
+        self._autoscale(now)
+        res = self.report.resilience
+        self.report.routed += 1
+        res.admitted += 1
+        rung = self._current_rung(now)
+        res.rung_counts[rung] = res.rung_counts.get(rung, 0) + 1
+        outcome = RequestOutcome(request_id=request.request_id, arrival=now)
+        outcome.rung = rung
+        self._outcomes[request.request_id] = outcome
+        cfg = self.resilience
+        bypass = (
+            cfg is not None
+            and cfg.priority_bypass_level is not None
+            and request.priority >= cfg.priority_bypass_level
+        )
+        if rung >= RUNG_SHED and not bypass:
+            self._shed_outcome(outcome, "ladder")
+            return
+        if (
+            self._bucket is not None
+            and not bypass
+            and not self._bucket.allow(now)
+        ):
+            self._shed_outcome(outcome, "admission")
+            return
+        self._serve_resilient(request, outcome, rung)
+
+    def _serve_resilient(
+        self,
+        request: Request,
+        outcome: RequestOutcome,
+        rung: int,
+        excluded: set[int] | None = None,
+    ) -> None:
+        """Attempt chain for one admitted request (primary + retries)."""
+        cfg = self.resilience
+        res = self.report.resilience
+        excluded = set(excluded) if excluded else set()
+        max_attempts = cfg.max_attempts_per_request if cfg is not None else 1
+        while True:
+            kind = "primary" if outcome.attempts == 0 else "retry"
+            status, replica, served = self._attempt(
+                request, excluded, kind, rung
+            )
+            if status in ("shed", "served"):
+                outcome.attempts += 1
+            if status == "no-candidates":
+                self._shed_outcome(outcome, "no-capacity")
+                return
+            if status == "breaker":
+                self._shed_outcome(outcome, "breaker")
+                return
+            if status == "shed":
+                excluded.add(replica.replica_id)
+                if (
+                    cfg is not None
+                    and outcome.attempts < max_attempts
+                    and self._retry_budget.try_take(self.report.routed)
+                ):
+                    continue
+                if cfg is not None and outcome.attempts < max_attempts:
+                    res.retry_budget_exhausted += 1
+                self._shed_outcome(outcome, "replica")
+                return
+            self._finish_served(request, outcome, replica, served, rung)
+            return
+
+    def _attempt(
+        self,
+        request: Request,
+        excluded: set[int],
+        kind: str,
+        rung: int,
+    ):
+        """One dispatch: pick a replica, serve, feed its breaker.
+
+        Returns ``(status, replica, metrics)`` where status is
+        ``served`` / ``shed`` (replica queue-delay shed) /
+        ``breaker`` (every live candidate's breaker is open) /
+        ``no-candidates`` (no live replica, or no hedge target).
+        """
+        now = request.arrival_time
+        cfg = self.resilience
+        res = self.report.resilience
+        candidates = self._routable(now)
+        if not candidates:
+            return ("no-candidates", None, None)
+        if self._breakers:
+            closed = [
+                r
+                for r in candidates
+                if self._breakers[r.replica_id].state(now) != BREAKER_OPEN
+            ]
+            if len(closed) < len(candidates):
+                res.breaker_filtered_routes += 1
+            if not closed:
+                # Never dispatch to an open breaker — shedding here is
+                # what keeps the invariant absolute.
+                return ("breaker", None, None)
+            candidates = closed
+        if kind == "hedge":
+            primary_id = next(iter(excluded))
+            replica = pick_secondary(candidates, primary_id, now)
+            if replica is None:
+                return ("no-candidates", None, None)
+            reason, score = "hedge", 0.0
+        else:
+            pool = [
+                r for r in candidates if r.replica_id not in excluded
+            ] or candidates
+            decision = self.router.select(
+                request, self._embedding(request), pool, now
+            )
+            replica, reason, score = (
+                decision.replica,
+                decision.reason,
+                decision.score,
+            )
+        breaker = self._breakers.get(replica.replica_id)
+        probe = breaker is not None and breaker.state(now) == BREAKER_HALF_OPEN
+        if probe:
+            res.breaker_probes += 1
+        if kind == "primary":
+            res.primary_dispatches += 1
+            if reason == "affinity":
+                self.report.affinity_routed += 1
+            elif reason == "fallback":
+                self.report.fallback_routed += 1
+        elif kind == "retry":
+            res.retry_dispatches += 1
+        self._seq += 1
+        self.report.dispatch_log.append(
+            DispatchRecord(
+                self._seq,
+                now,
+                request.request_id,
+                replica.replica_id,
+                kind,
+                probe,
+            )
+        )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_cluster_routed_total",
+                "Requests dispatched, by replica and decision reason",
+            ).inc(replica=str(replica.replica_id), reason=reason)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "route",
+                now,
+                tid=CLUSTER_LANE,
+                category="cluster",
+                request=request.request_id,
+                replica=replica.replica_id,
+                reason=reason,
+                kind=kind,
+                score=round(score, 4),
+            )
+        serve_request = request
+        if self.cluster_faults is not None:
+            link = self.cluster_faults.link_delay(replica.replica_id, now)
+            if link > 0.0:
+                res.link_delays += 1
+                res.link_delay_seconds += link
+                serve_request = replace(
+                    request, arrival_time=request.arrival_time + link
+                )
+        engine = replica.engine
+        saved = (engine.prefetch_enabled, engine.force_substitution)
+        if cfg is not None:
+            if rung >= RUNG_NO_PREFETCH:
+                engine.prefetch_enabled = False
+            if rung >= RUNG_SUBSTITUTE:
+                engine.force_substitution = True
+        try:
+            finish = replica.serve(serve_request)
+        finally:
+            engine.prefetch_enabled, engine.force_substitution = saved
+        if finish is None:
+            if breaker is not None:
+                breaker.record(False, now)
+            return ("shed", replica, None)
+        served = replica.report.requests[-1]
+        success = True
+        if (
+            cfg is not None
+            and cfg.breaker_failure_ttft_seconds is not None
+            and served.ttft > cfg.breaker_failure_ttft_seconds
+        ):
+            success = False
+        if breaker is not None:
+            breaker.record(success, now)
+        return ("served", replica, served)
+
+    def _finish_served(
+        self,
+        request: Request,
+        outcome: RequestOutcome,
+        replica: Replica,
+        served,
+        rung: int,
+    ) -> None:
+        """Resolve a served outcome; hedge the primary if it straggles."""
+        cfg = self.resilience
+        res = self.report.resilience
+        winner = served
+        winner_replica = replica
+        first_token_at = served.arrival_time + served.ttft
+        if (
+            cfg is not None
+            and cfg.hedge_after_seconds is not None
+            and first_token_at - request.arrival_time
+            > cfg.hedge_after_seconds
+            and self._hedge_budget.try_take(self.report.routed)
+        ):
+            res.hedges += 1
+            outcome.hedged = True
+            hedge_time = request.arrival_time + cfg.hedge_after_seconds
+            hedge_request = replace(request, arrival_time=hedge_time)
+            h_status, h_replica, h_served = self._attempt(
+                hedge_request, {replica.replica_id}, "hedge", rung
+            )
+            if h_status == "served":
+                # First response wins; the loser is cancelled and its
+                # service time is accounted as wasted hedge work.
+                res.hedges_cancelled += 1
+                first_token_at = min(
+                    first_token_at,
+                    h_served.arrival_time + h_served.ttft,
+                )
+                if h_served.finish_time < served.finish_time:
+                    res.hedge_wins += 1
+                    outcome.hedge_won = True
+                    res.hedge_wasted_seconds += (
+                        served.finish_time - served.start_time
+                    )
+                    winner, winner_replica = h_served, h_replica
+                else:
+                    res.hedge_wasted_seconds += (
+                        h_served.finish_time - h_served.start_time
+                    )
+            elif h_status == "shed":
+                # The speculative copy was shed on arrival: the hedge
+                # is cancelled without ever producing a token.
+                res.hedges_cancelled += 1
+        outcome.outcome = "served"
+        outcome.replica_id = winner_replica.replica_id
+        outcome.latency = winner.finish_time - outcome.arrival
+        outcome.ttft = first_token_at - outcome.arrival
+        if self.tracer is not None:
+            self.tracer.complete(
+                f"request {request.request_id}",
+                winner.start_time,
+                winner.finish_time,
+                tid=replica_lane(winner_replica.replica_id),
+                category="cluster",
+                ttft=round(outcome.ttft, 6),
+            )
+        if self.autoscaler is not None:
+            self.autoscaler.observe_ttft(outcome.ttft)
+
+    # ------------------------------------------------------------------ #
     # Run
     # ------------------------------------------------------------------ #
 
@@ -331,6 +846,11 @@ class ClusterDriver:
             )
         for request in ordered:
             self._dispatch(request)
+        if self.tracked:
+            # Scripted faults landing after the last arrival still
+            # happen: drain them so late crashes retract in-flight work
+            # and scheduled restarts are journaled.
+            self._apply_due_cluster_faults(float("inf"))
         self._finalize()
         if self.validate and self.violations:
             from repro.errors import ValidationError
@@ -372,6 +892,7 @@ class ClusterDriver:
                     draining=replica.draining,
                     retired=replica.retired,
                     spawned_at=replica.spawned_at,
+                    crashed=replica.crashed,
                 )
             )
             # Each replica engine owns its own sink: drop counters add.
@@ -380,6 +901,15 @@ class ClusterDriver:
             aggregate.policy_name = names.pop()
         self.report.aggregate = aggregate
         self.report.final_replicas = len(self._accepting())
+        if self.tracked:
+            res = self.report.resilience
+            res.retry_budget_limit = self._retry_budget.limit(
+                self.report.routed
+            )
+            res.hedge_budget_limit = self._hedge_budget.limit(
+                self.report.routed
+            )
+            self.report.outcomes = list(self._outcomes.values())
         if self.validate:
             from repro.validate.monitors import check_cluster_report
 
@@ -400,6 +930,7 @@ def run_cluster(
     spec: ClusterSpec,
     requests: Sequence[Request] | None = None,
     fault_config: FaultConfig | None = None,
+    cluster_faults: ClusterFaultConfig | None = None,
     slo: SLOConfig | None = None,
     cache_budget_bytes: int | None = None,
     tracer: Tracer | None = None,
@@ -410,7 +941,12 @@ def run_cluster(
 
     ``requests`` defaults to the world's test split.  ``fault_config`` is
     instantiated into an independent (pure, seeded) fault oracle per
-    replica — or only on ``spec.fault_replica`` when set.  ``tracer`` and
+    replica — or only on ``spec.fault_replica`` when set.
+    ``cluster_faults`` scripts cluster-scope chaos (replica crashes,
+    zone outages, link degradation); supplying it — or setting
+    ``spec.resilience`` — switches the driver to the tracked dispatch
+    path with per-request outcome accounting.  With neither present the
+    run is byte-identical to the legacy driver.  ``tracer`` and
     ``metrics`` attach cluster-level observability (routing instants and
     scale events on the cluster lane, per-replica serve spans, and
     ``repro_cluster_*`` instruments).  ``validate`` attaches invariant
@@ -423,6 +959,7 @@ def run_cluster(
         system,
         spec,
         fault_config=fault_config,
+        cluster_faults=cluster_faults,
         slo=slo,
         cache_budget_bytes=cache_budget_bytes,
         tracer=tracer,

@@ -51,6 +51,162 @@ class ReplicaSummary:
     draining: bool
     retired: bool
     spawned_at: float
+    crashed: bool = False
+    """Whether a scripted cluster fault killed this replica mid-run."""
+
+
+@dataclass(frozen=True)
+class DispatchRecord:
+    """One request hand-off from the driver to a replica.
+
+    ``seq`` is the driver's global event sequence number; breaker
+    transitions carry the same counter, so the validate monitors can
+    replay the exact interleaving of dispatches and state changes even
+    when virtual timestamps tie.
+    """
+
+    seq: int
+    time: float
+    request_id: int
+    replica_id: int
+    kind: str
+    """``primary`` (first placement), ``retry`` (re-dispatch after a shed
+    or crash), or ``hedge`` (speculative second copy of a straggler)."""
+
+    probe: bool = False
+    """True when the target's breaker was half-open — this dispatch is
+    the probe deciding whether the breaker closes or re-opens."""
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One circuit-breaker state change on a replica."""
+
+    seq: int
+    time: float
+    replica_id: int
+    state: str
+    """``closed`` / ``open`` / ``half-open``."""
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """A crashed replica's replacement rejoining the fleet."""
+
+    time: float
+    crashed_replica: int
+    new_replica: int
+    restored_experts: int
+    """Expert-map rows the replacement inherited from the shared store
+    (0 for a fully cold rejoin)."""
+
+
+@dataclass
+class RequestOutcome:
+    """Request-level truth of one routed request under resilience.
+
+    Replica reports account for *machine work* (a crashed replica's
+    partial serves, a cancelled hedge's compute all stay visible in the
+    aggregate); outcomes account for what the *client* experienced.
+    Every request presented to the cluster resolves to exactly one
+    outcome — hedges and retries never add entries.
+    """
+
+    request_id: int
+    arrival: float
+    outcome: str = "pending"
+    """``served`` / ``shed`` / ``failed`` (``pending`` only mid-run)."""
+
+    replica_id: int | None = None
+    """The replica whose serve defined this outcome (hedge winner)."""
+
+    latency: float | None = None
+    """Client-perceived end-to-end seconds from ``arrival`` (served only)."""
+
+    ttft: float | None = None
+    """Client-perceived first-token seconds from ``arrival`` — under
+    hedging, the earlier of the two copies' first tokens."""
+
+    attempts: int = 0
+    """Primary + retry dispatches (hedges are tracked separately)."""
+
+    hedged: bool = False
+    hedge_won: bool = False
+    rung: int = 0
+    """Degradation-ladder rung in force when the request was admitted."""
+
+    reason: str = ""
+    """Why a request was shed/failed: ``admission`` (token bucket),
+    ``ladder`` (shed rung), ``breaker`` (all candidates open),
+    ``no-capacity`` (no live replica), ``replica`` (queue-delay shed,
+    retries exhausted), or ``crash`` (lost in flight, not recovered)."""
+
+
+@dataclass
+class ResilienceReport:
+    """Fleet-level resilience counters for one cluster run.
+
+    Present on the :class:`ClusterReport` whenever resilience features or
+    cluster-scope faults were active; ``None`` means the run took the
+    legacy dispatch path and its serialization is byte-identical to a
+    pre-resilience build.
+    """
+
+    admitted: int = 0
+    """Requests presented to the cluster (equals ``ClusterReport.routed``)."""
+
+    shed_admission: int = 0
+    shed_ladder: int = 0
+    shed_breaker: int = 0
+    shed_no_capacity: int = 0
+    shed_replica: int = 0
+    failed: int = 0
+    """Requests lost in a crash and not recovered within budget."""
+
+    primary_dispatches: int = 0
+    retry_dispatches: int = 0
+    retry_budget_limit: int = 0
+    """Final retry ceiling, ``floor(retry_budget_fraction * routed)``."""
+
+    retry_budget_exhausted: int = 0
+    """Re-dispatches that were wanted but denied by the budget."""
+
+    hedges: int = 0
+    hedge_wins: int = 0
+    hedges_cancelled: int = 0
+    """Losing copies (one per hedge: either the straggling primary or
+    the speculative secondary is always cancelled/wasted)."""
+
+    hedge_budget_limit: int = 0
+    hedge_wasted_seconds: float = 0.0
+    """Service seconds spent on cancelled hedge copies."""
+
+    breaker_opens: int = 0
+    breaker_closes: int = 0
+    breaker_probes: int = 0
+    breaker_filtered_routes: int = 0
+    """Routing decisions that excluded at least one open breaker."""
+
+    crashes: int = 0
+    restarts: int = 0
+    lost_in_flight: int = 0
+    """In-flight requests whose defining serve died with a replica."""
+
+    link_delays: int = 0
+    link_delay_seconds: float = 0.0
+    rung_counts: dict[int, int] = field(default_factory=dict)
+    """Admissions per degradation-ladder rung (0 = full service)."""
+
+    @property
+    def total_shed(self) -> int:
+        """Requests the cluster shed across every mechanism."""
+        return (
+            self.shed_admission
+            + self.shed_ladder
+            + self.shed_breaker
+            + self.shed_no_capacity
+            + self.shed_replica
+        )
 
 
 @dataclass
@@ -83,6 +239,16 @@ class ClusterReport:
     final_replicas: int = 0
     """Replicas still accepting work when the run ended."""
 
+    resilience: ResilienceReport | None = None
+    """Resilience counters; ``None`` on legacy (pre-resilience) runs."""
+
+    outcomes: list[RequestOutcome] = field(default_factory=list)
+    """One request-level outcome per routed request (resilient runs)."""
+
+    dispatch_log: list[DispatchRecord] = field(default_factory=list)
+    breaker_transitions: list[BreakerTransition] = field(default_factory=list)
+    recovery_events: list[RecoveryEvent] = field(default_factory=list)
+
     # ------------------------------------------------------------------ #
     # Fleet-level derived metrics
     # ------------------------------------------------------------------ #
@@ -109,9 +275,29 @@ class ClusterReport:
     def slo_attainment(self, deadline_seconds: float) -> float:
         """Fraction of *admitted* requests finishing within the deadline.
 
-        Shed requests count as missed — dropping work must not improve
-        the attainment number.
+        Denominator contract: every request presented to the cluster
+        counts exactly once — shed and failed-over requests included, so
+        dropping or losing work can never improve the attainment number.
+
+        When request-level ``outcomes`` are present (any run with
+        resilience features or cluster-scope faults), they are the
+        source of truth: a request attains the SLO iff its single
+        outcome is ``served`` within the deadline.  This is what keeps
+        the accounting consistent under retries and hedging, where the
+        per-replica reports contain duplicate serves (cancelled hedge
+        copies, crash-lost partials) that must not inflate either side
+        of the ratio.  Legacy runs fall back to the aggregate report,
+        where served + shed partitions the admitted set exactly.
         """
+        if self.outcomes:
+            good = sum(
+                1
+                for o in self.outcomes
+                if o.outcome == "served"
+                and o.latency is not None
+                and o.latency <= deadline_seconds
+            )
+            return good / len(self.outcomes)
         served = self.aggregate.e2e_latencies()
         admitted = served.size + self.aggregate.shed_requests
         if admitted == 0:
@@ -171,9 +357,99 @@ class ClusterReport:
         return self.aggregate.slo_violations
 
 
-def cluster_report_to_dict(report: ClusterReport) -> dict:
-    """A JSON-serializable summary of one cluster run."""
+def _resilience_to_dict(report: ClusterReport) -> dict:
+    """The resilience section of a cluster report's JSON form."""
+    res = report.resilience
+    assert res is not None
     return {
+        "admitted": res.admitted,
+        "shed_admission": res.shed_admission,
+        "shed_ladder": res.shed_ladder,
+        "shed_breaker": res.shed_breaker,
+        "shed_no_capacity": res.shed_no_capacity,
+        "shed_replica": res.shed_replica,
+        "total_shed": res.total_shed,
+        "failed": res.failed,
+        "primary_dispatches": res.primary_dispatches,
+        "retry_dispatches": res.retry_dispatches,
+        "retry_budget_limit": res.retry_budget_limit,
+        "retry_budget_exhausted": res.retry_budget_exhausted,
+        "hedges": res.hedges,
+        "hedge_wins": res.hedge_wins,
+        "hedges_cancelled": res.hedges_cancelled,
+        "hedge_budget_limit": res.hedge_budget_limit,
+        "hedge_wasted_seconds": res.hedge_wasted_seconds,
+        "breaker_opens": res.breaker_opens,
+        "breaker_closes": res.breaker_closes,
+        "breaker_probes": res.breaker_probes,
+        "breaker_filtered_routes": res.breaker_filtered_routes,
+        "crashes": res.crashes,
+        "restarts": res.restarts,
+        "lost_in_flight": res.lost_in_flight,
+        "link_delays": res.link_delays,
+        "link_delay_seconds": res.link_delay_seconds,
+        "rung_counts": {
+            str(rung): count
+            for rung, count in sorted(res.rung_counts.items())
+        },
+        "outcomes": [
+            {
+                "request_id": o.request_id,
+                "arrival": o.arrival,
+                "outcome": o.outcome,
+                "replica_id": o.replica_id,
+                "latency": o.latency,
+                "ttft": o.ttft,
+                "attempts": o.attempts,
+                "hedged": o.hedged,
+                "hedge_won": o.hedge_won,
+                "rung": o.rung,
+                "reason": o.reason,
+            }
+            for o in report.outcomes
+        ],
+        "dispatches": [
+            {
+                "seq": d.seq,
+                "time": d.time,
+                "request_id": d.request_id,
+                "replica_id": d.replica_id,
+                "kind": d.kind,
+                "probe": d.probe,
+            }
+            for d in report.dispatch_log
+        ],
+        "breaker_transitions": [
+            {
+                "seq": t.seq,
+                "time": t.time,
+                "replica_id": t.replica_id,
+                "state": t.state,
+            }
+            for t in report.breaker_transitions
+        ],
+        "recovery_events": [
+            {
+                "time": e.time,
+                "crashed_replica": e.crashed_replica,
+                "new_replica": e.new_replica,
+                "restored_experts": e.restored_experts,
+            }
+            for e in report.recovery_events
+        ],
+    }
+
+
+def cluster_report_to_dict(report: ClusterReport) -> dict:
+    """A JSON-serializable summary of one cluster run.
+
+    Resilience keys (the ``resilience`` section and per-replica
+    ``crashed`` flags) appear only when the run actually tracked
+    outcomes, so a legacy run's serialization stays byte-identical to a
+    pre-resilience build.
+    """
+    resilient = report.resilience is not None
+    summary = {
         "system": report.system,
         "router": report.router,
         "routed": report.routed,
@@ -213,10 +489,14 @@ def cluster_report_to_dict(report: ClusterReport) -> dict:
                 "draining": r.draining,
                 "retired": r.retired,
                 "spawned_at": r.spawned_at,
+                **({"crashed": r.crashed} if resilient else {}),
             }
             for r in report.replicas
         ],
     }
+    if resilient:
+        summary["resilience"] = _resilience_to_dict(report)
+    return summary
 
 
 def cluster_report_to_json(

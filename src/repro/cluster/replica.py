@@ -25,6 +25,9 @@ class _Outstanding:
 
     finish_time: float
     output_tokens: int
+    request: Request | None = None
+    """Retained so a crash can hand the in-flight requests back to the
+    driver for failover re-dispatch."""
 
 
 class Replica:
@@ -38,6 +41,8 @@ class Replica:
         self.assigned = 0
         self.draining = False
         self.retired = False
+        self.crashed = False
+        self.crashed_at: float | None = None
         self.spawned_at = 0.0
         self._outstanding: list[_Outstanding] = []
         self._finalized = False
@@ -90,8 +95,30 @@ class Replica:
         if not served:
             return None
         finish = self.engine.now
-        self._outstanding.append(_Outstanding(finish, request.output_tokens))
+        self._outstanding.append(
+            _Outstanding(finish, request.output_tokens, request)
+        )
         return finish
+
+    def crash(self, at: float) -> list[Request]:
+        """Kill this replica at virtual ``at``; returns in-flight requests.
+
+        Work already finished by ``at`` stands; everything still in
+        flight is lost and handed back for failover re-dispatch.  The
+        replica leaves the fleet permanently — a restart spawns a fresh
+        replica id.  The engine's report is deliberately left untouched:
+        the compute the doomed serves burned is real machine work and
+        stays visible in the aggregate, while request-level truth lives
+        in the driver's outcome records.
+        """
+        self._prune(at)
+        lost = [o.request for o in self._outstanding if o.request is not None]
+        self._outstanding = []
+        self.crashed = True
+        self.crashed_at = at
+        self.draining = True
+        self.retired = True
+        return lost
 
     def finalize(self) -> ServingReport:
         """Stamp run-level counters onto this replica's report (idempotent)."""

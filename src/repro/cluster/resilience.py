@@ -1,0 +1,210 @@
+"""Cluster resilience mechanisms: admission, degradation, breakers, budgets.
+
+The paper's tail-latency claims (TTFT/TPOT, §6) are exactly what overload
+and partial failure destroy first, so the cluster driver threads four
+classic serving-fleet defenses through its dispatch loop.  This module
+holds the mechanisms; the policy knobs live in
+:class:`~repro.cluster.config.ResilienceConfig` and the threading in
+:class:`~repro.cluster.driver.ClusterDriver`:
+
+- :class:`TokenBucket` — virtual-clock admission control.  Refills are a
+  pure function of elapsed virtual time, so admission decisions replay
+  byte-for-byte at a fixed seed.
+- :class:`DegradationLadder` — maps fleet health (mean queue depth, open
+  breaker fraction) to a service rung: *full → prefetch-off → expert
+  substitution → shed*.  The SMoE-style nearest-resident substitution
+  becomes a measured degradation rung instead of a hidden fault fallback.
+- :class:`CircuitBreaker` — per-replica closed/open/half-open state over
+  a rolling outcome window; open replicas leave the router's candidate
+  set and a half-open replica earns its way back via probe requests.
+- :class:`DispatchBudget` — global retry/hedge budgets expressed as a
+  fraction of routed requests, so re-dispatch can never storm: the grant
+  count is monotone in the routed total, which guarantees
+  ``used <= floor(fraction * routed_final)`` at run end.
+
+Everything here is driven exclusively by the driver's virtual clock and
+counters — no wall time, no hidden randomness — which is what lets the
+validate monitors replay a run's breaker timeline from its logs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.cluster.config import ResilienceConfig
+
+#: Degradation-ladder rungs, best to worst.
+RUNG_FULL = 0
+RUNG_NO_PREFETCH = 1
+RUNG_SUBSTITUTE = 2
+RUNG_SHED = 3
+
+#: Human-readable rung names (reports, demos, docs).
+RUNG_NAMES: tuple[str, ...] = (
+    "full",
+    "prefetch-off",
+    "substitution",
+    "shed",
+)
+
+#: Circuit-breaker states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class TokenBucket:
+    """Virtual-time token bucket: ``rate`` tokens/second, ``burst`` cap.
+
+    ``allow(now)`` refills from the elapsed virtual time since the last
+    query and spends one token when available.  Queries must be issued in
+    non-decreasing time order (the driver dispatches in arrival order);
+    an out-of-order query simply skips the refill rather than rewinding.
+    """
+
+    def __init__(self, rate: float, burst: int) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = float(burst)
+        self._last = 0.0
+
+    def allow(self, now: float) -> bool:
+        """Spend one token at virtual ``now``; False means rate-limited."""
+        if now > self._last:
+            self.tokens = min(
+                float(self.burst),
+                self.tokens + (now - self._last) * self.rate,
+            )
+            self._last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class DegradationLadder:
+    """Fleet health in, service rung out (pure, stateless decision)."""
+
+    def __init__(self, config: ResilienceConfig) -> None:
+        self.config = config
+
+    def rung(self, mean_depth: float, open_fraction: float) -> int:
+        """The rung for a fleet at ``mean_depth`` outstanding requests.
+
+        Depth thresholds drive the ladder monotonically; losing half or
+        more of the fleet to open breakers forces at least the
+        substitution rung — surviving replicas are about to absorb the
+        displaced load, so blocking on-demand loads would stack stalls
+        exactly when capacity is scarcest.
+        """
+        cfg = self.config
+        rung = RUNG_FULL
+        if (
+            cfg.prefetch_off_depth is not None
+            and mean_depth >= cfg.prefetch_off_depth
+        ):
+            rung = RUNG_NO_PREFETCH
+        if (
+            cfg.substitution_depth is not None
+            and mean_depth >= cfg.substitution_depth
+        ):
+            rung = RUNG_SUBSTITUTE
+        if cfg.shed_depth is not None and mean_depth >= cfg.shed_depth:
+            rung = RUNG_SHED
+        if open_fraction >= 0.5 and rung < RUNG_SUBSTITUTE:
+            rung = RUNG_SUBSTITUTE
+        return rung
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker over a rolling outcome window.
+
+    State machine (classic three-state breaker):
+
+    - **closed** — outcomes accumulate in a ``window``-sized deque; once
+      ``min_samples`` are present and the failure rate reaches
+      ``failure_threshold``, the breaker opens (window cleared).
+    - **open** — the replica is excluded from routing.  After
+      ``open_seconds`` of virtual time the next state query promotes the
+      breaker to half-open (the promotion is timestamped at the moment
+      the cool-down elapsed, not the query time).
+    - **half-open** — dispatches are probes: one success closes the
+      breaker, one failure re-opens it for another full cool-down.
+
+    ``on_transition(time, state)`` fires on every state change so the
+    driver can journal an auditable breaker timeline.
+    """
+
+    def __init__(
+        self,
+        config: ResilienceConfig,
+        on_transition: Callable[[float, str], None] | None = None,
+    ) -> None:
+        self.config = config
+        self.on_transition = on_transition
+        self._window: deque[bool] = deque(maxlen=config.breaker_window)
+        self._state = BREAKER_CLOSED
+        self._opened_at = 0.0
+
+    def _transition(self, state: str, now: float) -> None:
+        self._state = state
+        if self.on_transition is not None:
+            self.on_transition(now, state)
+
+    def state(self, now: float) -> str:
+        """Current state at virtual ``now`` (promotes open → half-open)."""
+        if self._state == BREAKER_OPEN:
+            reopens = self._opened_at + self.config.breaker_open_seconds
+            if now >= reopens:
+                self._transition(BREAKER_HALF_OPEN, reopens)
+        return self._state
+
+    def record(self, success: bool, now: float) -> None:
+        """Feed one dispatch outcome observed at virtual ``now``."""
+        state = self.state(now)
+        if state == BREAKER_HALF_OPEN:
+            if success:
+                self._window.clear()
+                self._transition(BREAKER_CLOSED, now)
+            else:
+                self._opened_at = now
+                self._transition(BREAKER_OPEN, now)
+            return
+        if state == BREAKER_OPEN:  # pragma: no cover - defensive
+            return
+        self._window.append(success)
+        if len(self._window) < self.config.breaker_min_samples:
+            return
+        failures = sum(1 for ok in self._window if not ok)
+        if failures / len(self._window) >= self.config.breaker_failure_threshold:
+            self._opened_at = now
+            self._window.clear()
+            self._transition(BREAKER_OPEN, now)
+
+
+class DispatchBudget:
+    """A global grant budget: at most ``fraction`` of routed requests.
+
+    ``try_take(routed)`` grants while ``used < floor(fraction * routed)``.
+    The routed total only grows over a run, so every grant also satisfies
+    the final budget — the validate monitors assert exactly
+    ``used <= floor(fraction * routed_final)``.
+    """
+
+    def __init__(self, fraction: float) -> None:
+        self.fraction = fraction
+        self.used = 0
+        self.denied = 0
+
+    def limit(self, routed: int) -> int:
+        """The grant ceiling once ``routed`` requests have been seen."""
+        return int(self.fraction * routed)
+
+    def try_take(self, routed: int) -> bool:
+        """Take one grant against the current routed total."""
+        if self.used < self.limit(routed):
+            self.used += 1
+            return True
+        self.denied += 1
+        return False

@@ -154,6 +154,25 @@ class SemanticAffinityRouter:
         )
 
 
+def pick_secondary(
+    replicas: Sequence[Replica],
+    exclude: int,
+    now: float,
+) -> Replica | None:
+    """The hedge/retry target: least-outstanding among the *other* replicas.
+
+    Hedged dispatch wants diversity, not affinity — the whole point of a
+    second copy is that it does not share the straggling primary's fate,
+    so the secondary always goes to the least-loaded replica that is not
+    ``exclude``.  Returns ``None`` when the primary is the only candidate
+    (a hedge would just double the straggler's queue).
+    """
+    others = [r for r in replicas if r.replica_id != exclude]
+    if not others:
+        return None
+    return _least_outstanding(others, now)
+
+
 def make_router(name: str) -> Router:
     """Instantiate one of the cluster routing policies by name."""
     if name == "round-robin":

@@ -48,7 +48,12 @@ from repro.experiments.common import (
     build_world,
     run_system,
 )
-from repro.serving.faults import FaultConfig, FaultSchedule, SLOConfig
+from repro.serving.faults import (
+    ClusterFaultConfig,
+    FaultConfig,
+    FaultSchedule,
+    SLOConfig,
+)
 from repro.serving.metrics import ServingReport
 from repro.serving.request import Request
 
@@ -163,6 +168,11 @@ class SimCell:
     arrivals are always respected — cluster routing is an online
     decision by construction."""
 
+    cluster_faults: ClusterFaultConfig | None = None
+    """Scripted cluster-scope chaos (replica crashes, zone outages, link
+    degradation) for cluster cells; switches the driver to tracked
+    outcome accounting.  Ignored for single-engine cells."""
+
     validate: bool = False
     """Attach runtime invariant monitors to this cell's engine(s) and
     raise :class:`~repro.errors.ValidationError` on any breach.  The
@@ -192,6 +202,7 @@ def run_cell(cell: SimCell, cache: WorldCache | None = None) -> ServingReport:
                 list(cell.requests) if cell.requests is not None else None
             ),
             fault_config=cell.faults,
+            cluster_faults=cell.cluster_faults,
             slo=cell.slo,
             cache_budget_bytes=cell.cache_budget_bytes,
             validate=cell.validate,

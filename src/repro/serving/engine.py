@@ -219,6 +219,18 @@ class ServingEngine:
             EventKind.EVICTION, expert=expert
         )
         self.kv_tracker = KVCacheTracker(model.config)
+        # Degradation-ladder levers (cluster resilience): the dispatcher
+        # may flip these around a serve to shed optional work under
+        # overload.  Defaults preserve full service exactly.
+        self.prefetch_enabled = True
+        """When False, policy prefetch instructions are discarded (ladder
+        rung 1: PCIe bandwidth is reserved for on-demand loads)."""
+
+        self.force_substitution = False
+        """When True, expert misses are served by nearest-resident
+        substitution instead of blocking on-demand loads (ladder rung 2
+        — the SMoE-style fallback applied as deliberate load shedding)."""
+
         self._recorder: EventSink | None = None
         self._telemetry = None
         self._iteration_counter = 0
@@ -784,6 +796,12 @@ class ServingEngine:
                             "prefetch_stall", self._now, arrival, expert, layer
                         )
                     self._now = arrival
+                elif self.force_substitution:
+                    # Rung-2 degradation: under overload the dispatcher
+                    # trades accuracy for latency deliberately — no
+                    # transfer is started, the activation is served by
+                    # the nearest resident expert.
+                    self._serve_degraded(expert, layer, report)
                 else:
                     try:
                         done = self.pool.load_on_demand(expert, self._now)
@@ -878,7 +896,7 @@ class ServingEngine:
         for name, seconds in action.async_overheads.items():
             breakdown.add_async(name, seconds)
             issue_time += seconds
-        if not action.prefetch:
+        if not action.prefetch or not self.prefetch_enabled:
             return
         ordered = sorted(
             action.prefetch, key=lambda ins: ins.priority, reverse=True

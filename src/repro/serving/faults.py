@@ -276,5 +276,176 @@ class FaultSchedule:
         )
 
 
+# ---------------------------------------------------------------------- #
+# Cluster-scope fault specs
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault window pinned to a device/replica.
+
+    Unlike the probabilistic epoch windows of :class:`FaultConfig`, a
+    ``FaultSpec`` is fully scripted: the window covers exactly
+    ``[start, start + duration)`` on ``device`` with the given
+    ``severity``.  The cluster layer uses these for inter-replica link
+    degradation (``device`` is the replica id and ``severity`` the added
+    hand-off delay in seconds); validation rejects the silent-corruption
+    cases — negative/zero durations and malformed bounds — at
+    construction time.
+    """
+
+    device: int
+    start: float
+    duration: float
+    severity: float
+    kind: str = "link-degradation"
+
+    def __post_init__(self) -> None:
+        if self.device < 0:
+            raise ConfigError("FaultSpec device must be >= 0")
+        if self.start < 0:
+            raise ConfigError("FaultSpec start must be >= 0")
+        if self.duration <= 0:
+            raise ConfigError(
+                f"FaultSpec duration must be > 0 (got {self.duration})"
+            )
+        if self.severity < 0:
+            raise ConfigError("FaultSpec severity must be >= 0")
+        if not self.kind:
+            raise ConfigError("FaultSpec kind must be non-empty")
+
+    @property
+    def end(self) -> float:
+        """Exclusive end of the window."""
+        return self.start + self.duration
+
+    def covers(self, time: float) -> bool:
+        """Whether ``time`` falls inside this window."""
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class ReplicaCrash:
+    """A scripted whole-replica crash at virtual ``time``.
+
+    ``restart_delay`` of ``None`` means the replica never comes back;
+    otherwise a cold replacement rejoins the fleet ``restart_delay``
+    seconds after the crash.
+    """
+
+    time: float
+    replica: int
+    restart_delay: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigError("crash time must be >= 0")
+        if self.replica < 0:
+            raise ConfigError("crash replica must be >= 0")
+        if self.restart_delay is not None and self.restart_delay <= 0:
+            raise ConfigError("restart_delay must be > 0 (or None)")
+
+
+@dataclass(frozen=True)
+class ZoneFailure:
+    """A correlated outage: every replica in ``zone`` crashes at ``time``."""
+
+    time: float
+    zone: int
+    restart_delay: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigError("zone failure time must be >= 0")
+        if self.zone < 0:
+            raise ConfigError("zone index must be >= 0")
+        if self.restart_delay is not None and self.restart_delay <= 0:
+            raise ConfigError("restart_delay must be > 0 (or None)")
+
+
+@dataclass(frozen=True)
+class ClusterFaultConfig:
+    """Scripted cluster-scope faults: crashes, zoned outages, link windows.
+
+    ``zones`` maps zone index → the replica ids it contains (used by
+    ``zone_failures`` for correlated crashes).  Validation enforces the
+    invariants the driver's crash machinery relies on: at most one crash
+    per replica (a crashed replica id never serves again — restarts spawn
+    a fresh replica id), disjoint zones, and non-overlapping
+    :class:`FaultSpec` windows per device.
+    """
+
+    crashes: tuple[ReplicaCrash, ...] = ()
+    zones: tuple[tuple[int, ...], ...] = ()
+    zone_failures: tuple[ZoneFailure, ...] = ()
+    link_faults: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen_zone_members: set[int] = set()
+        for zone in self.zones:
+            for replica in zone:
+                if replica < 0:
+                    raise ConfigError("zone members must be >= 0")
+                if replica in seen_zone_members:
+                    raise ConfigError(
+                        f"replica {replica} appears in more than one zone"
+                    )
+                seen_zone_members.add(replica)
+        for failure in self.zone_failures:
+            if failure.zone >= len(self.zones):
+                raise ConfigError(
+                    f"zone_failures references zone {failure.zone} but "
+                    f"only {len(self.zones)} zone(s) are defined"
+                )
+        crashed: set[int] = set()
+        for crash in self.expand_crashes():
+            if crash.replica in crashed:
+                raise ConfigError(
+                    f"replica {crash.replica} is crashed more than once "
+                    "(restarted replicas rejoin under a fresh id)"
+                )
+            crashed.add(crash.replica)
+        by_device: dict[int, list[FaultSpec]] = {}
+        for spec in self.link_faults:
+            by_device.setdefault(spec.device, []).append(spec)
+        for device, specs in by_device.items():
+            specs.sort(key=lambda s: s.start)
+            for earlier, later in zip(specs, specs[1:]):
+                if later.start < earlier.end:
+                    raise ConfigError(
+                        f"overlapping fault windows on device {device}: "
+                        f"[{earlier.start}, {earlier.end}) and "
+                        f"[{later.start}, {later.end})"
+                    )
+
+    @property
+    def is_zero(self) -> bool:
+        """True when this config scripts no cluster-scope fault at all."""
+        return not (self.crashes or self.zone_failures or self.link_faults)
+
+    def expand_crashes(self) -> tuple[ReplicaCrash, ...]:
+        """Every crash, zone failures expanded, in chronological order."""
+        crashes = list(self.crashes)
+        for failure in self.zone_failures:
+            if failure.zone < len(self.zones):
+                crashes.extend(
+                    ReplicaCrash(
+                        time=failure.time,
+                        replica=replica,
+                        restart_delay=failure.restart_delay,
+                    )
+                    for replica in self.zones[failure.zone]
+                )
+        return tuple(sorted(crashes, key=lambda c: (c.time, c.replica)))
+
+    def link_delay(self, replica: int, time: float) -> float:
+        """Hand-off delay for dispatching to ``replica`` at ``time``."""
+        for spec in self.link_faults:
+            if spec.device == replica and spec.covers(time):
+                return spec.severity
+        return 0.0
+
+
 #: Shared default retry policy (one instance; the dataclass is frozen).
 DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -15,7 +15,9 @@ class Request:
     embedding vector and the routing archetypes).  ``input_tokens`` is the
     prompt length; ``output_tokens`` the generation length (so the request
     spans one prefill and ``output_tokens - 1`` decode iterations).
-    ``arrival_time`` matters only for online-trace runs.
+    ``arrival_time`` matters only for online-trace runs.  ``priority``
+    matters only under cluster admission control: requests at or above
+    the configured bypass level are never shed at the admission gate.
     """
 
     request_id: int
@@ -24,6 +26,7 @@ class Request:
     output_tokens: int
     arrival_time: float = 0.0
     seed: int = 0
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.input_tokens < 1:
@@ -32,6 +35,8 @@ class Request:
             raise ConfigError("output_tokens must be >= 1")
         if self.arrival_time < 0:
             raise ConfigError("arrival_time must be >= 0")
+        if self.priority < 0:
+            raise ConfigError("priority must be >= 0")
 
     @property
     def total_iterations(self) -> int:

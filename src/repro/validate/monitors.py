@@ -439,7 +439,13 @@ def check_cluster_report(report: "ClusterReport") -> list[Violation]:
 
     The per-replica invariants are covered by each replica's own
     :class:`MonitorSuite`; this reconciles the fleet bookkeeping — routing
-    counters, scale events, and the aggregate fold.
+    counters, scale events, and the aggregate fold.  Resilient runs (any
+    run with a :class:`~repro.cluster.metrics.ResilienceReport`) swap the
+    legacy served+shed==routed identity for outcome-level conservation
+    and add the resilience invariants: the retry budget is never
+    exceeded, no request is ever dispatched to a replica whose breaker
+    was open, hedge winners are counted exactly once, and requests are
+    conserved across crash/recovery.
     """
     violations: list[Violation] = []
 
@@ -447,17 +453,21 @@ def check_cluster_report(report: "ClusterReport") -> list[Violation]:
         violations.append(Violation("cluster", message))
 
     assigned = sum(r.assigned for r in report.replicas)
-    if assigned != report.routed:
-        record(
-            f"replica assignments ({assigned}) != routed ({report.routed})"
-        )
     aggregate = report.aggregate
-    served = len(aggregate.requests)
-    if served + aggregate.shed_requests != report.routed:
-        record(
-            f"served ({served}) + shed ({aggregate.shed_requests}) != "
-            f"routed ({report.routed})"
-        )
+    if report.resilience is None:
+        if assigned != report.routed:
+            record(
+                f"replica assignments ({assigned}) != routed "
+                f"({report.routed})"
+            )
+        served = len(aggregate.requests)
+        if served + aggregate.shed_requests != report.routed:
+            record(
+                f"served ({served}) + shed ({aggregate.shed_requests}) "
+                f"!= routed ({report.routed})"
+            )
+    else:
+        violations.extend(_check_resilience(report, assigned))
     if report.affinity_routed + report.fallback_routed > report.routed:
         record("affinity + fallback routing counters exceed routed total")
     for event in report.scale_events:
@@ -494,5 +504,142 @@ def check_cluster_report(report: "ClusterReport") -> list[Violation]:
                 f"replica {summary.replica_id}: served ({summary.served}) "
                 f"+ shed ({summary.shed_requests}) != assigned "
                 f"({summary.assigned})"
+            )
+    return violations
+
+
+def _check_resilience(
+    report: "ClusterReport", assigned: int
+) -> list[Violation]:
+    """Resilience invariants over a tracked cluster run's logs.
+
+    The dispatch log and breaker-transition journal share one global
+    sequence counter, so the exact interleaving of placements and state
+    changes replays from the finalized report alone — "never dispatched
+    to an open breaker" is checked against the journal, not trusted from
+    a counter.
+    """
+    violations: list[Violation] = []
+    res = report.resilience
+
+    def record(message: str) -> None:
+        violations.append(Violation("resilience", message))
+
+    # Request conservation: every routed request resolves exactly once.
+    outcomes = report.outcomes
+    if len(outcomes) != report.routed or res.admitted != report.routed:
+        record(
+            f"outcomes ({len(outcomes)}) / admitted ({res.admitted}) "
+            f"disagree with routed ({report.routed})"
+        )
+    ids = [o.request_id for o in outcomes]
+    if len(set(ids)) != len(ids):
+        record("duplicate request ids in outcomes")
+    pending = sum(1 for o in outcomes if o.outcome == "pending")
+    if pending:
+        record(f"{pending} outcome(s) still pending at run end")
+    served = sum(1 for o in outcomes if o.outcome == "served")
+    shed = sum(1 for o in outcomes if o.outcome == "shed")
+    failed = sum(1 for o in outcomes if o.outcome == "failed")
+    if served + shed + failed != report.routed:
+        record(
+            f"outcomes served ({served}) + shed ({shed}) + failed "
+            f"({failed}) != routed ({report.routed})"
+        )
+    if shed != res.total_shed or failed != res.failed:
+        record(
+            f"outcome shed/failed ({shed}/{failed}) disagree with "
+            f"counters ({res.total_shed}/{res.failed})"
+        )
+    # Every dispatch lands on a replica (assigned) exactly once.
+    if assigned != len(report.dispatch_log):
+        record(
+            f"replica assignments ({assigned}) != dispatch log entries "
+            f"({len(report.dispatch_log)})"
+        )
+    # Retry budget is a hard ceiling.
+    retries = sum(1 for d in report.dispatch_log if d.kind == "retry")
+    if retries != res.retry_dispatches:
+        record(
+            f"dispatch-log retries ({retries}) != counter "
+            f"({res.retry_dispatches})"
+        )
+    if res.retry_dispatches > res.retry_budget_limit:
+        record(
+            f"retry dispatches ({res.retry_dispatches}) exceed budget "
+            f"({res.retry_budget_limit})"
+        )
+    # Hedge accounting: winners counted once, fizzles never dispatch.
+    hedges = sum(1 for d in report.dispatch_log if d.kind == "hedge")
+    if hedges > res.hedges:
+        record(
+            f"dispatch-log hedges ({hedges}) exceed hedge counter "
+            f"({res.hedges})"
+        )
+    if res.hedges > res.hedge_budget_limit:
+        record(
+            f"hedges ({res.hedges}) exceed budget "
+            f"({res.hedge_budget_limit})"
+        )
+    hedge_won = sum(1 for o in outcomes if o.hedge_won)
+    if hedge_won != res.hedge_wins or res.hedge_wins > res.hedges:
+        record(
+            f"hedge wins ({res.hedge_wins}, {hedge_won} on outcomes) "
+            f"inconsistent with hedges ({res.hedges})"
+        )
+    if res.hedges_cancelled > res.hedges:
+        record(
+            f"hedges cancelled ({res.hedges_cancelled}) exceed hedges "
+            f"({res.hedges})"
+        )
+    # Breaker journal replay: no dispatch to an open breaker; probes
+    # only against half-open breakers.
+    last_state: dict[int, str] = {}
+    events: list[tuple[int, str, object]] = [
+        (t.seq, "transition", t) for t in report.breaker_transitions
+    ] + [(d.seq, "dispatch", d) for d in report.dispatch_log]
+    events.sort(key=lambda item: item[0])
+    for _, kind, item in events:
+        if kind == "transition":
+            last_state[item.replica_id] = item.state
+            continue
+        state = last_state.get(item.replica_id, "closed")
+        if state == "open":
+            record(
+                f"request {item.request_id} dispatched to replica "
+                f"{item.replica_id} while its breaker was open "
+                f"(seq {item.seq})"
+            )
+        if item.probe and state != "half-open":
+            record(
+                f"probe dispatch {item.seq} to replica "
+                f"{item.replica_id} whose breaker was {state}"
+            )
+    # Crash/recovery conservation.
+    crash_events = sum(
+        1 for e in report.scale_events if e.action == "crash"
+    )
+    crashed = sum(1 for r in report.replicas if r.crashed)
+    if not (res.crashes == crash_events == crashed):
+        record(
+            f"crash counter ({res.crashes}), crash events "
+            f"({crash_events}), and crashed replicas ({crashed}) disagree"
+        )
+    restart_events = sum(
+        1 for e in report.scale_events if e.action == "restart"
+    )
+    if not (res.restarts == restart_events == len(report.recovery_events)):
+        record(
+            f"restart counter ({res.restarts}), restart events "
+            f"({restart_events}), and recovery events "
+            f"({len(report.recovery_events)}) disagree"
+        )
+    for outcome in outcomes:
+        if outcome.outcome == "served" and (
+            outcome.latency is None or outcome.ttft is None
+        ):
+            record(
+                f"served outcome {outcome.request_id} missing "
+                "latency/ttft"
             )
     return violations

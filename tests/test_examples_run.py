@@ -72,6 +72,19 @@ class TestExamples:
         assert "semantic-affinity" in result.stdout
         assert "affinity routing hit-rate delta" in result.stdout
 
+    def test_resilience_demo(self):
+        result = run_example(
+            "resilience_demo.py",
+            "--requests", "10",
+            "--replicas", "2",
+            "--crash-time", "4",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "resilience off" in result.stdout
+        assert "resilience on" in result.stdout
+        assert "restart: replica" in result.stdout
+        assert "re-warmed" in result.stdout
+
     def test_trace_a_run(self, tmp_path):
         result = run_example(
             "trace_a_run.py",

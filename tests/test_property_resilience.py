@@ -1,0 +1,283 @@
+"""Property-based tests for the cluster resilience layer.
+
+Invariants, under randomized fleet shapes, crash timelines, and knob
+settings:
+
+- conservation — every routed request ends in exactly one terminal
+  outcome (served, shed, or failed), even across crash/restart, and the
+  invariant monitors agree;
+- determinism — a hedged, chaos-ridden run replays byte-identically at a
+  fixed seed;
+- breaker legality — random outcome sequences only ever drive the
+  breaker through legal transitions (closed→open, open→half-open,
+  half-open→closed/open);
+- budget bounds — the token bucket never admits beyond burst+rate×time
+  and the dispatch budget never exceeds its floor fraction.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterSpec,
+    ResilienceConfig,
+    cluster_report_to_json,
+    run_cluster,
+)
+from repro.cluster.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    DispatchBudget,
+    TokenBucket,
+)
+from repro.serving.faults import ClusterFaultConfig, ReplicaCrash
+
+from tests._cluster_testkit import arrival_trace, tiny_world
+from tests._strategies import ROUTERS
+
+#: Transitions a circuit breaker is ever allowed to make.
+LEGAL_TRANSITIONS = {
+    (BREAKER_CLOSED, BREAKER_OPEN),
+    (BREAKER_OPEN, BREAKER_HALF_OPEN),
+    (BREAKER_HALF_OPEN, BREAKER_CLOSED),
+    (BREAKER_HALF_OPEN, BREAKER_OPEN),
+}
+
+
+def _trace(n, gap, seed):
+    return arrival_trace(tiny_world(), n=n, gap=gap, seed=seed)
+
+
+@st.composite
+def crash_timelines(draw, max_replicas=3):
+    """Strategy producing (replicas, ClusterFaultConfig) crash scripts:
+    up to ``max_replicas - 1`` distinct replicas crash at drawn times,
+    each optionally restarting after a drawn delay (survivor replica 0
+    never crashes, so the fleet always retains capacity)."""
+    replicas = draw(st.integers(2, max_replicas))
+    victims = draw(
+        st.lists(
+            st.integers(1, replicas - 1),
+            unique=True,
+            min_size=1,
+            max_size=replicas - 1,
+        )
+    )
+    crashes = tuple(
+        ReplicaCrash(
+            time=draw(st.floats(0.05, 3.0)),
+            replica=victim,
+            restart_delay=draw(
+                st.sampled_from((None, 0.5, 2.0))
+            ),
+        )
+        for victim in victims
+    )
+    return replicas, ClusterFaultConfig(crashes=crashes)
+
+
+class TestConservationUnderChaos:
+    @given(
+        timeline=crash_timelines(),
+        router=st.sampled_from(ROUTERS),
+        n=st.integers(2, 8),
+        gap=st.sampled_from((0.1, 0.4)),
+        seed=st.integers(0, 2),
+        retry=st.sampled_from((0.0, 0.5, 1.0)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_outcomes_partition_routed(
+        self, timeline, router, n, gap, seed, retry
+    ):
+        replicas, faults = timeline
+        report = run_cluster(
+            tiny_world(),
+            "fmoe",
+            ClusterSpec(
+                replicas=replicas,
+                router=router,
+                resilience=ResilienceConfig(
+                    retry_budget_fraction=retry,
+                    max_attempts_per_request=3,
+                ),
+            ),
+            requests=_trace(n, gap, seed),
+            cluster_faults=faults,
+            validate=True,  # the monitors re-check every invariant
+        )
+        outcomes = report.outcomes
+        assert len(outcomes) == report.routed
+        assert len({o.request_id for o in outcomes}) == len(outcomes)
+        terminal = {"served", "shed", "failed"}
+        assert all(o.outcome in terminal for o in outcomes)
+        res = report.resilience
+        counted = (
+            sum(1 for o in outcomes if o.outcome == "served")
+            + res.total_shed
+            + res.failed
+        )
+        assert counted == report.routed
+        # Crashed replicas must never carry work past their death.
+        death = {c.replica: c.time for c in faults.expand_crashes()}
+        for outcome in outcomes:
+            if outcome.outcome != "served":
+                continue
+            died_at = death.get(outcome.replica_id)
+            if died_at is not None:
+                assert (
+                    outcome.arrival + outcome.latency <= died_at + 1e-9
+                )
+
+    @given(
+        timeline=crash_timelines(),
+        n=st.integers(2, 6),
+        seed=st.integers(0, 2),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_off_arm_conserves_too(self, timeline, n, seed):
+        """Cluster faults without resilience still account for every
+        request: lost work fails instead of vanishing."""
+        replicas, faults = timeline
+        report = run_cluster(
+            tiny_world(),
+            "fmoe",
+            ClusterSpec(replicas=replicas, router="least-outstanding"),
+            requests=_trace(n, 0.2, seed),
+            cluster_faults=faults,
+            validate=True,
+        )
+        res = report.resilience
+        assert res.retry_dispatches == 0
+        assert res.failed == res.lost_in_flight
+        assert len(report.outcomes) == report.routed
+
+
+class TestDeterminism:
+    @given(
+        timeline=crash_timelines(),
+        router=st.sampled_from(ROUTERS),
+        seed=st.integers(0, 2),
+        hedge=st.sampled_from((None, 0.01, 0.1)),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_chaos_run_replays_byte_identically(
+        self, timeline, router, seed, hedge
+    ):
+        replicas, faults = timeline
+        spec = ClusterSpec(
+            replicas=replicas,
+            router=router,
+            resilience=ResilienceConfig(
+                hedge_after_seconds=hedge,
+                hedge_budget_fraction=1.0,
+                retry_budget_fraction=1.0,
+                max_attempts_per_request=3,
+            ),
+        )
+        trace = _trace(6, 0.2, seed)
+
+        def run():
+            return run_cluster(
+                tiny_world(),
+                "fmoe",
+                spec,
+                requests=trace,
+                cluster_faults=faults,
+                validate=True,
+            )
+
+        assert cluster_report_to_json(run()) == cluster_report_to_json(
+            run()
+        )
+
+
+class TestBreakerStateMachine:
+    @given(
+        outcomes=st.lists(st.booleans(), min_size=1, max_size=40),
+        window=st.integers(2, 8),
+        min_samples=st.integers(1, 4),
+        threshold=st.floats(0.1, 0.9),
+        open_seconds=st.sampled_from((1.0, 5.0)),
+        step=st.sampled_from((0.1, 0.7, 3.0)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_only_legal_transitions(
+        self, outcomes, window, min_samples, threshold, open_seconds, step
+    ):
+        transitions = []
+        breaker = CircuitBreaker(
+            ResilienceConfig(
+                breaker_window=window,
+                breaker_min_samples=min(min_samples, window),
+                breaker_failure_threshold=threshold,
+                breaker_open_seconds=open_seconds,
+            ),
+            on_transition=lambda t, s: transitions.append((t, s)),
+        )
+        now = 0.0
+        for success in outcomes:
+            now += step
+            if breaker.state(now) != BREAKER_OPEN:
+                breaker.record(success, now)
+        states = [BREAKER_CLOSED] + [s for _, s in transitions]
+        for before, after in zip(states, states[1:]):
+            assert (before, after) in LEGAL_TRANSITIONS
+        # Transition times never go backwards.
+        times = [t for t, _ in transitions]
+        assert times == sorted(times)
+
+    @given(
+        failures=st.integers(1, 10),
+        open_seconds=st.sampled_from((1.0, 10.0)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_open_always_cools_to_half_open(self, failures, open_seconds):
+        breaker = CircuitBreaker(
+            ResilienceConfig(
+                breaker_window=4,
+                breaker_min_samples=1,
+                breaker_failure_threshold=0.5,
+                breaker_open_seconds=open_seconds,
+            )
+        )
+        for _ in range(failures):
+            breaker.record(False, 1.0)
+        assert breaker.state(1.0) == BREAKER_OPEN
+        assert breaker.state(1.0 + open_seconds) == BREAKER_HALF_OPEN
+
+
+class TestBudgetBounds:
+    @given(
+        rate=st.floats(0.1, 10.0),
+        burst=st.integers(1, 8),
+        gaps=st.lists(st.floats(0.0, 2.0), min_size=1, max_size=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_token_bucket_never_exceeds_arrival_envelope(
+        self, rate, burst, gaps
+    ):
+        bucket = TokenBucket(rate=rate, burst=burst)
+        now = 0.0
+        admitted = 0
+        for gap in gaps:
+            now += gap
+            if bucket.allow(now):
+                admitted += 1
+        assert admitted <= burst + rate * now + 1e-6
+
+    @given(
+        fraction=st.floats(0.0, 1.0),
+        routed=st.lists(
+            st.integers(1, 100), min_size=1, max_size=50
+        ).map(sorted),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dispatch_budget_bounded_by_floor(self, fraction, routed):
+        budget = DispatchBudget(fraction)
+        for total in routed:
+            budget.try_take(total)
+        assert budget.used <= int(fraction * routed[-1])

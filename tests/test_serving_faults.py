@@ -452,3 +452,142 @@ class TestHardwareValidation:
             HardwareConfig(gpu_memory_bytes=0)
         with pytest.raises(ConfigError):
             HardwareConfig(cpu_memory_bytes=-1)
+
+
+class TestClusterFaultValidation:
+    """Regression suite for cluster-scope fault spec validation: bad
+    durations, negative times, and overlapping windows must all be
+    rejected at construction, never surface mid-simulation."""
+
+    def _link(self, device=0, start=0.0, duration=1.0, severity=1.0):
+        from repro.serving.faults import FaultSpec
+
+        return FaultSpec(
+            device=device,
+            start=start,
+            duration=duration,
+            severity=severity,
+            kind="link-degradation",
+        )
+
+    def test_fault_spec_rejects_nonpositive_duration(self):
+        with pytest.raises(ConfigError):
+            self._link(duration=0.0)
+        with pytest.raises(ConfigError):
+            self._link(duration=-1.0)
+
+    def test_fault_spec_rejects_negative_start_device_severity(self):
+        with pytest.raises(ConfigError):
+            self._link(start=-0.5)
+        with pytest.raises(ConfigError):
+            self._link(device=-1)
+        with pytest.raises(ConfigError):
+            self._link(severity=-1.0)
+
+    def test_fault_spec_rejects_empty_kind(self):
+        from repro.serving.faults import FaultSpec
+
+        with pytest.raises(ConfigError):
+            FaultSpec(
+                device=0, start=0.0, duration=1.0, severity=1.0, kind=""
+            )
+
+    def test_crash_rejects_bad_time_replica_delay(self):
+        from repro.serving.faults import ReplicaCrash
+
+        with pytest.raises(ConfigError):
+            ReplicaCrash(time=-1.0, replica=0)
+        with pytest.raises(ConfigError):
+            ReplicaCrash(time=0.0, replica=-1)
+        with pytest.raises(ConfigError):
+            ReplicaCrash(time=0.0, replica=0, restart_delay=0.0)
+        with pytest.raises(ConfigError):
+            ReplicaCrash(time=0.0, replica=0, restart_delay=-2.0)
+
+    def test_zone_failure_rejects_bad_fields(self):
+        from repro.serving.faults import ZoneFailure
+
+        with pytest.raises(ConfigError):
+            ZoneFailure(time=-1.0, zone=0)
+        with pytest.raises(ConfigError):
+            ZoneFailure(time=0.0, zone=-1)
+        with pytest.raises(ConfigError):
+            ZoneFailure(time=0.0, zone=0, restart_delay=0.0)
+
+    def test_duplicate_crash_per_replica_rejected(self):
+        from repro.serving.faults import ClusterFaultConfig, ReplicaCrash
+
+        with pytest.raises(ConfigError):
+            ClusterFaultConfig(
+                crashes=(
+                    ReplicaCrash(time=1.0, replica=0),
+                    ReplicaCrash(time=2.0, replica=0),
+                )
+            )
+
+    def test_zone_crash_overlap_rejected(self):
+        from repro.serving.faults import (
+            ClusterFaultConfig,
+            ReplicaCrash,
+            ZoneFailure,
+        )
+
+        # Replica 0 would crash twice: once directly, once via its zone.
+        with pytest.raises(ConfigError):
+            ClusterFaultConfig(
+                zones=((0, 1),),
+                zone_failures=(ZoneFailure(time=2.0, zone=0),),
+                crashes=(ReplicaCrash(time=1.0, replica=0),),
+            )
+
+    def test_overlapping_zone_membership_rejected(self):
+        from repro.serving.faults import ClusterFaultConfig
+
+        with pytest.raises(ConfigError):
+            ClusterFaultConfig(zones=((0, 1), (1, 2)))
+
+    def test_zone_failure_out_of_range_rejected(self):
+        from repro.serving.faults import ClusterFaultConfig, ZoneFailure
+
+        with pytest.raises(ConfigError):
+            ClusterFaultConfig(
+                zones=((0,),),
+                zone_failures=(ZoneFailure(time=1.0, zone=3),),
+            )
+
+    def test_overlapping_link_windows_same_device_rejected(self):
+        from repro.serving.faults import ClusterFaultConfig
+
+        with pytest.raises(ConfigError):
+            ClusterFaultConfig(
+                link_faults=(
+                    self._link(device=0, start=0.0, duration=5.0),
+                    self._link(device=0, start=4.0, duration=5.0),
+                )
+            )
+
+    def test_link_windows_on_distinct_devices_may_overlap(self):
+        from repro.serving.faults import ClusterFaultConfig
+
+        config = ClusterFaultConfig(
+            link_faults=(
+                self._link(device=0, start=0.0, duration=5.0),
+                self._link(device=1, start=0.0, duration=5.0),
+            )
+        )
+        assert config.link_delay(0, 1.0) > 0.0
+        assert config.link_delay(2, 1.0) == 0.0
+
+    def test_expand_crashes_sorted_and_zone_expanded(self):
+        from repro.serving.faults import ClusterFaultConfig, ZoneFailure
+
+        config = ClusterFaultConfig(
+            zones=((1, 2),),
+            zone_failures=(
+                ZoneFailure(time=3.0, zone=0, restart_delay=2.0),
+            ),
+        )
+        crashes = config.expand_crashes()
+        assert [c.replica for c in crashes] == [1, 2]
+        assert all(c.time == 3.0 for c in crashes)
+        assert all(c.restart_delay == 2.0 for c in crashes)
