@@ -16,9 +16,14 @@ Commands:
 - ``storm-lite`` — resilience off vs. on under cluster-scope chaos.
 - ``grid``     — sweep (model, dataset, system, budget) grids to CSV.
 - ``report``   — collate ``benchmarks/results`` into one markdown report.
-- ``profile``  — profile a workload and save traces / a warm store to disk.
+- ``profile``  — save traces / a warm store, or (``--quick`` /
+  ``--bench-out``) profile the engine hot loop's host wall-clock cost.
 - ``trace``    — run one policy with full telemetry; write trace + metrics.
-- ``inspect``  — summarize a recorded trace directory (stalls, tables).
+- ``inspect``  — summarize a recorded trace directory (stalls, tables) or
+  a cluster-report JSON (replica table, resilience counters).
+- ``journeys`` — per-request journeys with critical-path attribution for
+  one cluster run (top-K slowest, phase breakdown).
+- ``slo``      — burn-rate alert replay over a saved cluster report.
 - ``validate`` — invariant monitors, metamorphic laws, mutant detection.
 """
 
@@ -309,17 +314,27 @@ def cmd_pearson(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    """Profile a workload; save traces / a warm store to disk."""
-    from repro.analysis.tracking import build_store
-    from repro.core.persistence import save_store, save_traces
+    """Save traces / a warm store, or wall-clock-profile the hot loop."""
+    wallclock = args.quick or args.bench_out is not None
+    if not (args.traces_out or args.store_out or wallclock):
+        print(
+            "nothing to do: pass --traces-out and/or --store-out "
+            "(or --quick / --bench-out for hot-loop profiling)"
+        )
+        return 2
     from repro.experiments.common import build_world
 
     config = _config_from_args(args)
     world = build_world(config)
     if args.traces_out:
+        from repro.core.persistence import save_traces
+
         save_traces(world.warm_traces, args.traces_out)
         print(f"wrote {len(world.warm_traces)} traces to {args.traces_out}")
     if args.store_out:
+        from repro.analysis.tracking import build_store
+        from repro.core.persistence import save_store
+
         store = build_store(
             world.model_config,
             world.warm_traces,
@@ -331,9 +346,37 @@ def cmd_profile(args: argparse.Namespace) -> int:
             f"wrote store with {len(store)} maps "
             f"({store.memory_bytes() / 1e6:.1f} MB) to {args.store_out}"
         )
-    if not (args.traces_out or args.store_out):
-        print("nothing to do: pass --traces-out and/or --store-out")
-        return 2
+    if wallclock:
+        from repro.obs.profile import (
+            check_profile_payload,
+            run_profile,
+            write_profile,
+        )
+
+        repeats = 1 if args.quick else args.repeats
+        payload = run_profile(
+            config, args.system, repeats=repeats, world=world
+        )
+        bench_path = args.bench_out or "benchmarks/BENCH_profile.json"
+        write_profile(payload, bench_path)
+        print(
+            f"{args.system} hot loop: "
+            f"{payload['simulated_requests_per_second']:.2f} simulated "
+            f"requests/s ({payload['requests']} requests, "
+            f"{payload['iterations']} iterations in "
+            f"{payload['wall_seconds']:.3f}s wall)"
+        )
+        for name, phase in payload["phases"].items():
+            print(
+                f"  {name:24s} {phase['seconds']:8.4f}s "
+                f"{phase['share']:6.1%} ({phase['calls']} calls)"
+            )
+        print(f"wrote {bench_path}")
+        problems = check_profile_payload(payload, args.min_rps)
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}")
+            return 1
     return 0
 
 
@@ -604,6 +647,114 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_journeys(args: argparse.Namespace) -> int:
+    """Per-request journeys with critical-path attribution."""
+    from pathlib import Path
+
+    from repro.cluster import (
+        ClusterSpec,
+        ResilienceConfig,
+        cluster_report_to_json,
+        run_cluster,
+    )
+    from repro.experiments.cluster_scaling import _scaling_trace
+    from repro.experiments.common import build_world
+    from repro.experiments.resilience import default_storm_scenarios
+    from repro.obs import (
+        FleetSeries,
+        JourneyRecorder,
+        SLOTracker,
+        render_journeys,
+        render_slo_summary,
+    )
+
+    config = _config_from_args(args)
+    cluster_faults = None
+    if args.chaos:
+        scenarios = {
+            s.name: s for s in default_storm_scenarios(args.seed)
+        }
+        if args.chaos not in scenarios:
+            known = ", ".join(sorted(scenarios))
+            print(f"unknown chaos scenario {args.chaos!r}; "
+                  f"choose from: {known}")
+            return 2
+        cluster_faults = scenarios[args.chaos].cluster_faults
+    spec = ClusterSpec(
+        replicas=args.replicas,
+        router=args.router,
+        resilience=ResilienceConfig() if args.resilience else None,
+    )
+    world = build_world(config)
+    trace = _scaling_trace(config, args.trace_requests, args.rate)
+    journeys = JourneyRecorder()
+    fleet = FleetSeries(interval_seconds=args.sample_interval)
+    slo_tracker = SLOTracker(
+        objective=args.slo_objective, deadline_seconds=args.slo_deadline
+    )
+    report = run_cluster(
+        world,
+        args.system,
+        spec,
+        requests=trace,
+        cluster_faults=cluster_faults,
+        journeys=journeys,
+        fleet_series=fleet,
+        slo_tracker=slo_tracker,
+    )
+    print(render_journeys(journeys.ordered(), top=args.top))
+    print()
+    print("== SLO burn-rate summary ==")
+    print(render_slo_summary(report.slo_summary))
+    if args.out_dir:
+        out = Path(args.out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        journeys.write_jsonl(out / "journeys.jsonl")
+        fleet.write_jsonl(out / "fleet.jsonl")
+        fleet.write_csv(out / "fleet.csv")
+        cluster_report_to_json(report, out / "cluster_report.json")
+        print()
+        for name in (
+            "journeys.jsonl", "fleet.jsonl", "fleet.csv",
+            "cluster_report.json",
+        ):
+            print(f"  wrote {out / name}")
+    return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    """Replay burn-rate alerting over a saved cluster report."""
+    import json
+    from pathlib import Path
+
+    from repro.obs.slo import (
+        default_burn_rules,
+        render_slo_summary,
+        tracker_from_outcome_dicts,
+    )
+
+    payload = json.loads(Path(args.report).read_text())
+    outcomes = (payload.get("resilience") or {}).get("outcomes")
+    if outcomes:
+        tracker = tracker_from_outcome_dicts(
+            outcomes,
+            objective=args.objective,
+            deadline_seconds=args.deadline,
+            rules=default_burn_rules(args.window_scale),
+        )
+        print(render_slo_summary(tracker.to_dict()))
+        return 0
+    if payload.get("slo"):
+        # No replayable outcomes, but the run recorded a summary.
+        print(render_slo_summary(payload["slo"]))
+        return 0
+    print(
+        "no request outcomes in report (run the cluster with "
+        "--resilience or --chaos to track them)"
+    )
+    return 2
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     """Validate the simulator: invariants, laws, and mutant detection."""
     import json
@@ -864,12 +1015,98 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_storm_lite)
 
     p = sub.add_parser(
-        "profile", help="profile a workload; save traces / a warm store"
+        "profile",
+        help="profile a workload: hot-loop wall-clock breakdown "
+        "(--quick/--bench-out), saved traces, or a warm store",
     )
     _add_world_args(p)
     p.add_argument("--traces-out", default=None)
     p.add_argument("--store-out", default=None)
+    p.add_argument(
+        "--system", default="fmoe", type=_prefix_choice(POLICY_CHOICES)
+    )
+    p.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="serving passes to average for the hot-loop profile",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="single-repeat hot-loop profile (the CI smoke mode)",
+    )
+    p.add_argument(
+        "--bench-out",
+        default=None,
+        help="where to write the profile payload "
+        "(default benchmarks/BENCH_profile.json)",
+    )
+    p.add_argument(
+        "--min-rps",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) below this simulated-requests/sec floor",
+    )
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "journeys",
+        help="per-request journeys with critical-path attribution",
+    )
+    _add_world_args(p)
+    p.add_argument("--replicas", type=int, default=2)
+    p.add_argument(
+        "--router",
+        default="round-robin",
+        type=_prefix_choice(ROUTER_CHOICES),
+    )
+    p.add_argument(
+        "--system", default="fmoe", type=_prefix_choice(POLICY_CHOICES)
+    )
+    p.add_argument(
+        "--chaos",
+        default=None,
+        help="subject the fleet to a named storm scenario",
+    )
+    p.add_argument(
+        "--resilience",
+        action="store_true",
+        help="enable the cluster resilience layer",
+    )
+    p.add_argument("--trace-requests", type=int, default=24)
+    p.add_argument("--rate", type=float, default=1.0)
+    p.add_argument(
+        "--sample-interval",
+        type=float,
+        default=1.0,
+        help="fleet time-series cadence, virtual seconds",
+    )
+    p.add_argument("--top", type=int, default=5)
+    p.add_argument("--slo-objective", type=float, default=0.9)
+    p.add_argument("--slo-deadline", type=float, default=1.0)
+    p.add_argument(
+        "--out-dir",
+        default=None,
+        help="write journeys.jsonl / fleet.jsonl / fleet.csv / "
+        "cluster_report.json here",
+    )
+    p.set_defaults(func=cmd_journeys)
+
+    p = sub.add_parser(
+        "slo",
+        help="burn-rate alerting summary from a saved cluster report",
+    )
+    p.add_argument("report", help="cluster report JSON (repro cluster --out)")
+    p.add_argument("--objective", type=float, default=0.9)
+    p.add_argument("--deadline", type=float, default=1.0)
+    p.add_argument(
+        "--window-scale",
+        type=float,
+        default=1.0,
+        help="scale factor applied to the default burn-rate windows",
+    )
+    p.set_defaults(func=cmd_slo)
 
     p = sub.add_parser(
         "trace",

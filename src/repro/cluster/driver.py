@@ -38,9 +38,11 @@ from repro.cluster.metrics import (
 )
 from repro.cluster.replica import Replica
 from repro.cluster.resilience import (
+    BREAKER_CLOSED,
     BREAKER_HALF_OPEN,
     BREAKER_OPEN,
     RUNG_FULL,
+    RUNG_NAMES,
     RUNG_NO_PREFETCH,
     RUNG_SHED,
     RUNG_SUBSTITUTE,
@@ -65,6 +67,13 @@ from repro.serving.faults import (
 )
 from repro.serving.metrics import ServingReport
 from repro.serving.request import Request
+
+#: Breaker state → numeric gauge value (closed < half-open < open).
+_BREAKER_STATE_VALUES = {
+    BREAKER_CLOSED: 0.0,
+    BREAKER_HALF_OPEN: 1.0,
+    BREAKER_OPEN: 2.0,
+}
 
 #: Outcome ``reason`` → :class:`ResilienceReport` shed-counter field.
 _SHED_FIELDS = {
@@ -91,6 +100,9 @@ class ClusterDriver:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         validate: bool = False,
+        journeys=None,
+        fleet_series=None,
+        slo_tracker=None,
     ) -> None:
         if spec.shared_store and system != "fmoe":
             raise ConfigError(
@@ -106,6 +118,11 @@ class ClusterDriver:
         self.tracer = tracer
         self.metrics = metrics
         self.validate = validate
+        # Observability-plane riders (all pure observers of the virtual
+        # clock: attaching any of them leaves the report byte-identical).
+        self.journeys = journeys
+        self.fleet_series = fleet_series
+        self.slo_tracker = slo_tracker
         self._suites: dict[int, object] = {}
         self.violations: list = []
         self.router = make_router(spec.router)
@@ -139,6 +156,7 @@ class ClusterDriver:
         )
         self._seq = 0
         self._fault_order = 0
+        self._last_rung = RUNG_FULL
         self._outcomes: dict[int, RequestOutcome] = {}
         self._breakers: dict[int, CircuitBreaker] = {}
         self._fault_events: list[tuple[float, int, str, ReplicaCrash]] = []
@@ -240,6 +258,10 @@ class ClusterDriver:
                 # searches the same rows, so re-warming would duplicate.
                 engine.policy.warm(self.world.warm_traces)
                 self._store_warmed = True
+        if self.journeys is not None:
+            # Journey capture rides the recorder plumbing ahead of any
+            # monitor suite (which tees with whatever is attached).
+            engine.set_recorder(self.journeys.replica_sink(replica_id))
         if self.validate:
             # Every replica engine gets its own invariant monitors; the
             # suite rides the recorder plumbing and only observes, so a
@@ -367,12 +389,16 @@ class ClusterDriver:
 
     def _dispatch(self, request: Request) -> None:
         """Route and serve one request at its arrival time."""
+        if self.fleet_series is not None:
+            self.fleet_series.maybe_sample(request.arrival_time, self)
         if self.tracked:
             self._dispatch_resilient(request)
             return
         now = request.arrival_time
         self._retire_drained(now)
         self._autoscale(now)
+        if self.journeys is not None:
+            self.journeys.begin_request(request.request_id, now)
         routable = self._routable(now)
         decision = self.router.select(
             request, self._embedding(request), routable, now
@@ -399,10 +425,26 @@ class ClusterDriver:
                 reason=decision.reason,
                 score=round(decision.score, 4),
             )
+        if self.journeys is not None:
+            self.journeys.begin_attempt(
+                request.request_id, "primary", replica.replica_id, now
+            )
         finish = replica.serve(request)
         if finish is None:
+            if self.journeys is not None:
+                self.journeys.end_attempt("shed")
+                self.journeys.resolve_shed(request.request_id, "replica")
             return
         served = replica.report.requests[-1]
+        if self.journeys is not None:
+            self.journeys.end_attempt("served", served)
+            self.journeys.resolve_served(
+                request.request_id,
+                replica.replica_id,
+                served.e2e_latency,
+                served.ttft,
+                served.finish_time,
+            )
         if self.tracer is not None:
             self.tracer.complete(
                 f"request {request.request_id}",
@@ -435,6 +477,11 @@ class ClusterDriver:
                 "repro_cluster_breaker_transitions_total",
                 "Circuit-breaker state changes by replica and new state",
             ).inc(replica=str(replica_id), state=state)
+            self.metrics.gauge(
+                "repro_cluster_breaker_state",
+                "Circuit-breaker state by replica "
+                "(0 closed, 1 half-open, 2 open)",
+            ).set(_BREAKER_STATE_VALUES[state], replica=str(replica_id))
 
     def _apply_due_cluster_faults(self, now: float) -> None:
         """Apply scripted crashes/restarts whose virtual time has come."""
@@ -455,6 +502,11 @@ class ClusterDriver:
         lost = replica.crash(time)
         res = self.report.resilience
         res.crashes += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_cluster_crashes_total",
+                "Replica crashes applied from the fault script",
+            ).inc(replica=str(replica.replica_id))
         self._record_scale(time, "crash", replica, len(lost))
         if crash.restart_delay is not None:
             self._fault_order += 1
@@ -485,6 +537,11 @@ class ClusterDriver:
         res = self.report.resilience
         replica = self._spawn(time, restart=True)
         res.restarts += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_cluster_restarts_total",
+                "Replacement replicas rejoining after a crash",
+            ).inc(replica=str(replica.replica_id))
         restored = 0
         if replica.expert_map_store() is self._shared_store and (
             self._shared_store is not None
@@ -525,6 +582,8 @@ class ClusterDriver:
         outcome.reason = "crash"
         outcome.replica_id = crashed_id
         res.failed += 1
+        if self.journeys is not None:
+            self.journeys.resolve_failed(request.request_id, "crash")
 
     def _current_rung(self, now: float) -> int:
         """The degradation-ladder rung for the fleet's health at ``now``."""
@@ -546,6 +605,35 @@ class ClusterDriver:
             open_fraction = open_count / len(accepting)
         return self._ladder.rung(depth, open_fraction)
 
+    def breaker_for(self, replica_id: int) -> CircuitBreaker | None:
+        """This replica's circuit breaker (None when breakers are off)."""
+        return self._breakers.get(replica_id)
+
+    def peek_rung(self, now: float) -> int:
+        """:meth:`_current_rung` as a pure read (for samplers).
+
+        Uses :meth:`CircuitBreaker.peek` so observing the fleet never
+        promotes a breaker (promotions journal a sequenced transition,
+        which would change the report).
+        """
+        if self._ladder is None:
+            return RUNG_FULL
+        accepting = self._accepting()
+        if not accepting:
+            return RUNG_FULL
+        depth = sum(
+            r.outstanding_requests(now) for r in accepting
+        ) / len(accepting)
+        open_fraction = 0.0
+        if self._breakers:
+            open_count = sum(
+                1
+                for r in accepting
+                if self._breakers[r.replica_id].peek(now) == BREAKER_OPEN
+            )
+            open_fraction = open_count / len(accepting)
+        return self._ladder.rung(depth, open_fraction)
+
     def _shed_outcome(self, outcome: RequestOutcome, reason: str) -> None:
         """Resolve one outcome as shed and bump the matching counter."""
         res = self.report.resilience
@@ -553,6 +641,8 @@ class ClusterDriver:
         outcome.reason = reason
         field = _SHED_FIELDS[reason]
         setattr(res, field, getattr(res, field) + 1)
+        if self.journeys is not None:
+            self.journeys.resolve_shed(outcome.request_id, reason)
         if self.metrics is not None:
             self.metrics.counter(
                 "repro_cluster_resilience_shed_total",
@@ -570,9 +660,22 @@ class ClusterDriver:
         res.admitted += 1
         rung = self._current_rung(now)
         res.rung_counts[rung] = res.rung_counts.get(rung, 0) + 1
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "repro_cluster_degradation_rung",
+                "Degradation-ladder rung in force at the last admission",
+            ).set(float(rung))
+            if rung != self._last_rung:
+                self.metrics.counter(
+                    "repro_cluster_rung_changes_total",
+                    "Degradation-ladder rung changes, by rung entered",
+                ).inc(rung=RUNG_NAMES[rung])
+        self._last_rung = rung
         outcome = RequestOutcome(request_id=request.request_id, arrival=now)
         outcome.rung = rung
         self._outcomes[request.request_id] = outcome
+        if self.journeys is not None:
+            self.journeys.begin_request(request.request_id, now, rung)
         cfg = self.resilience
         bypass = (
             cfg is not None
@@ -694,6 +797,12 @@ class ClusterDriver:
                 self.report.fallback_routed += 1
         elif kind == "retry":
             res.retry_dispatches += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_cluster_retry_dispatches_total",
+                    "Retry dispatches after sheds or crash failover, "
+                    "by replica",
+                ).inc(replica=str(replica.replica_id))
         self._seq += 1
         self.report.dispatch_log.append(
             DispatchRecord(
@@ -738,15 +847,23 @@ class ClusterDriver:
                 engine.prefetch_enabled = False
             if rung >= RUNG_SUBSTITUTE:
                 engine.force_substitution = True
+        if self.journeys is not None:
+            self.journeys.begin_attempt(
+                request.request_id, kind, replica.replica_id, now
+            )
         try:
             finish = replica.serve(serve_request)
         finally:
             engine.prefetch_enabled, engine.force_substitution = saved
         if finish is None:
+            if self.journeys is not None:
+                self.journeys.end_attempt("shed")
             if breaker is not None:
                 breaker.record(False, now)
             return ("shed", replica, None)
         served = replica.report.requests[-1]
+        if self.journeys is not None:
+            self.journeys.end_attempt("served", served)
         success = True
         if (
             cfg is not None
@@ -772,6 +889,7 @@ class ClusterDriver:
         winner = served
         winner_replica = replica
         first_token_at = served.arrival_time + served.ttft
+        h_status = h_replica = h_served = None
         if (
             cfg is not None
             and cfg.hedge_after_seconds is not None
@@ -786,6 +904,7 @@ class ClusterDriver:
             h_status, h_replica, h_served = self._attempt(
                 hedge_request, {replica.replica_id}, "hedge", rung
             )
+            hedge_result = None
             if h_status == "served":
                 # First response wins; the loser is cancelled and its
                 # service time is accounted as wasted hedge work.
@@ -801,18 +920,40 @@ class ClusterDriver:
                         served.finish_time - served.start_time
                     )
                     winner, winner_replica = h_served, h_replica
+                    hedge_result = "win"
                 else:
                     res.hedge_wasted_seconds += (
                         h_served.finish_time - h_served.start_time
                     )
+                    hedge_result = "loss"
             elif h_status == "shed":
                 # The speculative copy was shed on arrival: the hedge
                 # is cancelled without ever producing a token.
                 res.hedges_cancelled += 1
+                hedge_result = "cancelled"
+            if self.metrics is not None and hedge_result is not None:
+                self.metrics.counter(
+                    "repro_cluster_hedges_total",
+                    "Hedged dispatches by primary replica and result "
+                    "(win: hedge finished first, loss: primary held, "
+                    "cancelled: hedge shed on arrival)",
+                ).inc(
+                    replica=str(replica.replica_id), result=hedge_result
+                )
         outcome.outcome = "served"
         outcome.replica_id = winner_replica.replica_id
         outcome.latency = winner.finish_time - outcome.arrival
         outcome.ttft = first_token_at - outcome.arrival
+        if self.journeys is not None:
+            self.journeys.resolve_served(
+                request.request_id,
+                winner_replica.replica_id,
+                outcome.latency,
+                outcome.ttft,
+                winner.finish_time,
+                hedged=outcome.hedged,
+                hedge_won=outcome.hedge_won,
+            )
         if self.tracer is not None:
             self.tracer.complete(
                 f"request {request.request_id}",
@@ -822,6 +963,30 @@ class ClusterDriver:
                 category="cluster",
                 ttft=round(outcome.ttft, 6),
             )
+            if h_status == "served":
+                # Both copies ran: draw the cancelled loser too, linked
+                # to the winner with a flow arrow across replica lanes.
+                loser, loser_replica = (
+                    (served, replica)
+                    if outcome.hedge_won
+                    else (h_served, h_replica)
+                )
+                self.tracer.complete(
+                    f"request {request.request_id} (hedge loser)",
+                    loser.start_time,
+                    loser.finish_time,
+                    tid=replica_lane(loser_replica.replica_id),
+                    category="cluster",
+                    role="cancelled",
+                )
+                self.tracer.flow(
+                    "hedge",
+                    request.request_id,
+                    served.start_time,
+                    replica_lane(replica.replica_id),
+                    h_served.start_time,
+                    replica_lane(h_replica.replica_id),
+                )
         if self.autoscaler is not None:
             self.autoscaler.observe_ttft(outcome.ttft)
 
@@ -851,6 +1016,14 @@ class ClusterDriver:
             # happen: drain them so late crashes retract in-flight work
             # and scheduled restarts are journaled.
             self._apply_due_cluster_faults(float("inf"))
+        if self.fleet_series is not None and ordered:
+            # One closing snapshot at the fleet's quiesce time, so the
+            # series always covers the full run window.
+            quiesce = max(
+                [ordered[-1].arrival_time]
+                + [r.engine.now for r in self.replicas]
+            )
+            self.fleet_series.sample(quiesce, self)
         self._finalize()
         if self.validate and self.violations:
             from repro.errors import ValidationError
@@ -910,6 +1083,22 @@ class ClusterDriver:
                 self.report.routed
             )
             self.report.outcomes = list(self._outcomes.values())
+        if self.slo_tracker is not None:
+            # Replay resolutions at finalize time: the outcome set is
+            # final here, so crash retractions can never double-count.
+            tracker = self.slo_tracker
+            if self.report.outcomes:
+                tracker.observe_outcomes(self.report.outcomes)
+            else:
+                rows = sorted(
+                    (r.finish_time, r.e2e_latency)
+                    for r in self.report.aggregate.requests
+                )
+                for when, latency in rows:
+                    tracker.observe(
+                        when, latency <= tracker.deadline_seconds
+                    )
+            self.report.slo_summary = tracker.to_dict()
         if self.validate:
             from repro.validate.monitors import check_cluster_report
 
@@ -936,6 +1125,9 @@ def run_cluster(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     validate: bool = False,
+    journeys=None,
+    fleet_series=None,
+    slo_tracker=None,
 ) -> ClusterReport:
     """Serve a request trace on a simulated multi-replica cluster.
 
@@ -953,6 +1145,15 @@ def run_cluster(
     monitors to every replica engine plus fleet-level conservation
     checks, raising :class:`~repro.errors.ValidationError` on any breach
     (the monitors only observe — results are unchanged).
+
+    The observability plane attaches the same way: ``journeys`` (a
+    :class:`repro.obs.journey.JourneyRecorder`) assembles per-request
+    phase records, ``fleet_series`` (a
+    :class:`repro.obs.timeseries.FleetSeries`) snapshots per-replica
+    health on its cadence, and ``slo_tracker`` (a
+    :class:`repro.obs.slo.SLOTracker`) runs burn-rate alerting over the
+    outcome stream, landing its summary on ``report.slo_summary``.  All
+    three are pure observers of the virtual clock.
     """
     driver = ClusterDriver(
         world,
@@ -965,6 +1166,9 @@ def run_cluster(
         tracer=tracer,
         metrics=metrics,
         validate=validate,
+        journeys=journeys,
+        fleet_series=fleet_series,
+        slo_tracker=slo_tracker,
     )
     return driver.run(
         list(requests) if requests is not None else world.test_requests

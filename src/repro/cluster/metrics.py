@@ -249,6 +249,11 @@ class ClusterReport:
     breaker_transitions: list[BreakerTransition] = field(default_factory=list)
     recovery_events: list[RecoveryEvent] = field(default_factory=list)
 
+    slo_summary: dict | None = None
+    """Burn-rate alerting summary (:meth:`repro.obs.slo.SLOTracker.to_dict`)
+    when an SLO tracker rode the run; ``None`` otherwise — the key is
+    omitted from the JSON form so untracked runs stay byte-identical."""
+
     # ------------------------------------------------------------------ #
     # Fleet-level derived metrics
     # ------------------------------------------------------------------ #
@@ -496,6 +501,8 @@ def cluster_report_to_dict(report: ClusterReport) -> dict:
     }
     if resilient:
         summary["resilience"] = _resilience_to_dict(report)
+    if report.slo_summary is not None:
+        summary["slo"] = report.slo_summary
     return summary
 
 

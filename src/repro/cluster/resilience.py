@@ -160,6 +160,19 @@ class CircuitBreaker:
                 self._transition(BREAKER_HALF_OPEN, reopens)
         return self._state
 
+    def peek(self, now: float) -> str:
+        """The state :meth:`state` would report, without transitioning.
+
+        Pure read for samplers: an elapsed cool-down shows as half-open
+        but the promotion (and its ``on_transition`` journal entry) is
+        left for the next real :meth:`state` query, so observing the
+        breaker never perturbs the run.
+        """
+        if self._state == BREAKER_OPEN:
+            if now >= self._opened_at + self.config.breaker_open_seconds:
+                return BREAKER_HALF_OPEN
+        return self._state
+
     def record(self, success: bool, now: float) -> None:
         """Feed one dispatch outcome observed at virtual ``now``."""
         state = self.state(now)

@@ -1,11 +1,11 @@
 """Observability: span tracing, labeled metrics, and streaming event sinks.
 
 The package is dependency-free and driven entirely by the engine's
-virtual clock, so telemetry never perturbs simulated time.  Four parts:
+virtual clock, so telemetry never perturbs simulated time.  Core parts:
 
 - :mod:`repro.obs.trace` — a nesting :class:`~repro.obs.trace.Tracer`
   that exports Chrome trace-event JSON (loadable in ``chrome://tracing``
-  or Perfetto).
+  or Perfetto), including flow arrows (span links) between lanes.
 - :mod:`repro.obs.metrics` — :class:`Counter` / :class:`Gauge` /
   :class:`Histogram` primitives with label sets, virtual-clock time-series
   sampling, Prometheus text exposition, and JSONL export.
@@ -16,8 +16,26 @@ virtual clock, so telemetry never perturbs simulated time.  Four parts:
   bundle the serving stack threads through, plus the ``repro trace`` /
   ``repro inspect`` toolchain (:mod:`repro.obs.runner`,
   :mod:`repro.obs.inspect`).
+
+The cluster-scale observability plane builds on those:
+
+- :mod:`repro.obs.journey` — per-request journeys with critical-path
+  phase attribution (``repro journeys``).
+- :mod:`repro.obs.timeseries` — fixed-cadence fleet health snapshots
+  with JSONL/CSV export.
+- :mod:`repro.obs.slo` — SRE-style multi-window error-budget burn-rate
+  alerting over the attainment stream (``repro slo``).
+- :mod:`repro.obs.profile` — a host-time hot-loop profiler producing the
+  ``BENCH_profile.json`` regression baseline (``repro profile``).
 """
 
+from repro.obs.journey import (
+    AttemptRecord,
+    Journey,
+    JourneyRecorder,
+    read_journeys_jsonl,
+    render_journeys,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -26,21 +44,52 @@ from repro.obs.metrics import (
     SlidingWindowRatio,
     log_buckets,
 )
+from repro.obs.profile import (
+    PhaseTimer,
+    check_profile_payload,
+    run_profile,
+    write_profile,
+)
 from repro.obs.sinks import JsonlSink, NullSink, RingBufferSink, Sink
+from repro.obs.slo import (
+    BurnRateRule,
+    SLOAlert,
+    SLOTracker,
+    default_burn_rules,
+    render_slo_summary,
+)
 from repro.obs.telemetry import Telemetry
+from repro.obs.timeseries import FleetSample, FleetSeries, read_fleet_jsonl
 from repro.obs.trace import Tracer
 
 __all__ = [
+    "AttemptRecord",
+    "BurnRateRule",
     "Counter",
+    "FleetSample",
+    "FleetSeries",
     "Gauge",
     "Histogram",
+    "Journey",
+    "JourneyRecorder",
     "JsonlSink",
     "MetricsRegistry",
     "NullSink",
+    "PhaseTimer",
     "RingBufferSink",
+    "SLOAlert",
+    "SLOTracker",
     "Sink",
     "SlidingWindowRatio",
     "Telemetry",
     "Tracer",
+    "check_profile_payload",
+    "default_burn_rules",
     "log_buckets",
+    "read_fleet_jsonl",
+    "read_journeys_jsonl",
+    "render_journeys",
+    "render_slo_summary",
+    "run_profile",
+    "write_profile",
 ]

@@ -9,6 +9,11 @@ can be summarized without re-running the simulation:
 - stall attribution (which causes ate the critical path, and how much),
 - a per-layer hit/stall table,
 - a per-device PCIe transfer table.
+
+Pointing it at a :class:`~repro.cluster.metrics.ClusterReport` JSON
+(``repro cluster --out``) instead renders the fleet view: a per-replica
+summary table, load-imbalance CV, resilience counters, and the SLO
+burn-rate section when present.
 """
 
 from __future__ import annotations
@@ -40,7 +45,8 @@ def _fmt_seconds(us: float) -> str:
     return f"{us / _MICROS:.6f}"
 
 
-def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+def format_table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    """Fixed-width text table lines (header, rule, then rows)."""
     widths = [
         max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
         for i in range(len(headers))
@@ -52,6 +58,9 @@ def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
     for row in rows:
         out.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
     return out
+
+
+_table = format_table
 
 
 def slowest_iterations(events: list[dict], top: int = 5) -> list[str]:
@@ -170,12 +179,108 @@ def per_device_table(events: list[dict]) -> list[str]:
     )
 
 
+def is_cluster_report(payload: object) -> bool:
+    """Whether a loaded JSON object is a serialized ClusterReport."""
+    return (
+        isinstance(payload, dict)
+        and "traceEvents" not in payload
+        and "routed" in payload
+        and "replicas" in payload
+    )
+
+
+def inspect_cluster_report(payload: dict) -> str:
+    """Render the fleet summary of one ClusterReport JSON object."""
+    lines = [
+        f"cluster: system={payload.get('system')} "
+        f"router={payload.get('router')} routed={payload.get('routed')} "
+        f"served={payload.get('served')} "
+        f"final_replicas={payload.get('final_replicas')}",
+        f"hit_rate={payload.get('hit_rate', 0.0):.3f} "
+        f"mean_ttft={payload.get('mean_ttft_seconds', 0.0):.4f}s "
+        f"p95_e2e={payload.get('p95_e2e_seconds', 0.0):.4f}s "
+        f"load_imbalance_cv={payload.get('load_imbalance', 0.0):.3f}",
+        "",
+        "== per-replica summary ==",
+    ]
+    rows = []
+    for r in payload.get("replicas", []):
+        status = "ok"
+        if r.get("crashed"):
+            status = "crashed"
+        elif r.get("retired"):
+            status = "retired"
+        elif r.get("draining"):
+            status = "draining"
+        rows.append(
+            [
+                str(r.get("replica_id")),
+                str(r.get("assigned")),
+                str(r.get("served")),
+                str(r.get("shed_requests")),
+                f"{r.get('hit_rate', 0.0):.3f}",
+                f"{r.get('mean_ttft_seconds', 0.0):.4f}",
+                f"{r.get('p95_e2e_seconds', 0.0):.4f}",
+                status,
+            ]
+        )
+    lines += format_table(
+        [
+            "replica",
+            "assigned",
+            "served",
+            "shed",
+            "hit_rate",
+            "mean_ttft_s",
+            "p95_e2e_s",
+            "status",
+        ],
+        rows,
+    )
+    res = payload.get("resilience")
+    if res is not None:
+        lines += ["", "== resilience counters =="]
+        rows = [
+            [name, str(res.get(name, 0))]
+            for name in (
+                "admitted",
+                "total_shed",
+                "shed_admission",
+                "shed_ladder",
+                "shed_breaker",
+                "shed_replica",
+                "failed",
+                "retry_dispatches",
+                "hedges",
+                "hedge_wins",
+                "hedges_cancelled",
+                "breaker_opens",
+                "breaker_closes",
+                "crashes",
+                "restarts",
+                "lost_in_flight",
+            )
+        ]
+        lines += format_table(["counter", "value"], rows)
+    slo = payload.get("slo")
+    if slo is not None:
+        from repro.obs.slo import render_slo_summary
+
+        lines += ["", "== SLO burn-rate summary =="]
+        lines.append(render_slo_summary(slo))
+    return "\n".join(lines)
+
+
 def inspect_path(path: str | Path, top: int = 5) -> str:
     """Render the full inspection summary for a trace file or directory."""
     path = Path(path)
     trace_path = path / "trace.json" if path.is_dir() else path
     if not trace_path.exists():
         raise TelemetryError(f"no trace file at {trace_path}")
+    if trace_path.is_file():
+        payload = json.loads(trace_path.read_text())
+        if is_cluster_report(payload):
+            return inspect_cluster_report(payload)
     events = load_trace_events(trace_path)
     lines: list[str] = [f"trace: {trace_path}"]
     report_path = (

@@ -90,6 +90,24 @@ class _Instant:
     args: dict
 
 
+@dataclass(frozen=True)
+class Flow:
+    """One flow arrow linking two points in the trace (span link).
+
+    Exported as a Chrome flow-event pair (``ph: "s"`` at the source,
+    ``ph: "f"`` at the destination) so viewers draw an arrow between the
+    two lanes — the rendering hedged request pairs use.
+    """
+
+    name: str
+    flow_id: int
+    start_ts: float
+    start_tid: int
+    end_ts: float
+    end_tid: int
+    category: str = "sim"
+
+
 class Tracer:
     """Accumulates spans and instants; exports Chrome trace-event JSON."""
 
@@ -97,6 +115,7 @@ class Tracer:
         self.process_name = process_name
         self.spans: list[Span] = []
         self.instants: list[_Instant] = []
+        self.flows: list[Flow] = []
         self._stacks: dict[int, list[_OpenSpan]] = {}
         self._lane_names: dict[int, str] = {}
 
@@ -186,6 +205,32 @@ class Tracer:
         self._check_ts(ts)
         self.instants.append(_Instant(name, ts, tid, category, dict(args)))
 
+    def flow(
+        self,
+        name: str,
+        flow_id: int,
+        start_ts: float,
+        start_tid: int,
+        end_ts: float,
+        end_tid: int,
+        category: str = "sim",
+    ) -> Flow:
+        """Link two trace points with a flow arrow (span link).
+
+        The source point should lie inside a span on ``start_tid`` and
+        the destination inside one on ``end_tid``; viewers bind each
+        flow endpoint to the enclosing slice.  Used to connect a hedged
+        request's primary and speculative serve spans across replica
+        lanes.
+        """
+        self._check_ts(start_ts)
+        self._check_ts(end_ts)
+        record = Flow(
+            name, flow_id, start_ts, start_tid, end_ts, end_tid, category
+        )
+        self.flows.append(record)
+        return record
+
     def open_depth(self, tid: int = ENGINE_LANE) -> int:
         """How many spans are currently open on lane ``tid``."""
         return len(self._stacks.get(tid, []))
@@ -263,6 +308,38 @@ class Tracer:
                         "pid": 0,
                         "tid": inst.tid,
                         "args": inst.args,
+                    },
+                )
+            )
+        for flow in self.flows:
+            records.append(
+                (
+                    flow.start_ts,
+                    flow.start_tid,
+                    {
+                        "name": flow.name,
+                        "cat": flow.category,
+                        "ph": "s",
+                        "id": flow.flow_id,
+                        "ts": self._micros(flow.start_ts),
+                        "pid": 0,
+                        "tid": flow.start_tid,
+                    },
+                )
+            )
+            records.append(
+                (
+                    flow.end_ts,
+                    flow.end_tid,
+                    {
+                        "name": flow.name,
+                        "cat": flow.category,
+                        "ph": "f",
+                        "bp": "e",
+                        "id": flow.flow_id,
+                        "ts": self._micros(flow.end_ts),
+                        "pid": 0,
+                        "tid": flow.end_tid,
                     },
                 )
             )

@@ -94,3 +94,94 @@ class TestCommands:
         )
         assert code == 0
         assert traces.exists() and store.exists()
+
+
+class TestObservabilityCommands:
+    WORLD = ["--requests", "8", "--test-requests", "2"]
+
+    def test_profile_quick_writes_valid_payload(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import check_profile_payload
+
+        bench = tmp_path / "BENCH_profile.json"
+        code = main(
+            ["profile", *self.WORLD, "--quick", "--bench-out", str(bench)]
+        )
+        assert code == 0
+        payload = json.loads(bench.read_text())
+        assert payload["repeats"] == 1  # --quick forces one pass
+        assert check_profile_payload(payload) == []
+        assert "simulated requests/s" in capsys.readouterr().out
+
+    def test_profile_min_rps_gate_fails(self, tmp_path, capsys):
+        code = main(
+            [
+                "profile", *self.WORLD, "--quick",
+                "--bench-out", str(tmp_path / "b.json"),
+                "--min-rps", "1e12",
+            ]
+        )
+        assert code == 1
+        assert "below floor" in capsys.readouterr().out
+
+    def test_journeys_end_to_end(self, tmp_path, capsys):
+        out_dir = tmp_path / "obs"
+        code = main(
+            [
+                "journeys", *self.WORLD,
+                "--chaos", "crash-restart",
+                "--resilience",
+                "--trace-requests", "8",
+                "--out-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "journeys: 8 requests" in out
+        assert "SLO burn-rate summary" in out
+        for name in (
+            "journeys.jsonl",
+            "fleet.jsonl",
+            "fleet.csv",
+            "cluster_report.json",
+        ):
+            assert (out_dir / name).exists()
+
+    def test_journeys_unknown_chaos(self, capsys):
+        code = main(
+            ["journeys", *self.WORLD, "--chaos", "nope"]
+        )
+        assert code == 2
+        assert "unknown chaos scenario" in capsys.readouterr().out
+
+    def test_slo_replays_saved_report(self, tmp_path, capsys):
+        out_dir = tmp_path / "obs"
+        assert (
+            main(
+                [
+                    "journeys", *self.WORLD,
+                    "--resilience",
+                    "--trace-requests", "6",
+                    "--out-dir", str(out_dir),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "slo", str(out_dir / "cluster_report.json"),
+                "--deadline", "30",
+            ]
+        )
+        assert code == 0
+        assert "objective:" in capsys.readouterr().out
+
+    def test_slo_report_without_outcomes(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps({"routed": 4, "replicas": []}))
+        assert main(["slo", str(path)]) == 2
+        assert "no request outcomes" in capsys.readouterr().out

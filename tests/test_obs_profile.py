@@ -1,0 +1,163 @@
+"""Wall-clock profiler: self-time attribution, payload schema, CI gate.
+
+Covers the :class:`~repro.obs.profile.PhaseTimer` stack semantics
+(nested phases charge self time, not inclusive time), the end-to-end
+``run_profile`` payload on the tiny world, JSON export, and the
+``check_profile_payload`` regression gate the CI profile-smoke job
+drives.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs import PhaseTimer, check_profile_payload, run_profile, write_profile
+from repro.obs.profile import PHASE_NAMES, PROFILE_SCHEMA, REQUIRED_KEYS
+
+from tests._cluster_testkit import tiny_world
+
+
+class TestPhaseTimer:
+    def test_wrap_counts_calls(self):
+        timer = PhaseTimer()
+
+        class Thing:
+            def work(self, x):
+                return x * 2
+
+        thing = Thing()
+        timer.wrap(thing, "work", "gate_draws")
+        assert thing.work(3) == 6
+        assert thing.work(4) == 8
+        assert timer.calls["gate_draws"] == 2
+        assert timer.seconds["gate_draws"] >= 0.0
+
+    def test_nested_phases_charge_self_time(self):
+        """Entering a nested phase pauses the enclosing one."""
+        timer = PhaseTimer()
+
+        def busy(n=20000):
+            total = 0
+            for i in range(n):
+                total += i
+            return total
+
+        timer.push("transfer_charging")
+        busy()
+        timer.push("eviction_scoring")
+        busy()
+        timer.pop()
+        busy()
+        timer.pop()
+        outer = timer.seconds["transfer_charging"]
+        inner = timer.seconds["eviction_scoring"]
+        assert outer > 0 and inner > 0
+        # Outer self-time excludes the nested window: roughly 2 busy()
+        # calls vs 1 — generous bound, just not inclusive (3x) time.
+        assert outer < (outer + inner) * 0.95
+
+    def test_wrapping_preserves_exceptions(self):
+        timer = PhaseTimer()
+
+        class Thing:
+            def boom(self):
+                raise ValueError("x")
+
+        thing = Thing()
+        timer.wrap(thing, "boom", "policy_hooks")
+        with pytest.raises(ValueError):
+            thing.boom()
+        # The pop still ran: phase accounting stays balanced.
+        assert timer.calls["policy_hooks"] == 1
+        assert timer._stack == []
+
+
+class TestRunProfile:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_profile(world=tiny_world(), repeats=1)
+
+    def test_payload_passes_the_gate(self, payload):
+        assert check_profile_payload(payload) == []
+
+    def test_required_keys_present(self, payload):
+        for key in REQUIRED_KEYS:
+            assert key in payload
+        assert payload["schema"] == PROFILE_SCHEMA
+        assert payload["repeats"] == 1
+
+    def test_counts_are_plausible(self, payload):
+        assert payload["requests"] == len(tiny_world().test_requests)
+        assert payload["iterations"] > 0
+        assert payload["activations"] > 0
+        assert payload["simulated_seconds"] > 0
+        assert payload["wall_seconds"] > 0
+        assert payload["simulated_requests_per_second"] > 0
+
+    def test_phase_shares_partition_wall_time(self, payload):
+        shares = [payload["phases"][n]["share"] for n in PHASE_NAMES]
+        assert sum(shares) == pytest.approx(1.0)
+        assert all(s >= 0 for s in shares)
+        # The hot loop actually hit every instrumented phase.
+        for name in PHASE_NAMES[:-1]:
+            assert payload["phases"][name]["calls"] > 0
+
+    def test_repeats_validated(self):
+        with pytest.raises(TelemetryError):
+            run_profile(world=tiny_world(), repeats=0)
+
+    def test_write_profile_round_trips(self, payload, tmp_path):
+        path = write_profile(payload, tmp_path / "BENCH_profile.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == payload
+        assert path.read_text().endswith("\n")
+
+
+class TestCheckGate:
+    def good_payload(self):
+        return run_profile(world=tiny_world(), repeats=1)
+
+    def test_missing_key_reported(self):
+        payload = self.good_payload()
+        del payload["iterations"]
+        assert any("iterations" in p for p in check_profile_payload(payload))
+
+    def test_schema_mismatch_reported(self):
+        payload = self.good_payload()
+        payload["schema"] = "something-else"
+        assert any("schema" in p for p in check_profile_payload(payload))
+
+    def test_bad_shares_reported(self):
+        payload = self.good_payload()
+        payload["phases"]["other"]["share"] += 0.5
+        assert any("shares" in p for p in check_profile_payload(payload))
+
+    def test_missing_phase_reported(self):
+        payload = self.good_payload()
+        del payload["phases"]["gate_draws"]
+        assert any(
+            "missing phase" in p for p in check_profile_payload(payload)
+        )
+
+    def test_throughput_floor_enforced(self):
+        payload = self.good_payload()
+        assert check_profile_payload(payload, min_requests_per_second=0.0) == []
+        problems = check_profile_payload(
+            payload, min_requests_per_second=1e12
+        )
+        assert any("below floor" in p for p in problems)
+
+
+class TestCommittedBaseline:
+    def test_benchmarks_file_passes_the_gate(self):
+        """The committed BENCH_profile.json must satisfy its own CI gate."""
+        from pathlib import Path
+
+        path = (
+            Path(__file__).parent.parent / "benchmarks" / "BENCH_profile.json"
+        )
+        payload = json.loads(path.read_text())
+        assert check_profile_payload(payload) == []
