@@ -58,6 +58,37 @@ def select_prefetch_experts(
     return order[:count]
 
 
+def select_prefetch_counts(
+    rows: np.ndarray,
+    thresholds: np.ndarray,
+    top_k: int,
+    max_count: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`select_prefetch_experts` over N independent rows.
+
+    ``rows`` is ``(N, J)`` float64, ``thresholds`` is ``(N,)``.  Returns
+    ``(order, counts)``: the descending-probability argsort per row and how
+    many leading entries of each row are selected, so lane ``i``'s set is
+    ``order[i, :counts[i]]`` — element-for-element what the scalar function
+    returns for ``(rows[i], thresholds[i])``.  Per-lane identity holds
+    bitwise: an axis argsort applies the same algorithm to each lane, the
+    cumulative sums are the same left folds, and counting ``cumulative <
+    threshold`` over a nondecreasing cumulative equals the scalar path's
+    left ``searchsorted``.
+    """
+    num_experts = rows.shape[1]
+    if not 1 <= top_k <= num_experts:
+        raise ConfigError(f"top_k must be in [1, {num_experts}]")
+    min_needed = min(top_k + 1, num_experts)
+    cap = num_experts if max_count is None else min(max_count, num_experts)
+    cap = max(cap, min_needed)
+    order = np.argsort(rows, axis=1)[:, ::-1]
+    cumulative = np.cumsum(np.take_along_axis(rows, order, axis=1), axis=1)
+    counts = (cumulative < thresholds[:, None]).sum(axis=1) + 1
+    np.clip(counts, min_needed, cap, out=counts)
+    return order, counts
+
+
 def prefetch_priority(
     probability: float, layer: int, current_layer: int
 ) -> float:

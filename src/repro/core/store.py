@@ -78,6 +78,10 @@ class ExpertMapStore:
             (capacity, num_layers * num_experts), dtype=np.float64
         )
         self._prefix_norms = np.ones((capacity, num_layers), dtype=np.float64)
+        # Per-layer squared norms ||map[l]||² of every slot, cached at
+        # insertion so incremental trajectory matchers can fold in one
+        # layer without re-squaring the stored rows each time.
+        self._layer_sq = np.zeros((capacity, num_layers), dtype=np.float64)
         self._size = 0
         self.total_added = 0
         self.replacements = 0
@@ -111,6 +115,32 @@ class ExpertMapStore:
         if not 0 <= index < self._size:
             raise ConfigError(f"record index {index} out of range")
         return self._maps[index]
+
+    def gather_maps(self, indices: np.ndarray) -> np.ndarray:
+        """Stored maps for a batch of slots: ``(B, L, J)`` float32 copy.
+
+        The columnar gather form of :meth:`get_map` — one fancy index
+        instead of one Python call per batch position.
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self._size
+        ):
+            raise ConfigError("record index out of range")
+        return self._maps[indices]
+
+    def gather_rows(self, indices: np.ndarray, layer: int) -> np.ndarray:
+        """One map layer for a batch of slots: ``(B, J)`` float32 copy."""
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self._size
+        ):
+            raise ConfigError("record index out of range")
+        return self._maps[indices, layer]
+
+    def layer_sq_norms(self, layer: int, size: int) -> np.ndarray:
+        """Cached ``||map[layer]||²`` of the first ``size`` slots."""
+        return self._layer_sq[:size, layer]
 
     def memory_bytes(self, allocated: bool = False) -> int:
         """CPU memory footprint (Fig. 16): maps + embeddings, float32."""
@@ -156,7 +186,9 @@ class ExpertMapStore:
         self._embeddings_unit[slot] = emb / (norm if norm != 0.0 else 1.0)
         stored = self._maps[slot].astype(np.float64)
         self._maps_flat[slot] = stored.reshape(-1)
-        norms = np.sqrt(np.cumsum((stored**2).sum(axis=1)))
+        layer_sq = (stored**2).sum(axis=1)
+        self._layer_sq[slot] = layer_sq
+        norms = np.sqrt(np.cumsum(layer_sq))
         norms[norms == 0.0] = 1.0
         self._prefix_norms[slot] = norms
 

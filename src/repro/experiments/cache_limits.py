@@ -33,6 +33,7 @@ def tpot_vs_cache_limit(
     limits_gb: tuple[float, ...] = DEFAULT_LIMITS_GB,
     config: ExperimentConfig | None = None,
     jobs: int | None = 1,
+    executor: str = "process",
     cache: WorldCache | None = None,
     validate: bool = False,
 ) -> list[CacheLimitRow]:
@@ -65,7 +66,7 @@ def tpot_vs_cache_limit(
                         validate=validate,
                     )
                 )
-    reports = run_cells(cells, jobs=jobs, cache=cache)
+    reports = run_cells(cells, jobs=jobs, cache=cache, executor=executor)
     return [
         CacheLimitRow(
             model=model,

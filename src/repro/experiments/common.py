@@ -149,6 +149,7 @@ def make_engine(
     cache_budget_bytes: int | None = None,
     faults: FaultSchedule | None = None,
     slo: SLOConfig | None = None,
+    columnar: bool = True,
 ) -> ServingEngine:
     """Build a fresh engine for ``world`` under one system.
 
@@ -180,6 +181,7 @@ def make_engine(
         hardware=config.hardware,
         faults=faults,
         slo=slo,
+        columnar=columnar,
     )
 
 
@@ -197,6 +199,7 @@ def run_system(
     recorder=None,
     monitor=None,
     mutate=None,
+    columnar: bool = True,
 ) -> ServingReport:
     """Serve the world's test requests under one system.
 
@@ -208,7 +211,8 @@ def run_system(
     checking to the engine's event stream — the caller runs its
     end-of-run checks via ``monitor.finish``.  ``mutate`` is a callable
     applied to the freshly built engine (the validation harness injects
-    registered defects through it).
+    registered defects through it).  ``columnar=False`` serves through
+    the scalar reference core (the differential-parity anchor).
     """
     config = world.config
     engine = make_engine(
@@ -217,6 +221,7 @@ def run_system(
         cache_budget_bytes=cache_budget_bytes,
         faults=faults,
         slo=slo,
+        columnar=columnar,
     )
     if mutate is not None:
         mutate(engine)

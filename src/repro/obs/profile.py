@@ -7,7 +7,8 @@ costs, split across the hot-loop phases the columnar-engine rewrite
 
 - ``gate_draws``               — ``session.next_iteration()`` routing draws;
 - ``hit_miss_classification``  — ``engine._snapshot_hits`` at the gate;
-- ``transfer_charging``        — pool ``load_on_demand`` / ``prefetch``;
+- ``transfer_charging``        — pool ``load_on_demand`` / ``prefetch``
+  and columnar block issue;
 - ``eviction_scoring``         — ``pool._make_space`` victim selection;
 - ``policy_hooks``             — the policy's iteration/gate callbacks;
 - ``other``                    — everything else in the serve loop.
@@ -16,7 +17,11 @@ Phases nest (an on-demand load can trigger eviction scoring), so the
 profiler keeps a stack and attributes **self time**: entering a nested
 phase pauses the enclosing one.  Instrumentation is instance-level
 method wrapping on a throwaway engine — the same patching idiom the
-mutant harness uses — so nothing leaks into other runs.
+mutant harness uses — so nothing leaks into other runs.  Phase
+``calls`` count *logical scalar operations*, not Python invocations:
+one batched snapshot or prefetch block reports one call per expert it
+covered, so counts stay comparable across the columnar and scalar
+cores.
 
 ``run_profile`` executes a full world-build + warm + serve cycle under
 the timer and produces the ``BENCH_profile.json`` payload: per-phase
@@ -81,25 +86,47 @@ class PhaseTimer:
             self.seconds[top[0]] += now - top[1]
         self._stack.append([phase, now])
 
-    def pop(self) -> None:
-        """Leave the current phase, resuming its parent's clock."""
+    def pop(self, count: int = 1) -> None:
+        """Leave the current phase, resuming its parent's clock.
+
+        ``count`` is how many *logical scalar operations* the window
+        covered.  Batched phases (one array invocation classifying a
+        whole expert set, one block prefetch charging many transfers)
+        pass the element count so ``calls`` stays comparable between
+        the columnar core and the scalar reference — calls measure
+        work, not Python function invocations.
+        """
         now = time.perf_counter()
         phase, resumed_at = self._stack.pop()
         self.seconds[phase] += now - resumed_at
-        self.calls[phase] += 1
+        self.calls[phase] += count
         if self._stack:
             self._stack[-1][1] = now
 
-    def wrap(self, obj, attr: str, phase: str):
-        """Replace ``obj.attr`` with a timed wrapper (instance-level)."""
+    def wrap(self, obj, attr: str, phase: str, count=None):
+        """Replace ``obj.attr`` with a timed wrapper (instance-level).
+
+        ``count`` (optional) maps one invocation to its logical
+        operation count: called as ``count(args, kwargs, result)`` after
+        the original returns.  Nested same-phase calls made *inside* the
+        window already incremented ``calls``; the wrapper charges only
+        the remainder, so wrapping both a batched entry point and the
+        scalar helpers it delegates to never double-counts.
+        """
         original = getattr(obj, attr)
 
         def timed(*args, **kwargs):
+            before = self.calls[phase]
             self.push(phase)
+            n = 1
             try:
-                return original(*args, **kwargs)
+                result = original(*args, **kwargs)
+                if count is not None:
+                    n = count(args, kwargs, result)
+                return result
             finally:
-                self.pop()
+                inner = self.calls[phase] - before
+                self.pop(count=max(n - inner, 0) if count is not None else 1)
 
         setattr(obj, attr, timed)
         return timed
@@ -117,9 +144,26 @@ class PhaseTimer:
             return session
 
         engine.model.start_session = timed_start_session
-        self.wrap(engine, "_snapshot_hits", "hit_miss_classification")
+        # Batched phases report logical scalar-operation counts so the
+        # columnar core and the scalar reference profile comparably: one
+        # snapshot call classifies every expert the layer touches, and
+        # one prefetch block charges one transfer per block entry
+        # (entries already tracked count too — the scalar path pays a
+        # pool call for its "present" early return).
+        self.wrap(
+            engine,
+            "_snapshot_hits",
+            "hit_miss_classification",
+            count=lambda args, kwargs, result: len(result),
+        )
         self.wrap(engine.pool, "load_on_demand", "transfer_charging")
         self.wrap(engine.pool, "prefetch", "transfer_charging")
+        self.wrap(
+            engine,
+            "_issue_prefetch_block",
+            "transfer_charging",
+            count=lambda args, kwargs, result: len(args[1][0]),
+        )
         self.wrap(engine.pool, "_make_space", "eviction_scoring")
         for hook in (
             "on_iteration_start",

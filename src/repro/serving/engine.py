@@ -66,6 +66,15 @@ class PolicyAction:
     """Synchronous-prefetch semantics: compute stalls until every prefetch
     issued by this action has landed (Mixtral-Offloading, MoE-Infinity)."""
 
+    prefetch_block: tuple[np.ndarray, np.ndarray] | None = None
+    """Columnar alternative to ``prefetch``: a pair of equal-length arrays
+    (flat expert ids ``layer * J + j`` as int64, priorities as float64).
+    The engine issues the block in stable descending-priority order —
+    byte-identical to the equivalent instruction list, without one
+    ``PrefetchInstruction`` object per expert.  When both forms are set,
+    the block is materialized and appended to ``prefetch`` so a single
+    sort orders everything."""
+
 
 class IterationContext:
     """Progressively revealed view of the current iteration for policies."""
@@ -192,11 +201,16 @@ class ServingEngine:
         placement: str = "round-robin",
         faults: FaultSchedule | None = None,
         slo: SLOConfig | None = None,
+        columnar: bool = True,
     ) -> None:
         self.model = model
         self.config = model.config
         self.policy = policy
         self.hardware = hardware
+        self.columnar = columnar
+        """Route the hot loop through the batched (array-at-a-time) code
+        paths.  Results are byte-identical to the scalar paths; ``False``
+        keeps the legacy per-expert loops (the benchmark baseline)."""
         # An all-zero schedule must not perturb the healthy path, so it is
         # dropped entirely (no extra arithmetic anywhere).
         self.faults = (
@@ -213,6 +227,7 @@ class ServingEngine:
             cache_budget_bytes,
             placement=placement,
             faults=self.faults,
+            columnar=columnar,
         )
         self.pool.set_eviction_oracle(policy)
         self.pool.evict_listener = lambda expert: self._emit(
@@ -733,17 +748,27 @@ class ServingEngine:
             entry.metrics.misses += miss_delta
 
     def _layer_union(self, ctx: IterationContext, layer: int) -> list[ExpertId]:
+        activated = ctx.activated_at(layer)
+        if self.columnar and len(activated) == 1:
+            # Routing arrays are already sorted and unique per request, so
+            # a single-request union needs no set round-trip.
+            return [ExpertId(layer, int(j)) for j in activated[0]]
         union: set[int] = set()
-        for activated in ctx.activated_at(layer):
-            union.update(int(j) for j in activated)
+        for row in activated:
+            union.update(int(j) for j in row)
         return [ExpertId(layer, j) for j in sorted(union)]
 
     def _snapshot_hits(
         self, ctx: IterationContext, layer: int
     ) -> dict[ExpertId, bool]:
+        experts = self._layer_union(ctx, layer)
+        if self.columnar:
+            return dict(
+                zip(experts, self.pool.ready_flags(experts, self._now))
+            )
         return {
             expert: self.pool.is_ready(expert, self._now)
-            for expert in self._layer_union(ctx, layer)
+            for expert in experts
         }
 
     def _serve_layer(
@@ -764,6 +789,34 @@ class ServingEngine:
             expert_seconds *= self.faults.compute_multiplier(self._now)
         breakdown = report.breakdown
         telemetry = self._telemetry
+        if (
+            self.columnar
+            and self._recorder is None
+            and telemetry is None
+            and all(hits_at_gate.values())
+        ):
+            # All-hit layers (the steady state once prefetching warms up)
+            # need none of the miss machinery: hits stay ready for the
+            # whole layer because the pool protects them, so the per-expert
+            # readiness re-check, event emission, and stall handling are
+            # provably no-ops.  Serve callbacks and the virtual clock are
+            # folded locally in the same left-to-right order as the scalar
+            # loop, so every float lands bitwise identically.
+            count = len(experts)
+            if count:
+                report.hits += count
+                report.layer_hits[layer] += count
+                now = self._now
+                on_served = self.policy.on_expert_served
+                compute = breakdown.sync["compute"]
+                for expert in experts:
+                    on_served(expert, True, now)
+                    now += expert_seconds
+                    compute += expert_seconds
+                breakdown.sync["compute"] = compute
+                self._now = now
+            self.pool.protected = set()
+            return
         for expert in experts:
             hit = hits_at_gate[expert]
             serve_start = self._now
@@ -896,10 +949,30 @@ class ServingEngine:
         for name, seconds in action.async_overheads.items():
             breakdown.add_async(name, seconds)
             issue_time += seconds
-        if not action.prefetch or not self.prefetch_enabled:
+        if not self.prefetch_enabled:
+            return
+        block = action.prefetch_block
+        instructions = action.prefetch
+        if block is not None and instructions:
+            # Mixed form: materialize the block so one sort orders the
+            # combined set (rare — policies emit one form or the other).
+            width = self.config.experts_per_layer
+            ids, priorities = block
+            instructions = instructions + [
+                PrefetchInstruction(
+                    expert=ExpertId(int(i) // width, int(i) % width),
+                    priority=float(p),
+                )
+                for i, p in zip(ids, priorities)
+            ]
+            block = None
+        if block is not None:
+            self._issue_prefetch_block(action, block, breakdown, issue_time)
+            return
+        if not instructions:
             return
         ordered = sorted(
-            action.prefetch, key=lambda ins: ins.priority, reverse=True
+            instructions, key=lambda ins: ins.priority, reverse=True
         )
         load_seconds = self.hardware.expert_load_seconds(self.config)
         latest_arrival = self._now
@@ -912,6 +985,54 @@ class ServingEngine:
                 arrival = self.pool.arrival_time(instruction.expert)
                 if arrival is not None:
                     latest_arrival = max(latest_arrival, arrival)
+        if scheduled:
+            self._emit(EventKind.PREFETCH_ISSUED, detail=float(scheduled))
+        if action.block_until_arrival and latest_arrival > self._now:
+            breakdown.add_sync("sync_prefetch_wait", latest_arrival - self._now)
+            self._now = latest_arrival
+
+    def _issue_prefetch_block(
+        self,
+        action: PolicyAction,
+        block: tuple[np.ndarray, np.ndarray],
+        breakdown: LatencyBreakdown,
+        issue_time: float,
+    ) -> None:
+        """Issue a columnar prefetch block in descending-priority order.
+
+        Byte-identical to routing the same experts through the instruction
+        list: the stable argsort of negated priorities reproduces Python's
+        stable descending sort (ties keep emission order), and already
+        tracked experts are skipped with a dict-membership test — exactly
+        the pool's side-effect-free ``"present"`` early return.
+        """
+        ids, priorities = block
+        if len(ids) == 0:
+            return
+        order = np.argsort(-priorities, kind="stable")
+        width = self.config.experts_per_layer
+        pool = self.pool
+        tasks = pool._tasks
+        load_seconds = self.hardware.expert_load_seconds(self.config)
+        latest_arrival = self._now
+        scheduled = 0
+        # Read-modify-write outside the loop; .get keeps the key absent
+        # when nothing schedules, exactly like the legacy add_async calls.
+        transfer = breakdown.asynchronous.get("prefetch_transfer", 0.0)
+        for pos in order:
+            flat = int(ids[pos])
+            key = divmod(flat, width)
+            if key in tasks:
+                continue
+            expert = ExpertId(*key)
+            if pool.prefetch(expert, issue_time) == "scheduled":
+                scheduled += 1
+                transfer += load_seconds
+                arrival = pool.arrival_time(expert)
+                if arrival is not None and arrival > latest_arrival:
+                    latest_arrival = arrival
+        if scheduled:
+            breakdown.asynchronous["prefetch_transfer"] = transfer
         if scheduled:
             self._emit(EventKind.PREFETCH_ISSUED, detail=float(scheduled))
         if action.block_until_arrival and latest_arrival > self._now:

@@ -126,6 +126,7 @@ class TransferChannel:
         self._tasks.append(task)
         self._busy_until = end
         self.bytes_transferred += num_bytes
+        self._compact(issue_time)
         return task
 
     def load_urgent(
@@ -136,27 +137,43 @@ class TransferChannel:
         Pauses all queued tasks that have not started by ``now`` (shifting
         them back by the urgent copy's duration), waits for the in-flight
         transfer if any, then performs the copy.
+
+        One pass over the live tasks does all the bookkeeping: transfers
+        finished by ``now`` are dropped (they cannot be in flight, cannot
+        be paused — ``start <= end <= now`` — and cannot carry the maximum
+        pending end once the new copy, which ends later, is appended), so
+        the hot loop never rescans long-dead transfers.
         """
         self._check_alive()
         inflight_end = now
+        live: list[TransferTask] = []
+        queued: list[TransferTask] = []
         for task in self._tasks:
-            if task.end > now and task.start <= now:
-                inflight_end = max(inflight_end, task.end)
+            if task.end <= now:
+                continue
+            live.append(task)
+            if task.start <= now:
+                if task.end > inflight_end:
+                    inflight_end = task.end
+            else:
+                queued.append(task)
         start = max(now, inflight_end)
         end = self._wire_end(start, num_bytes)
         duration = end - start
-        for task in self._tasks:
-            if task.start > now:
-                task.start += duration
-                task.end += duration
+        busy = end
+        for task in queued:
+            task.start += duration
+            task.end += duration
+            if task.end > busy:
+                busy = task.end
         task = TransferTask(
             expert=expert, start=start, end=end, num_bytes=num_bytes
         )
-        self._tasks.append(task)
-        self._busy_until = max((t.end for t in self._tasks), default=end)
+        live.append(task)
+        self._tasks = live
+        self._busy_until = busy
         self.bytes_transferred += num_bytes
         self.urgent_loads += 1
-        self._compact(now)
         return task
 
     def cancel(self, task: TransferTask, now: float) -> bool:

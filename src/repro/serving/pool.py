@@ -18,7 +18,9 @@ visibility.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Protocol
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
 
 from repro.errors import (
     CapacityError,
@@ -34,7 +36,18 @@ from repro.types import ExpertId
 
 
 class EvictionOracle(Protocol):
-    """Scores eviction candidates; higher scores are evicted first."""
+    """Scores eviction candidates; higher scores are evicted first.
+
+    An oracle may additionally expose the batched form
+
+        ``score_evictions(flat: np.ndarray, now: float) -> np.ndarray | None``
+
+    taking flat ``layer * experts_per_layer + expert`` indices and
+    returning one float64 score per candidate (or None to decline).  The
+    pool uses it to score a whole candidate set in one call; oracles
+    without it (third-party scalar policies) transparently fall back to
+    the per-candidate :meth:`eviction_priority` loop.
+    """
 
     def eviction_priority(self, expert: ExpertId, now: float) -> float:
         """Score an eviction candidate; higher is evicted first."""
@@ -80,6 +93,9 @@ class PoolStats:
 #: Supported expert-to-GPU placement strategies.
 PLACEMENT_STRATEGIES = ("round-robin", "layer-sharded", "hashed")
 
+#: Sentinel distinguishing "untracked" from a preloaded (None) task.
+_ABSENT = object()
+
 
 class ExpertPool:
     """Residency manager for all offloadable experts of one model."""
@@ -92,6 +108,7 @@ class ExpertPool:
         placement: str = "round-robin",
         faults: FaultSchedule | None = None,
         retry_policy: RetryPolicy | None = None,
+        columnar: bool = True,
     ) -> None:
         if cache_budget_bytes <= 0:
             raise ConfigError("cache budget must be > 0")
@@ -107,6 +124,7 @@ class ExpertPool:
                 f"({per_device} < {model.expert_bytes} bytes)"
             )
         self.model = model
+        self._expert_bytes = model.expert_bytes
         self.hardware = hardware
         self.cache_budget_bytes = cache_budget_bytes
         self.devices = [
@@ -129,6 +147,11 @@ class ExpertPool:
         # placement function alone cannot recover it once a device has
         # failed and later loads were re-homed onto survivors.
         self._home: dict[ExpertId, int] = {}
+        self.columnar = columnar
+        """When False, eviction scoring ignores any dense score matrix the
+        oracle exposes and calls ``eviction_priority`` once per candidate —
+        the scalar reference interpreter the engine benchmark compares
+        against."""
         self._oracle: EvictionOracle = _EvictNothing()
         self.protected: set[ExpertId] = set()
         self.stats = PoolStats()
@@ -209,6 +232,26 @@ class ExpertPool:
         arrival = self.arrival_time(expert)
         return arrival is not None and arrival <= now
 
+    def ready_flags(self, experts: Sequence[ExpertId], now: float) -> list[bool]:
+        """Batched :meth:`is_ready`: one bool per expert, in order.
+
+        Reads the same live task objects, so an urgent load that pauses a
+        queued prefetch delays its visibility here exactly as it does for
+        the scalar query.
+        """
+        tasks = self._tasks
+        flags: list[bool] = []
+        append = flags.append
+        for expert in experts:
+            task = tasks.get(expert, _ABSENT)
+            if task is _ABSENT:
+                append(False)
+            elif task is None:
+                append(True)
+            else:
+                append(task.end <= now)
+        return flags
+
     def used_bytes(self) -> int:
         """Total bytes of resident + in-flight expert reservations."""
         return sum(d.used_bytes for d in self.devices)
@@ -227,11 +270,11 @@ class ExpertPool:
             if expert in self._tasks:
                 continue
             device = self.device_of(expert)
-            if device.free_bytes() < self.model.expert_bytes:
+            if device.free_bytes() < self._expert_bytes:
                 raise CapacityError(
                     f"preload of {expert} exceeds GPU {device.index} budget"
                 )
-            device.used_bytes += self.model.expert_bytes
+            device.used_bytes += self._expert_bytes
             device.resident.add(expert)
             self._tasks[expert] = None
             self._home[expert] = device.index
@@ -247,19 +290,19 @@ class ExpertPool:
         if expert in self._tasks:
             return "present"
         device = self.device_of(expert)
-        if not self._make_space(device, self.model.expert_bytes, issue_time):
+        if not self._make_space(device, self._expert_bytes, issue_time):
             self.stats.prefetch_rejected += 1
             return "rejected"
         try:
             task = device.channel.schedule(
-                issue_time, self.model.expert_bytes, expert
+                issue_time, self._expert_bytes, expert
             )
         except TransferError:
             # The link burned its retry budget; the reservation was never
             # taken, so simply report the loss (the policy may try again).
             self.stats.prefetch_failed += 1
             return "failed"
-        device.used_bytes += self.model.expert_bytes
+        device.used_bytes += self._expert_bytes
         device.resident.add(expert)
         self._tasks[expert] = task
         self._home[expert] = device.index
@@ -280,10 +323,10 @@ class ExpertPool:
             return True
         device = self.device_of(expert)
         if not self._make_space(
-            device, self.model.expert_bytes, now, urgent=True
+            device, self._expert_bytes, now, urgent=True
         ):
             return False
-        device.used_bytes += self.model.expert_bytes
+        device.used_bytes += self._expert_bytes
         device.resident.add(expert)
         self._tasks[expert] = TransferTask(expert=expert, start=now, end=now)
         self._home[expert] = device.index
@@ -297,7 +340,7 @@ class ExpertPool:
             return max(arrival, now)
         device = self.device_of(expert)
         while not self._make_space(
-            device, self.model.expert_bytes, now, urgent=True
+            device, self._expert_bytes, now, urgent=True
         ):
             # Everything evictable is still on the wire: wait for the
             # earliest unprotected transfer to land, then it is fair game.
@@ -316,9 +359,9 @@ class ExpertPool:
                 )
             now = min(pending)
         task = device.channel.load_urgent(
-            now, self.model.expert_bytes, expert
+            now, self._expert_bytes, expert
         )
-        device.used_bytes += self.model.expert_bytes
+        device.used_bytes += self._expert_bytes
         device.resident.add(expert)
         self._tasks[expert] = task
         self._home[expert] = device.index
@@ -333,7 +376,7 @@ class ExpertPool:
             return
         device = self._home_of(expert)
         device.resident.discard(expert)
-        device.used_bytes -= self.model.expert_bytes
+        device.used_bytes -= self._expert_bytes
         del self._tasks[expert]
         self._home.pop(expert, None)
         self.stats.evictions += 1
@@ -415,14 +458,79 @@ class ExpertPool:
         """
         if device.free_bytes() >= needed_bytes:
             return True
-        candidates = [
-            e
-            for e in device.resident
-            if e not in self.protected and self.is_ready(e, now)
-        ]
-        candidates.sort(
-            key=lambda e: self._oracle.eviction_priority(e, now), reverse=True
-        )
+        # Readiness inlined (resident experts are always tracked): the
+        # scan touches every resident on every space-needing call, so the
+        # per-candidate method-call overhead of ``is_ready`` matters.
+        protected = self.protected
+        tasks = self._tasks
+        # Columnar scoring when the oracle exposes its dense score
+        # matrix: victim order comes from O(1) array lookups instead of
+        # one Python scoring call per candidate.  Small candidate sets
+        # sort with the matrix as the key function (numpy per-op overhead
+        # would dominate); large ones go through one stable argsort of
+        # the gathered scores.  ``sorted(key=score, reverse=True)`` and a
+        # stable argsort of the negated scores order ties identically
+        # (original candidate order), so every path evicts the same
+        # victims as the scalar loop.
+        matrix = None
+        if self.columnar:
+            dense = getattr(self._oracle, "eviction_score_matrix", None)
+            if dense is not None:
+                matrix = dense(now)
+        if (
+            matrix is not None
+            and device.free_bytes() + self._expert_bytes >= needed_bytes
+        ):
+            # One eviction suffices (every request is for one equal-sized
+            # expert, so this is nearly every call): take the first strict
+            # maximum in residency-set iteration order — exactly the
+            # stable descending sort's first victim — without building or
+            # sorting a candidate list.
+            width = self.model.experts_per_layer
+            best = None
+            best_score = float("-inf")
+            for e in device.resident:
+                if e in protected:
+                    continue
+                task = tasks[e]
+                if task is not None and task.end > now:
+                    continue
+                score = matrix[e.layer * width + e.expert]
+                if score > best_score:
+                    best_score = score
+                    best = e
+            if best is not None:
+                self.evict(best)
+                return True
+            candidates = []
+        else:
+            candidates = [
+                e
+                for e in device.resident
+                if e not in protected
+                and ((task := tasks[e]) is None or task.end <= now)
+            ]
+        if matrix is not None:
+            if len(candidates) >= 32:
+                width = self.model.experts_per_layer
+                flat = np.fromiter(
+                    (e.layer * width + e.expert for e in candidates),
+                    dtype=np.intp,
+                    count=len(candidates),
+                )
+                order = np.argsort(-matrix[flat], kind="stable")
+                candidates = [candidates[i] for i in order]
+            else:
+                width = self.model.experts_per_layer
+                candidates.sort(
+                    key=lambda e: matrix[e.layer * width + e.expert],
+                    reverse=True,
+                )
+        else:
+            candidates.sort(
+                key=lambda e: self._oracle.eviction_priority(e, now),
+                reverse=True,
+            )
         for victim in candidates:
             self.evict(victim)
             if device.free_bytes() >= needed_bytes:
@@ -443,7 +551,7 @@ class ExpertPool:
                 if not device.channel.cancel(task, now):
                     continue
                 device.resident.discard(expert)
-                device.used_bytes -= self.model.expert_bytes
+                device.used_bytes -= self._expert_bytes
                 del self._tasks[expert]
                 self._home.pop(expert, None)
                 self.stats.prefetch_cancelled += 1

@@ -55,7 +55,11 @@ def _eviction_leak(engine: "ServingEngine") -> None:
 
 def _phantom_ready(engine: "ServingEngine") -> None:
     """The cache vouches for experts it never loaded."""
-    engine.pool.is_ready = lambda expert, now: True
+    pool = engine.pool
+    pool.is_ready = lambda expert, now: True
+    # The columnar engine asks for readiness in one batched call; the lie
+    # must cover both query forms or the mutant only fools the scalar path.
+    pool.ready_flags = lambda experts, now: [True] * len(experts)
 
 
 def _clock_rewind(engine: "ServingEngine") -> None:
@@ -97,6 +101,7 @@ class _PrefetchStripper:
     def _strip(self, action):
         if action is not None:
             action.prefetch = []
+            action.prefetch_block = None
         return action
 
     def on_iteration_start(self, ctx):

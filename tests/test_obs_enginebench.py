@@ -1,0 +1,105 @@
+"""Engine benchmark: payload schema, the CI gate, and the committed file.
+
+The expensive measurement itself is exercised by the CI
+engine-bench-smoke job and by ``benchmarks/BENCH_engine.json``; here we
+pin the validator's teeth (every failure mode it claims to catch) and
+that the committed payload passes its own gate — including the per-cell
+``reports_identical`` contract the parity suite enforces dynamically.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs.enginebench import (
+    CELL_KEYS,
+    ENGINE_BENCH_SCHEMA,
+    REQUIRED_KEYS,
+    check_engine_bench_payload,
+    run_engine_bench,
+    write_engine_bench,
+)
+
+COMMITTED = Path(__file__).parent.parent / "benchmarks" / "BENCH_engine.json"
+
+
+@pytest.fixture(scope="module")
+def committed():
+    return json.loads(COMMITTED.read_text())
+
+
+class TestCommittedPayload:
+    def test_passes_its_own_gate(self, committed):
+        assert check_engine_bench_payload(committed) == []
+
+    def test_clears_the_ci_floor(self, committed):
+        """The committed measurement satisfies the smoke job's gate."""
+        assert check_engine_bench_payload(committed, min_speedup=5.0) == []
+
+    def test_covers_both_default_models(self, committed):
+        assert set(committed["models"]) == {"mixtral-8x7b", "qwen1.5-moe"}
+        for block in committed["models"].values():
+            for cell in block["by_batch_size"].values():
+                for key in CELL_KEYS:
+                    assert key in cell
+                assert cell["reports_identical"] is True
+                assert cell["speedup"] > 1.0
+
+
+class TestCheckGate:
+    def test_missing_key_reported(self, committed):
+        for key in REQUIRED_KEYS:
+            payload = copy.deepcopy(committed)
+            del payload[key]
+            assert any(key in p for p in check_engine_bench_payload(payload))
+
+    def test_schema_mismatch_reported(self, committed):
+        payload = copy.deepcopy(committed)
+        payload["schema"] = "something-else"
+        assert any(
+            "schema" in p for p in check_engine_bench_payload(payload)
+        )
+        assert ENGINE_BENCH_SCHEMA == "repro-engine-bench/v1"
+
+    def test_parity_break_reported(self, committed):
+        payload = copy.deepcopy(committed)
+        block = payload["models"]["qwen1.5-moe"]["by_batch_size"]
+        next(iter(block.values()))["reports_identical"] = False
+        assert any(
+            "differ" in p for p in check_engine_bench_payload(payload)
+        )
+
+    def test_speedup_floor_enforced(self, committed):
+        assert check_engine_bench_payload(committed, min_speedup=0.0) == []
+        problems = check_engine_bench_payload(committed, min_speedup=1e9)
+        assert any("below floor" in p for p in problems)
+
+    def test_empty_models_reported(self, committed):
+        payload = copy.deepcopy(committed)
+        payload["models"] = {}
+        assert any(
+            "no models" in p for p in check_engine_bench_payload(payload)
+        )
+
+
+class TestRunValidation:
+    def test_repeats_validated(self):
+        with pytest.raises(TelemetryError):
+            run_engine_bench(repeats=0)
+
+    def test_empty_grid_validated(self):
+        with pytest.raises(TelemetryError):
+            run_engine_bench(worlds=())
+        with pytest.raises(TelemetryError):
+            run_engine_bench(batch_sizes=())
+
+
+def test_write_round_trips(committed, tmp_path):
+    path = write_engine_bench(committed, tmp_path / "BENCH_engine.json")
+    assert json.loads(path.read_text()) == committed
+    assert path.read_text().endswith("\n")

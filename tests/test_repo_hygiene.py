@@ -1,0 +1,51 @@
+"""Repository hygiene: no build artifacts in the tracked tree.
+
+``__pycache__`` directories are interpreter droppings; one once ended up
+sitting in ``benchmarks/`` and shadowing review diffs.  The tracked file
+list is the contract — anything a clone receives must be source, not
+bytecode.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _tracked_files() -> list[str]:
+    result = subprocess.run(
+        ["git", "ls-files"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        pytest.skip("not a git checkout")
+    return result.stdout.splitlines()
+
+
+def test_no_pycache_is_git_tracked():
+    offenders = [
+        path
+        for path in _tracked_files()
+        if "__pycache__" in Path(path).parts
+    ]
+    assert not offenders, (
+        "bytecode caches are tracked — `git rm -r --cached` them: "
+        + ", ".join(offenders)
+    )
+
+
+def test_no_compiled_bytecode_is_git_tracked():
+    offenders = [
+        path
+        for path in _tracked_files()
+        if path.endswith((".pyc", ".pyo"))
+    ]
+    assert not offenders, "compiled bytecode is tracked: " + ", ".join(
+        offenders
+    )
