@@ -1,0 +1,87 @@
+"""Extension: cost-aware expert placement on heterogeneous fleets.
+
+Runs the fleet-shape sweep — three heterogeneous fleets (mixed-bandwidth,
+spot-heavy, single-fast-node), each A/B'd at equal seeds with uniform
+placement + least-outstanding routing vs. cost-aware placement +
+cost-aware routing — and records both arms of every shape in
+``benchmarks/BENCH_fleet.json``.
+
+The headline claim (ROADMAP #3): on identical hardware, price, trace,
+and seed, the placement/routing co-design strictly wins SLO attainment
+per dollar on at least two of the three shapes, and never loses mean
+TTFT on any.  The SLO deadline comes from a healthy homogeneous
+reference run's p95 (multiplier 1.0 — the regime where the arms
+separate; laxer deadlines saturate both at full attainment).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from _util import emit, run_once
+from conftest import BENCH_CONFIG
+
+from repro.experiments.fleet import FLEET_ARMS, fleet_rows
+
+TRACE_REQUESTS = 24
+RESULT_PATH = Path(__file__).parent / "BENCH_fleet.json"
+
+
+def test_ext_fleet_shapes(benchmark):
+    def experiment():
+        return fleet_rows(
+            config=BENCH_CONFIG,
+            trace_requests=TRACE_REQUESTS,
+            validate=True,
+        )
+
+    rows = run_once(benchmark, experiment)
+
+    by_cell = {(r.shape, r.arm): r for r in rows}
+    shapes = sorted({r.shape for r in rows})
+    slo_wins = sum(
+        1
+        for name in shapes
+        if by_cell[(name, "cost-aware")].slo_per_dollar
+        > by_cell[(name, "uniform")].slo_per_dollar
+    )
+    result = {
+        "benchmark": "fleet_shapes",
+        "model": BENCH_CONFIG.model_name,
+        "dataset": BENCH_CONFIG.dataset,
+        "seed": BENCH_CONFIG.seed,
+        "trace_requests": TRACE_REQUESTS,
+        "deadline_seconds": round(rows[0].deadline_seconds, 6),
+        "cost_aware_wins": slo_wins,
+        "shapes": shapes,
+        "rows": [asdict(r) for r in rows],
+    }
+    RESULT_PATH.write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n"
+    )
+
+    emit("ext_fleet_shapes", [r.format() for r in rows])
+
+    assert len(rows) == len(shapes) * len(FLEET_ARMS)
+    for name in shapes:
+        uniform = by_cell[(name, "uniform")]
+        cost_aware = by_cell[(name, "cost-aware")]
+        # Both arms price the identical fleet: the comparison isolates
+        # exactly the placement/routing co-design.
+        assert cost_aware.dollars_per_hour == uniform.dollars_per_hour
+        assert cost_aware.deadline_seconds == uniform.deadline_seconds
+        # Outcome accounting conserves the trace on both arms.
+        for arm in (uniform, cost_aware):
+            assert arm.served + arm.shed == TRACE_REQUESTS
+            # The hill-climb never worsens its greedy seed.
+            assert arm.placement_cost <= arm.placement_seed_cost + 1e-9
+            assert arm.preloaded > 0
+        # The co-design never loses mean TTFT on any shape.
+        assert (
+            cost_aware.mean_ttft_seconds
+            <= uniform.mean_ttft_seconds + 1e-9
+        )
+    # The headline: strictly better SLO-per-dollar on >= 2 of 3 shapes.
+    assert slo_wins >= 2

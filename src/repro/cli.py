@@ -14,6 +14,8 @@ Commands:
 - ``cluster``  — multi-replica cluster simulation with affinity routing
   (``--chaos`` / ``--resilience`` engage the cluster resilience layer).
 - ``storm-lite`` — resilience off vs. on under cluster-scope chaos.
+- ``fleet``    — heterogeneous fleet-shape sweep: cost-aware placement +
+  routing vs. the uniform baseline, scored as SLO attainment per dollar.
 - ``grid``     — sweep (model, dataset, system, budget) grids to CSV.
 - ``report``   — collate ``benchmarks/results`` into one markdown report.
 - ``profile``  — save traces / a warm store, or (``--quick`` /
@@ -49,7 +51,12 @@ POLICY_CHOICES = (
     "no-offload",
     "oracle",
 )
-ROUTER_CHOICES = ("round-robin", "least-outstanding", "semantic-affinity")
+ROUTER_CHOICES = (
+    "round-robin",
+    "least-outstanding",
+    "semantic-affinity",
+    "cost-aware",
+)
 
 
 def _prefix_choice(choices: tuple[str, ...]):
@@ -576,6 +583,11 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                   f"choose from: {known}")
             return 2
         cluster_faults = scenarios[args.chaos].cluster_faults
+    profiles = None
+    if args.profiles:
+        from repro.cluster import get_profile
+
+        profiles = tuple(get_profile(name) for name in args.profiles)
     spec = ClusterSpec(
         replicas=args.replicas,
         router=args.router,
@@ -583,6 +595,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         warm=not args.cold,
         autoscaler=autoscaler,
         resilience=ResilienceConfig() if args.resilience else None,
+        profiles=profiles,
+        placement=args.placement,
     )
     world = build_world(config)
     trace = _scaling_trace(config, args.trace_requests, args.rate)
@@ -629,6 +643,16 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             f"crashes={res.crashes} restarts={res.restarts} "
             f"lost={res.lost_in_flight}"
         )
+    if report.fleet is not None:
+        fleet = report.fleet
+        names = "/".join(row["profile"] for row in fleet.profiles)
+        print(
+            f"  fleet: {names} ${fleet.dollars_per_hour:.2f}/h "
+            f"placement={fleet.placement} "
+            f"cost={fleet.placement_cost:.4f} "
+            f"(seed {fleet.placement_seed_cost:.4f}) "
+            f"preloaded={sum(r['preloaded'] for r in fleet.profiles)}"
+        )
     if report.scale_events:
         for event in report.scale_events:
             print(
@@ -672,6 +696,66 @@ def cmd_storm_lite(args: argparse.Namespace) -> int:
     )
     for row in rows:
         print(row.format())
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Heterogeneous fleet sweep: SLO-per-dollar, uniform vs. cost-aware."""
+    import json
+    from dataclasses import asdict
+    from pathlib import Path
+
+    from repro.experiments.fleet import default_fleet_shapes, fleet_rows
+
+    config = _config_from_args(args)
+    shapes = default_fleet_shapes()
+    if args.shapes:
+        by_name = {s.name: s for s in shapes}
+        unknown = [name for name in args.shapes if name not in by_name]
+        if unknown:
+            known = ", ".join(sorted(by_name))
+            print(f"unknown shape(s) {unknown}; choose from: {known}")
+            return 2
+        shapes = tuple(by_name[name] for name in args.shapes)
+    rows = fleet_rows(
+        shapes=shapes,
+        config=config,
+        system=args.system,
+        trace_requests=args.trace_requests,
+        rate_seconds=args.rate,
+        deadline_multiplier=args.deadline_multiplier,
+        jobs=args.jobs,
+        executor=args.executor,
+        validate=args.validate,
+    )
+    for row in rows:
+        print(row.format())
+    wins = sum(
+        1
+        for i in range(0, len(rows), 2)
+        if rows[i + 1].slo_per_dollar > rows[i].slo_per_dollar
+    )
+    print(
+        f"cost-aware strictly wins SLO-per-dollar on {wins} of "
+        f"{len(rows) // 2} fleet shapes"
+    )
+    if args.bench_out:
+        payload = {
+            "experiment": "fleet",
+            "model": config.model_name,
+            "dataset": config.dataset,
+            "seed": config.seed,
+            "trace_requests": args.trace_requests,
+            "deadline_seconds": rows[0].deadline_seconds if rows else 0.0,
+            "cost_aware_wins": wins,
+            "shapes": len(rows) // 2,
+            "rows": [asdict(row) for row in rows],
+        }
+        path = Path(args.bench_out)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {path}")
     return 0
 
 
@@ -1041,6 +1125,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the cluster resilience layer (admission control, "
         "degradation ladder, retry budgets, circuit breakers)",
     )
+    p.add_argument(
+        "--profiles",
+        nargs="*",
+        default=None,
+        help="per-replica hardware profile names (replica i uses "
+        "profiles[i %% len]); e.g. fast-nvlink slow-pcie3",
+    )
+    p.add_argument(
+        "--placement",
+        default=None,
+        choices=("uniform", "cost-aware"),
+        help="pre-warm each replica's expert cache from a placement plan",
+    )
     p.add_argument("--trace-requests", type=int, default=24)
     p.add_argument("--rate", type=float, default=1.0)
     p.add_argument(
@@ -1075,6 +1172,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_validate_arg(p)
     _add_jobs_arg(p)
     p.set_defaults(func=cmd_storm_lite)
+
+    p = sub.add_parser(
+        "fleet",
+        help="heterogeneous fleet sweep: SLO-per-dollar, "
+        "uniform vs. cost-aware placement + routing",
+    )
+    _add_world_args(p)
+    p.add_argument(
+        "--system", default="fmoe", type=_prefix_choice(POLICY_CHOICES)
+    )
+    p.add_argument(
+        "--shapes",
+        nargs="*",
+        default=None,
+        help="subset of fleet shape names (default: all three)",
+    )
+    p.add_argument("--trace-requests", type=int, default=24)
+    p.add_argument("--rate", type=float, default=1.0)
+    p.add_argument(
+        "--deadline-multiplier",
+        type=float,
+        default=1.0,
+        help="SLO deadline as a multiple of the homogeneous reference's "
+        "p95 latency",
+    )
+    p.add_argument(
+        "--bench-out",
+        default=None,
+        help="write the sweep as JSON (e.g. benchmarks/BENCH_fleet.json)",
+    )
+    _add_validate_arg(p)
+    _add_jobs_arg(p)
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
         "profile",

@@ -36,11 +36,21 @@ class Autoscaler:
     def __init__(self, config: AutoscalerConfig) -> None:
         self.config = config
         self._ttfts: deque[float] = deque(maxlen=config.ttft_window)
+        self._replica_ttfts: dict[int, deque[float]] = {}
         self._last_action_at: float | None = None
 
-    def observe_ttft(self, ttft: float) -> None:
-        """Feed one finished request's TTFT into the sliding window."""
+    def observe_ttft(self, ttft: float, replica_id: int | None = None) -> None:
+        """Feed one finished request's TTFT into the sliding window(s).
+
+        ``replica_id`` additionally files the sample under that replica's
+        private window, which the price-aware drain policy scores."""
         self._ttfts.append(ttft)
+        if replica_id is not None:
+            window = self._replica_ttfts.get(replica_id)
+            if window is None:
+                window = deque(maxlen=self.config.ttft_window)
+                self._replica_ttfts[replica_id] = window
+            window.append(ttft)
 
     def _in_cooldown(self, now: float) -> bool:
         """Whether a recent action still blocks the next one."""
@@ -83,10 +93,40 @@ class Autoscaler:
             return "down"
         return None
 
+    def slo_per_dollar(self, replica: Replica) -> float:
+        """Observed SLO-goodness of one replica divided by its $/hour.
+
+        Goodness is the fraction of the replica's recent TTFT window at
+        or under ``ttft_good_seconds`` (1.0 when the threshold is unset,
+        and as an optimistic prior when the replica has served nothing
+        yet — a fresh replica should not be first against the wall)."""
+        window = self._replica_ttfts.get(replica.replica_id)
+        good = self.config.ttft_good_seconds
+        if good is None or not window:
+            fraction = 1.0
+        else:
+            fraction = sum(1 for t in window if t <= good) / len(window)
+        return fraction / replica.profile.dollars_per_hour
+
     def pick_drain_target(
         self, now: float, routable: list[Replica]
     ) -> Replica:
-        """The replica a scale-down should drain: least loaded, id-tied."""
+        """The replica a scale-down should drain.
+
+        Default policy: least loaded, replica id breaks ties.  Price-aware
+        policy: worst observed SLO-per-dollar, spot replicas break ties
+        first (they are the capacity you planned to give back), then
+        replica id — so a cheap slow box only survives a fast expensive
+        one if it is actually delivering latency per dollar."""
+        if self.config.price_aware:
+            return min(
+                routable,
+                key=lambda r: (
+                    self.slo_per_dollar(r),
+                    0 if r.profile.spot else 1,
+                    r.replica_id,
+                ),
+            )
         return min(
             routable,
             key=lambda r: (r.outstanding_tokens(now), r.replica_id),

@@ -7,16 +7,145 @@ this module must be importable without pulling in the serving stack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serving.hardware import HardwareConfig
 
 #: Pluggable routing policies the cluster driver knows how to build.
 ROUTER_NAMES: tuple[str, ...] = (
     "round-robin",
     "least-outstanding",
     "semantic-affinity",
+    "cost-aware",
 )
+
+#: Expert-placement strategies the cluster driver knows how to build.
+PLACEMENT_NAMES: tuple[str, ...] = (
+    "uniform",
+    "cost-aware",
+)
+
+
+@dataclass(frozen=True)
+class ReplicaProfile:
+    """Per-replica hardware description, expressed as deltas.
+
+    A profile scales the world's base :class:`HardwareConfig` rather than
+    replacing it, so fleet shapes stay portable across models and testbeds.
+    Every scale defaults to ``1.0`` — and because ``x * 1.0 == x`` exactly
+    in IEEE-754, a default profile derives a hardware config that is
+    *equal* to the base, which is what keeps a homogeneous-profile fleet
+    byte-identical to the legacy identical-replica cluster by construction.
+
+    ``dollars_per_hour`` and ``spot`` feed the price-aware autoscaler and
+    the SLO-per-dollar fleet benchmark; they never touch latency.
+    """
+
+    name: str = "baseline"
+    pcie_scale: float = 1.0
+    """Host-to-device interconnect bandwidth multiplier (NVLink-class
+    hosts raise it; PCIe 3.0-era boxes lower it)."""
+
+    vram_scale: float = 1.0
+    """Per-GPU memory multiplier; also scales the replica's expert-cache
+    budget."""
+
+    flops_scale: float = 1.0
+    membw_scale: float = 1.0
+    dollars_per_hour: float = 1.0
+    spot: bool = False
+    """Spot-preemptible capacity: cheaper, first in line for retirement
+    when the price-aware autoscaler scales down."""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("profile name must be non-empty")
+        for field_name in (
+            "pcie_scale",
+            "vram_scale",
+            "flops_scale",
+            "membw_scale",
+            "dollars_per_hour",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ConfigError(f"{field_name} must be > 0")
+
+    @property
+    def is_default(self) -> bool:
+        """True when the profile leaves the base hardware untouched."""
+        return (
+            self.pcie_scale == 1.0
+            and self.vram_scale == 1.0
+            and self.flops_scale == 1.0
+            and self.membw_scale == 1.0
+        )
+
+    def apply(self, base: "HardwareConfig") -> "HardwareConfig":
+        """Derive this replica's hardware from the fleet's base config."""
+        if self.is_default:
+            return base
+        return replace(
+            base,
+            pcie_bandwidth_bps=base.pcie_bandwidth_bps * self.pcie_scale,
+            gpu_memory_bytes=int(base.gpu_memory_bytes * self.vram_scale),
+            gpu_flops=base.gpu_flops * self.flops_scale,
+            gpu_memory_bandwidth_bps=(
+                base.gpu_memory_bandwidth_bps * self.membw_scale
+            ),
+        )
+
+    def scale_budget(self, cache_budget_bytes: int) -> int:
+        """Scale the fleet-wide expert-cache budget to this replica."""
+        if self.vram_scale == 1.0:
+            return cache_budget_bytes
+        return int(cache_budget_bytes * self.vram_scale)
+
+
+#: Named fleet building blocks used by the CLI, tests, and benchmarks.
+REPLICA_PROFILES: dict[str, ReplicaProfile] = {
+    "baseline": ReplicaProfile(),
+    "fast-nvlink": ReplicaProfile(
+        name="fast-nvlink",
+        pcie_scale=4.0,
+        flops_scale=1.5,
+        membw_scale=1.2,
+        dollars_per_hour=3.2,
+    ),
+    "slow-pcie3": ReplicaProfile(
+        name="slow-pcie3",
+        pcie_scale=0.5,
+        flops_scale=0.8,
+        dollars_per_hour=0.6,
+    ),
+    "spot-small": ReplicaProfile(
+        name="spot-small",
+        pcie_scale=0.5,
+        vram_scale=0.5,
+        flops_scale=0.7,
+        dollars_per_hour=0.35,
+        spot=True,
+    ),
+    "big-vram": ReplicaProfile(
+        name="big-vram",
+        vram_scale=2.0,
+        dollars_per_hour=2.0,
+    ),
+}
+
+
+def get_profile(name: str) -> ReplicaProfile:
+    """Look up a named replica profile (:data:`REPLICA_PROFILES`)."""
+    try:
+        return REPLICA_PROFILES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown replica profile {name!r}; "
+            f"choose from: {', '.join(sorted(REPLICA_PROFILES))}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -51,6 +180,16 @@ class AutoscalerConfig:
     ttft_window: int = 16
     """Recently finished requests the p95-TTFT signal is computed over."""
 
+    price_aware: bool = False
+    """Retire the worst SLO-per-dollar replica instead of the least
+    loaded one when scaling down (spot replicas break ties first), using
+    per-replica TTFT windows scored against ``ttft_good_seconds``."""
+
+    ttft_good_seconds: float | None = None
+    """TTFT at or below which a request counts as *good* for the
+    price-aware SLO-per-dollar score (None: every served request is
+    good, so the score reduces to 1 / dollars-per-hour)."""
+
     def __post_init__(self) -> None:
         if self.min_replicas < 1:
             raise ConfigError("min_replicas must be >= 1")
@@ -69,6 +208,8 @@ class AutoscalerConfig:
             raise ConfigError("cooldown_seconds must be >= 0")
         if self.ttft_window < 1:
             raise ConfigError("ttft_window must be >= 1")
+        if self.ttft_good_seconds is not None and self.ttft_good_seconds <= 0:
+            raise ConfigError("ttft_good_seconds must be > 0 (or None)")
 
 
 @dataclass(frozen=True)
@@ -238,6 +379,17 @@ class ClusterSpec:
     retry budgets, hedged dispatch, circuit breakers).  ``None`` keeps
     the legacy dispatch path and byte-identical reports."""
 
+    profiles: tuple[ReplicaProfile, ...] | None = None
+    """Per-replica hardware profiles; replica ``i`` (including replicas
+    spawned later by the autoscaler) uses ``profiles[i % len(profiles)]``.
+    ``None`` keeps every replica on the world's base hardware and the
+    legacy byte-identical report shape."""
+
+    placement: str | None = None
+    """Expert-placement strategy pre-warming each replica's cache from a
+    :class:`~repro.cluster.placement.PlacementPlan` (``None``: no plan,
+    legacy behaviour)."""
+
     def __post_init__(self) -> None:
         if self.replicas < 1:
             raise ConfigError("replicas must be >= 1")
@@ -248,3 +400,19 @@ class ClusterSpec:
             )
         if self.fault_replica is not None and self.fault_replica < 0:
             raise ConfigError("fault_replica must be >= 0")
+        if self.profiles is not None and len(self.profiles) == 0:
+            raise ConfigError("profiles must be non-empty (or None)")
+        if (
+            self.placement is not None
+            and self.placement not in PLACEMENT_NAMES
+        ):
+            raise ConfigError(
+                f"unknown placement {self.placement!r}; "
+                f"choose from: {', '.join(PLACEMENT_NAMES)}"
+            )
+
+    def profile_for(self, replica_id: int) -> ReplicaProfile:
+        """Profile of replica ``replica_id`` (baseline when unset)."""
+        if self.profiles is None:
+            return REPLICA_PROFILES["baseline"]
+        return self.profiles[replica_id % len(self.profiles)]

@@ -30,12 +30,14 @@ from repro.cluster.metrics import (
     BreakerTransition,
     ClusterReport,
     DispatchRecord,
+    FleetReport,
     RecoveryEvent,
     ReplicaSummary,
     RequestOutcome,
     ResilienceReport,
     ScaleEvent,
 )
+from repro.cluster.placement import build_plan, demand_from_traces
 from repro.cluster.replica import Replica
 from repro.cluster.resilience import (
     BREAKER_CLOSED,
@@ -125,7 +127,34 @@ class ClusterDriver:
         self.slo_tracker = slo_tracker
         self._suites: dict[int, object] = {}
         self.violations: list = []
-        self.router = make_router(spec.router)
+        # Heterogeneous-fleet mode: per-replica profiles and/or an expert
+        # placement plan.  When both are absent every branch below takes
+        # the legacy path and the run stays byte-identical.
+        self.fleet_active = (
+            spec.profiles is not None or spec.placement is not None
+        )
+        self._base_budget = (
+            cache_budget_bytes
+            if cache_budget_bytes is not None
+            else world.config.resolve_budget(world.model_config)
+        )
+        self.plan = None
+        demand_map = None
+        if spec.placement is not None or spec.router == "cost-aware":
+            demands = demand_from_traces(world.warm_traces)
+            demand_map = {
+                d.cluster: tuple(e for e, _ in d.weights) for d in demands
+            }
+            if spec.placement is not None:
+                self.plan = build_plan(
+                    spec.placement,
+                    world.warm_traces,
+                    spec,
+                    world.model_config,
+                    world.config.hardware,
+                    self._base_budget,
+                )
+        self.router = make_router(spec.router, demand=demand_map)
         self.autoscaler = (
             Autoscaler(spec.autoscaler) if spec.autoscaler else None
         )
@@ -139,6 +168,16 @@ class ClusterDriver:
         self._probe = world.fresh_model()
         self.replicas: list[Replica] = []
         self.report = ClusterReport(system=system, router=spec.router)
+        if self.fleet_active:
+            fleet = FleetReport(placement=spec.placement)
+            if self.plan is not None:
+                fleet.placement_cost = self.plan.cost
+                fleet.placement_seed_cost = self.plan.seed_cost
+                fleet.residency_sizes = [
+                    len(r) for r in self.plan.residency
+                ]
+                fleet.unplaced_experts = len(self.plan.unplaced)
+            self.report.fleet = fleet
         # Resilience layer.  ``tracked`` turns on outcome accounting and
         # the resilient dispatch path; it engages when either resilience
         # features or cluster-scope faults are present, so a no-resilience
@@ -242,13 +281,30 @@ class ClusterDriver:
                 store_capacity=config.store_capacity,
                 shared_store=self._shared_store,
             )
+        profile = self.spec.profile_for(replica_id)
+        replica_hardware = None
+        replica_budget = self.cache_budget_bytes
+        if self.fleet_active:
+            # Each replica derives its own latency constants and expert
+            # cache from its profile.  A default profile reproduces the
+            # base hardware and budget exactly (x * 1.0 == x), which is
+            # what keeps homogeneous fleets byte-identical to legacy.
+            replica_hardware = profile.apply(self.world.config.hardware)
+            # Same floor resolve_budget applies: the pool needs at least
+            # one expert per GPU even on a VRAM-scaled-down replica.
+            model = self.world.model_config
+            replica_budget = max(
+                profile.scale_budget(self._base_budget),
+                replica_hardware.num_gpus * model.expert_bytes,
+            )
         engine = make_engine(
             self.world,
             self.system,
             policy=policy,
-            cache_budget_bytes=self.cache_budget_bytes,
+            cache_budget_bytes=replica_budget,
             faults=self._replica_faults(replica_id),
             slo=self.slo,
+            hardware=replica_hardware,
         )
         if self.spec.warm and not restart:
             if self._shared_store is None:
@@ -258,6 +314,12 @@ class ClusterDriver:
                 # searches the same rows, so re-warming would duplicate.
                 engine.policy.warm(self.world.warm_traces)
                 self._store_warmed = True
+        preloaded = 0
+        if self.plan is not None:
+            residency = self.plan.residency[
+                replica_id % len(self.plan.residency)
+            ]
+            preloaded = len(engine.pool.preload_fit(residency))
         if self.journeys is not None:
             # Journey capture rides the recorder plumbing ahead of any
             # monitor suite (which tees with whatever is attached).
@@ -269,9 +331,24 @@ class ClusterDriver:
             from repro.validate.monitors import MonitorSuite
 
             self._suites[replica_id] = MonitorSuite().bind(engine)
-        replica = Replica(replica_id, engine)
+        replica = Replica(
+            replica_id,
+            engine,
+            profile=profile if self.fleet_active else None,
+        )
         replica.spawned_at = now
         self.replicas.append(replica)
+        if self.report.fleet is not None:
+            self.report.fleet.profiles.append(
+                {
+                    "replica_id": replica_id,
+                    "profile": profile.name,
+                    "dollars_per_hour": profile.dollars_per_hour,
+                    "spot": profile.spot,
+                    "preloaded": preloaded,
+                }
+            )
+            self.report.fleet.dollars_per_hour += profile.dollars_per_hour
         cfg = self.resilience
         if cfg is not None and cfg.breakers_enabled:
             self._breakers[replica_id] = CircuitBreaker(
@@ -455,7 +532,7 @@ class ClusterDriver:
                 ttft=round(served.ttft, 6),
             )
         if self.autoscaler is not None:
-            self.autoscaler.observe_ttft(served.ttft)
+            self.autoscaler.observe_ttft(served.ttft, replica.replica_id)
 
     # ------------------------------------------------------------------ #
     # Resilient dispatch
@@ -988,7 +1065,9 @@ class ClusterDriver:
                     replica_lane(h_replica.replica_id),
                 )
         if self.autoscaler is not None:
-            self.autoscaler.observe_ttft(outcome.ttft)
+            self.autoscaler.observe_ttft(
+                outcome.ttft, winner_replica.replica_id
+            )
 
     # ------------------------------------------------------------------ #
     # Run

@@ -19,6 +19,29 @@ import numpy as np
 from repro.serving.metrics import ServingReport
 
 
+@dataclass
+class FleetReport:
+    """Heterogeneous-fleet accounting (profiles, pricing, placement).
+
+    Present on a :class:`ClusterReport` only when the spec carried
+    replica profiles or a placement strategy; legacy runs keep the key
+    out of the JSON form entirely, preserving byte parity.
+    """
+
+    profiles: list[dict] = field(default_factory=list)
+    """Per-replica ``{replica_id, profile, dollars_per_hour, spot,
+    preloaded}`` rows in spawn order (``preloaded`` counts plan experts
+    actually made resident)."""
+
+    placement: str | None = None
+    placement_cost: float = 0.0
+    placement_seed_cost: float = 0.0
+    residency_sizes: list[int] = field(default_factory=list)
+    unplaced_experts: int = 0
+    dollars_per_hour: float = 0.0
+    """Fleet price: sum of every spawned replica's $/hour."""
+
+
 @dataclass(frozen=True)
 class ScaleEvent:
     """One autoscaler action on the cluster's virtual timeline."""
@@ -254,6 +277,10 @@ class ClusterReport:
     when an SLO tracker rode the run; ``None`` otherwise — the key is
     omitted from the JSON form so untracked runs stay byte-identical."""
 
+    fleet: FleetReport | None = None
+    """Heterogeneous-fleet accounting; ``None`` on homogeneous legacy
+    runs — the JSON key is omitted so their serialization is unchanged."""
+
     # ------------------------------------------------------------------ #
     # Fleet-level derived metrics
     # ------------------------------------------------------------------ #
@@ -308,6 +335,21 @@ class ClusterReport:
         if admitted == 0:
             return 0.0
         return float((served <= deadline_seconds).sum()) / admitted
+
+    def slo_per_dollar(self, deadline_seconds: float) -> float:
+        """SLO attainment divided by the fleet's $/hour price.
+
+        The heterogeneous-fleet figure of merit: a cheap slow fleet and
+        an expensive fast fleet are only comparable once attainment is
+        normalized by what the capacity costs.  Requires a
+        :class:`FleetReport` (0.0 without one — an unpriced fleet has no
+        dollar axis)."""
+        if self.fleet is None or self.fleet.dollars_per_hour <= 0:
+            return 0.0
+        return (
+            self.slo_attainment(deadline_seconds)
+            / self.fleet.dollars_per_hour
+        )
 
     # ------------------------------------------------------------------ #
     # ServingReport-compatible surface (chaos matrix, exporters)
@@ -503,6 +545,17 @@ def cluster_report_to_dict(report: ClusterReport) -> dict:
         summary["resilience"] = _resilience_to_dict(report)
     if report.slo_summary is not None:
         summary["slo"] = report.slo_summary
+    if report.fleet is not None:
+        fleet = report.fleet
+        summary["fleet"] = {
+            "profiles": fleet.profiles,
+            "placement": fleet.placement,
+            "placement_cost": fleet.placement_cost,
+            "placement_seed_cost": fleet.placement_seed_cost,
+            "residency_sizes": fleet.residency_sizes,
+            "unplaced_experts": fleet.unplaced_experts,
+            "dollars_per_hour": fleet.dollars_per_hour,
+        }
     return summary
 
 

@@ -1,0 +1,505 @@
+"""Expert-placement layer: which experts live resident on which replica.
+
+fMoE's fine-grained offloading decides *when* to move experts on one box;
+on a heterogeneous fleet the dominant knob becomes *where* expert weights
+start out resident.  This module turns the world's profiled routing
+history into per-semantic-cluster expert demand, and builds a
+:class:`PlacementPlan` — one residency set per replica, sized to that
+replica's expert-cache budget — under a cost model that weighs fetch
+stalls (misses x that replica's host-to-device copy time) against
+queueing delay (assigned tokens x that replica's decode service time).
+
+Two strategies:
+
+- ``uniform`` — every replica pins the globally most popular experts, the
+  natural baseline: identical caches, no coordination.
+- ``cost-aware`` — greedy seeding assigns whole semantic clusters to the
+  replica with the cheapest incremental cost, then hill-climb swaps move
+  clusters between replicas while the total cost strictly improves.  The
+  optimizer co-designs with the ``cost-aware`` router: both score a
+  replica as estimated fetch-stall plus queue wait from its
+  :class:`~repro.cluster.config.ReplicaProfile`-derived hardware.
+
+Everything here is a pure function of the profiled traces, the fleet
+spec, and the budgets — no RNG — so placement is deterministic at equal
+seeds and the jobs=N parity law extends to fleet cells for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.cluster.config import ClusterSpec
+from repro.errors import ConfigError
+from repro.moe.config import MoEModelConfig
+from repro.serving.hardware import HardwareConfig
+from repro.types import ExpertId
+from repro.workloads.profiler import RequestTrace
+
+#: Hill-climb rounds are bounded at ``_MAX_ROUNDS_PER_CLUSTER x clusters``
+#: so optimization cost stays linear-ish in workload size.
+_MAX_ROUNDS_PER_CLUSTER = 4
+
+
+@dataclass(frozen=True)
+class ClusterDemand:
+    """Aggregated expert demand of one semantic request cluster."""
+
+    cluster: int
+    weights: tuple[tuple[ExpertId, float], ...]
+    """Per-expert activation mass, sorted by (-weight, layer, expert)."""
+
+    tokens: float
+    """Decode tokens this cluster contributed in the profiled traces."""
+
+    requests: int
+
+    @property
+    def total_weight(self) -> float:
+        return sum(w for _, w in self.weights)
+
+    def expert_set(self) -> frozenset[ExpertId]:
+        """The distinct experts this cluster's requests activated."""
+        return frozenset(e for e, _ in self.weights)
+
+
+def demand_from_traces(
+    traces: Sequence[RequestTrace],
+) -> tuple[ClusterDemand, ...]:
+    """Fold profiled routing history into per-cluster expert demand.
+
+    The ``request.cluster`` topic id is the same key the probe model's
+    embeddings and the semantic-affinity router key on, so demand built
+    here predicts exactly what the router will see at serve time.
+    """
+    weights: dict[int, dict[ExpertId, float]] = {}
+    tokens: dict[int, float] = {}
+    requests: dict[int, int] = {}
+    for trace in traces:
+        cid = trace.request.cluster
+        bucket = weights.setdefault(cid, {})
+        tokens[cid] = tokens.get(cid, 0.0) + float(
+            trace.request.output_tokens
+        )
+        requests[cid] = requests.get(cid, 0) + 1
+        for activated in trace.iteration_activated:
+            for layer, experts in enumerate(activated):
+                for expert in experts:
+                    eid = ExpertId(layer, int(expert))
+                    bucket[eid] = bucket.get(eid, 0.0) + 1.0
+    demands = []
+    for cid in sorted(weights):
+        ordered = tuple(
+            sorted(
+                weights[cid].items(),
+                key=lambda item: (-item[1], item[0].layer, item[0].expert),
+            )
+        )
+        demands.append(
+            ClusterDemand(
+                cluster=cid,
+                weights=ordered,
+                tokens=tokens[cid],
+                requests=requests[cid],
+            )
+        )
+    return tuple(demands)
+
+
+def global_popularity(
+    demands: Sequence[ClusterDemand],
+) -> tuple[tuple[ExpertId, float], ...]:
+    """Fleet-wide expert popularity, sorted by (-weight, layer, expert)."""
+    totals: dict[ExpertId, float] = {}
+    for demand in demands:
+        for expert, weight in demand.weights:
+            totals[expert] = totals.get(expert, 0.0) + weight
+    return tuple(
+        sorted(
+            totals.items(),
+            key=lambda item: (-item[1], item[0].layer, item[0].expert),
+        )
+    )
+
+
+@dataclass(frozen=True)
+class ReplicaCost:
+    """Latency constants of one replica, derived from its profile."""
+
+    replica_id: int
+    expert_load_seconds: float
+    """Host-to-device copy time of one expert on this replica."""
+
+    decode_token_seconds: float
+    """All-resident decode service time per output token."""
+
+    capacity_slots: int
+    """Expert slots this replica's scaled cache budget holds."""
+
+    dollars_per_hour: float
+    spot: bool
+
+
+def replica_costs(
+    spec: ClusterSpec,
+    model: MoEModelConfig,
+    base_hardware: HardwareConfig,
+    cache_budget_bytes: int,
+    replicas: int | None = None,
+) -> tuple[ReplicaCost, ...]:
+    """Derive per-replica latency/capacity constants for the cost model."""
+    count = spec.replicas if replicas is None else replicas
+    costs = []
+    for rid in range(count):
+        profile = spec.profile_for(rid)
+        hardware = profile.apply(base_hardware)
+        # Mirror the driver's per-replica budget exactly (including the
+        # one-expert-per-GPU floor) so plan capacities describe the pool
+        # the experts will actually be preloaded into.
+        budget = max(
+            profile.scale_budget(cache_budget_bytes),
+            hardware.num_gpus * model.expert_bytes,
+        )
+        per_device = budget // hardware.num_gpus
+        slots = hardware.num_gpus * (per_device // model.expert_bytes)
+        costs.append(
+            ReplicaCost(
+                replica_id=rid,
+                expert_load_seconds=hardware.expert_load_seconds(model),
+                decode_token_seconds=(
+                    hardware.decode_iteration_floor_seconds(model)
+                ),
+                capacity_slots=slots,
+                dollars_per_hour=profile.dollars_per_hour,
+                spot=profile.spot,
+            )
+        )
+    return tuple(costs)
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """Expert -> replica residency sets plus the cost-model audit trail."""
+
+    strategy: str
+    residency: tuple[tuple[ExpertId, ...], ...]
+    """Per-replica experts to pre-warm resident, each within capacity."""
+
+    capacities: tuple[int, ...]
+    """Per-replica expert-slot capacity the residency sets were sized to."""
+
+    cluster_assignment: tuple[tuple[int, int], ...] = ()
+    """(semantic cluster id, replica id) pairs chosen by the optimizer
+    (empty for strategies that do not assign clusters)."""
+
+    cost: float = 0.0
+    """Modelled fetch-stall + queueing cost of this plan."""
+
+    seed_cost: float = 0.0
+    """Cost of the greedy seed before hill-climb (equals ``cost`` for
+    non-optimizing strategies)."""
+
+    unplaced: tuple[ExpertId, ...] = ()
+    """Demanded experts resident on no replica; they are still servable —
+    the pool fetches them on demand — but each fetch pays the full
+    host-to-device stall the cost model charges."""
+
+    def resident_anywhere(self) -> frozenset[ExpertId]:
+        """Every expert resident on at least one replica under this plan."""
+        out: set[ExpertId] = set()
+        for experts in self.residency:
+            out.update(experts)
+        return frozenset(out)
+
+
+def check_plan(plan: PlacementPlan) -> list[str]:
+    """Validity audit: capacity and duplicate violations (empty = valid).
+
+    This is the detector the ``placement-overcommit`` mutant screen
+    relies on: a plan that ignores the per-replica VRAM budget must be
+    flagged here before it ever reaches a pool preload.
+    """
+    violations: list[str] = []
+    if len(plan.residency) != len(plan.capacities):
+        violations.append(
+            "residency/capacity length mismatch: "
+            f"{len(plan.residency)} != {len(plan.capacities)}"
+        )
+        return violations
+    for rid, (experts, capacity) in enumerate(
+        zip(plan.residency, plan.capacities)
+    ):
+        if len(experts) > capacity:
+            violations.append(
+                f"replica {rid} overcommitted: {len(experts)} experts "
+                f"placed into {capacity} slots"
+            )
+        if len(set(experts)) != len(experts):
+            violations.append(f"replica {rid} residency has duplicates")
+    return violations
+
+
+# ---------------------------------------------------------------------- #
+# Strategies
+# ---------------------------------------------------------------------- #
+
+
+def _uniform_plan(
+    demands: Sequence[ClusterDemand], costs: Sequence[ReplicaCost]
+) -> PlacementPlan:
+    """Pin the globally most popular experts identically on every replica."""
+    popularity = global_popularity(demands)
+    residency = tuple(
+        tuple(e for e, _ in popularity[: cost.capacity_slots])
+        for cost in costs
+    )
+    placed = set()
+    for experts in residency:
+        placed.update(experts)
+    unplaced = tuple(
+        sorted(
+            (e for e, _ in popularity if e not in placed),
+            key=lambda e: (e.layer, e.expert),
+        )
+    )
+    cost = _assignment_cost(
+        _greedy_assignment(demands, costs, residency), demands, costs,
+        residency,
+    )
+    return PlacementPlan(
+        strategy="uniform",
+        residency=residency,
+        capacities=tuple(c.capacity_slots for c in costs),
+        cost=cost,
+        seed_cost=cost,
+        unplaced=unplaced,
+    )
+
+
+@dataclass
+class _Assignment:
+    """Mutable optimizer state: cluster -> replica plus per-replica load."""
+
+    replica_of: dict[int, int] = field(default_factory=dict)
+    tokens: dict[int, float] = field(default_factory=dict)
+
+
+def _residency_for(
+    assignment: Mapping[int, int],
+    demands: Sequence[ClusterDemand],
+    costs: Sequence[ReplicaCost],
+) -> tuple[tuple[ExpertId, ...], ...]:
+    """Residency sets implied by a cluster assignment.
+
+    Each replica pins its clusters' experts by descending weight up to
+    capacity, then backfills leftover slots from global popularity — so
+    a lightly loaded replica still warms the fleet-wide hot set.
+    """
+    by_replica: dict[int, dict[ExpertId, float]] = {
+        c.replica_id: {} for c in costs
+    }
+    for demand in demands:
+        rid = assignment.get(demand.cluster)
+        if rid is None:
+            continue
+        bucket = by_replica[rid]
+        for expert, weight in demand.weights:
+            bucket[expert] = bucket.get(expert, 0.0) + weight
+    popularity = global_popularity(demands)
+    residency = []
+    for cost in costs:
+        bucket = by_replica[cost.replica_id]
+        ordered = [
+            e
+            for e, _ in sorted(
+                bucket.items(),
+                key=lambda item: (-item[1], item[0].layer, item[0].expert),
+            )
+        ]
+        chosen = ordered[: cost.capacity_slots]
+        if len(chosen) < cost.capacity_slots:
+            have = set(chosen)
+            for expert, _ in popularity:
+                if len(chosen) >= cost.capacity_slots:
+                    break
+                if expert not in have:
+                    chosen.append(expert)
+                    have.add(expert)
+        residency.append(tuple(chosen))
+    return tuple(residency)
+
+
+def _assignment_cost(
+    assignment: Mapping[int, int],
+    demands: Sequence[ClusterDemand],
+    costs: Sequence[ReplicaCost],
+    residency: Sequence[Sequence[ExpertId]] | None = None,
+) -> float:
+    """Total modelled cost of an assignment.
+
+    Fetch stalls: each cluster's activation mass on experts *not*
+    resident on its replica, charged at that replica's per-expert copy
+    time.  Queueing: per-replica assigned tokens x decode service time,
+    squared — the convex term is what makes the hill-climb spread load
+    instead of piling every cluster on the fastest box.
+    """
+    if residency is None:
+        residency = _residency_for(assignment, demands, costs)
+    resident = [set(r) for r in residency]
+    stall = 0.0
+    tokens = [0.0] * len(costs)
+    for demand in demands:
+        rid = assignment.get(demand.cluster)
+        if rid is None:
+            continue
+        miss = sum(
+            weight
+            for expert, weight in demand.weights
+            if expert not in resident[rid]
+        )
+        stall += miss * costs[rid].expert_load_seconds
+        tokens[rid] += demand.tokens
+    queue = sum(
+        (tokens[i] * costs[i].decode_token_seconds) ** 2
+        for i in range(len(costs))
+    )
+    return stall + queue
+
+
+def _greedy_assignment(
+    demands: Sequence[ClusterDemand],
+    costs: Sequence[ReplicaCost],
+    fixed_residency: Sequence[Sequence[ExpertId]] | None = None,
+) -> dict[int, int]:
+    """Greedy seed: heaviest clusters first, cheapest replica each.
+
+    With ``fixed_residency`` (the uniform plan's identical caches) the
+    choice only balances queueing; without it, the incremental cost also
+    counts the misses the replica's evolving cache would take.
+    """
+    assignment: dict[int, int] = {}
+    resident: list[set[ExpertId]] = [set() for _ in costs]
+    slots = [c.capacity_slots for c in costs]
+    if fixed_residency is not None:
+        resident = [set(r) for r in fixed_residency]
+        slots = [0 for _ in costs]
+    tokens = [0.0] * len(costs)
+    order = sorted(
+        demands, key=lambda d: (-d.total_weight, d.cluster)
+    )
+    for demand in order:
+        best_rid = 0
+        best_score = None
+        for cost in costs:
+            rid = cost.replica_id
+            miss = sum(
+                weight
+                for expert, weight in demand.weights
+                if expert not in resident[rid]
+            )
+            free = slots[rid] - len(resident[rid])
+            if free > 0:
+                # The replica would absorb this cluster's hot experts.
+                absorbable = sum(
+                    weight
+                    for expert, weight in demand.weights[:free]
+                    if expert not in resident[rid]
+                )
+                miss = max(miss - absorbable, 0.0)
+            new_tokens = tokens[rid] + demand.tokens
+            score = (
+                miss * cost.expert_load_seconds
+                + (new_tokens * cost.decode_token_seconds) ** 2
+            )
+            if best_score is None or score < best_score:
+                best_score = score
+                best_rid = rid
+        assignment[demand.cluster] = best_rid
+        tokens[best_rid] += demand.tokens
+        if slots[best_rid] > len(resident[best_rid]):
+            free = slots[best_rid] - len(resident[best_rid])
+            for expert, _ in demand.weights[:free]:
+                resident[best_rid].add(expert)
+    return assignment
+
+
+def _hill_climb(
+    assignment: dict[int, int],
+    demands: Sequence[ClusterDemand],
+    costs: Sequence[ReplicaCost],
+) -> tuple[dict[int, int], float, float]:
+    """Move clusters between replicas while total cost strictly improves.
+
+    Best-improvement per round, deterministic tie-breaks, bounded rounds;
+    the accept-only-strict-improvement rule is what the property suite
+    pins as ``plan.cost <= plan.seed_cost``.
+    """
+    seed_cost = _assignment_cost(assignment, demands, costs)
+    current = dict(assignment)
+    current_cost = seed_cost
+    max_rounds = max(1, _MAX_ROUNDS_PER_CLUSTER * len(demands))
+    for _ in range(max_rounds):
+        best_move: tuple[int, int] | None = None
+        best_cost = current_cost
+        for demand in demands:
+            home = current[demand.cluster]
+            for cost in costs:
+                rid = cost.replica_id
+                if rid == home:
+                    continue
+                trial = dict(current)
+                trial[demand.cluster] = rid
+                trial_cost = _assignment_cost(trial, demands, costs)
+                if trial_cost < best_cost:
+                    best_cost = trial_cost
+                    best_move = (demand.cluster, rid)
+        if best_move is None:
+            break
+        current[best_move[0]] = best_move[1]
+        current_cost = best_cost
+    return current, current_cost, seed_cost
+
+
+def _cost_aware_plan(
+    demands: Sequence[ClusterDemand], costs: Sequence[ReplicaCost]
+) -> PlacementPlan:
+    seed = _greedy_assignment(demands, costs)
+    assignment, cost, seed_cost = _hill_climb(seed, demands, costs)
+    residency = _residency_for(assignment, demands, costs)
+    placed = set()
+    for experts in residency:
+        placed.update(experts)
+    demanded: set[ExpertId] = set()
+    for demand in demands:
+        demanded.update(demand.expert_set())
+    unplaced = tuple(
+        sorted(demanded - placed, key=lambda e: (e.layer, e.expert))
+    )
+    return PlacementPlan(
+        strategy="cost-aware",
+        residency=residency,
+        capacities=tuple(c.capacity_slots for c in costs),
+        cluster_assignment=tuple(sorted(assignment.items())),
+        cost=cost,
+        seed_cost=seed_cost,
+        unplaced=unplaced,
+    )
+
+
+def build_plan(
+    strategy: str,
+    traces: Sequence[RequestTrace],
+    spec: ClusterSpec,
+    model: MoEModelConfig,
+    base_hardware: HardwareConfig,
+    cache_budget_bytes: int,
+) -> PlacementPlan:
+    """Build a placement plan for a fleet from profiled routing history."""
+    costs = replica_costs(spec, model, base_hardware, cache_budget_bytes)
+    demands = demand_from_traces(traces)
+    if strategy == "uniform":
+        return _uniform_plan(demands, costs)
+    if strategy == "cost-aware":
+        return _cost_aware_plan(demands, costs)
+    raise ConfigError(f"unknown placement strategy {strategy!r}")

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cluster.config import REPLICA_PROFILES, ReplicaProfile
 from repro.serving.engine import ServingEngine
 from repro.serving.metrics import ServingReport
 from repro.serving.request import Request
@@ -33,9 +34,17 @@ class _Outstanding:
 class Replica:
     """One engine replica and the routing-visible state around it."""
 
-    def __init__(self, replica_id: int, engine: ServingEngine) -> None:
+    def __init__(
+        self,
+        replica_id: int,
+        engine: ServingEngine,
+        profile: ReplicaProfile | None = None,
+    ) -> None:
         self.replica_id = replica_id
         self.engine = engine
+        self.profile = profile or REPLICA_PROFILES["baseline"]
+        """Hardware/pricing profile this replica was spawned with; the
+        baseline profile when the fleet is homogeneous."""
         self.report = ServingReport(policy_name=engine.policy.name)
         self._retries_before = engine.pool.total_retries()
         self.assigned = 0

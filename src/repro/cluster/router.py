@@ -1,6 +1,6 @@
 """Pluggable request routers for the cluster driver.
 
-Three policies, all pure functions of the routable replica set and the
+Four policies, all pure functions of the routable replica set and the
 virtual clock (so a fixed seed replays the same assignment):
 
 - :class:`RoundRobinRouter` — rotate through the routable replicas.
@@ -14,12 +14,19 @@ virtual clock (so a fixed seed replays the same assignment):
   no store at all) contribute no signal; when nobody has evidence, or the
   best match is weaker than ``min_score``, routing degrades to
   least-outstanding.
+- :class:`CostAwareRouter` — the heterogeneous-fleet router co-designed
+  with :mod:`repro.cluster.placement`: each candidate replica is scored
+  as estimated fetch-stall (the request's predicted experts that are not
+  live-resident in that replica's pool, charged at that replica's
+  host-to-device copy time) plus estimated queue wait (outstanding
+  tokens x that replica's decode service time); the cheapest estimate
+  wins.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, Sequence
+from typing import Mapping, Protocol, Sequence
 
 import numpy as np
 
@@ -27,6 +34,7 @@ from repro.cluster.config import ROUTER_NAMES
 from repro.cluster.replica import Replica
 from repro.errors import ConfigError
 from repro.serving.request import Request
+from repro.types import ExpertId
 
 
 @dataclass(frozen=True)
@@ -154,6 +162,69 @@ class SemanticAffinityRouter:
         )
 
 
+class CostAwareRouter:
+    """Score replicas by estimated fetch-stall + queue wait, cheapest wins.
+
+    The demand map (semantic cluster id -> predicted experts, built from
+    the same profiled traces the placement optimizer consumed) names what
+    the request will likely activate; each replica's *live* pool answers
+    what is already resident; the replica's own profile-derived hardware
+    prices the difference.  On a heterogeneous fleet this is what sends
+    cache-missing work to NVLink-class boxes and keeps slow-PCIe boxes
+    on traffic their residency already covers.
+    """
+
+    name = "cost-aware"
+
+    def __init__(
+        self,
+        demand: Mapping[int, Sequence[ExpertId]] | None = None,
+    ) -> None:
+        self.demand = dict(demand) if demand else {}
+        self.cost_decisions = 0
+        self.fallback_decisions = 0
+
+    def select(
+        self,
+        request: Request,
+        embedding: np.ndarray,
+        replicas: Sequence[Replica],
+        now: float,
+    ) -> RouteDecision:
+        """Cheapest estimated completion start; replica id breaks ties.
+
+        A request whose semantic cluster was never profiled has no
+        predicted experts: its stall estimate is zero everywhere and the
+        choice degrades to queue wait priced by per-replica decode speed
+        (still hardware-aware, unlike plain least-outstanding).
+        """
+        predicted = self.demand.get(request.cluster, ())
+        best: Replica | None = None
+        best_score = 0.0
+        for replica in replicas:
+            pool = replica.engine.pool
+            hardware = pool.hardware
+            model = pool.model
+            stall = 0.0
+            if predicted:
+                flags = pool.ready_flags(predicted, now)
+                missing = sum(1 for ready in flags if not ready)
+                stall = missing * hardware.expert_load_seconds(model)
+            queue = replica.outstanding_tokens(
+                now
+            ) * hardware.decode_iteration_floor_seconds(model)
+            score = stall + queue
+            if best is None or score < best_score:
+                best = replica
+                best_score = score
+        assert best is not None
+        if predicted:
+            self.cost_decisions += 1
+            return RouteDecision(best, self.name, float(best_score))
+        self.fallback_decisions += 1
+        return RouteDecision(best, "fallback", float(best_score))
+
+
 def pick_secondary(
     replicas: Sequence[Replica],
     exclude: int,
@@ -173,14 +244,23 @@ def pick_secondary(
     return _least_outstanding(others, now)
 
 
-def make_router(name: str) -> Router:
-    """Instantiate one of the cluster routing policies by name."""
+def make_router(
+    name: str,
+    demand: Mapping[int, Sequence[ExpertId]] | None = None,
+) -> Router:
+    """Instantiate one of the cluster routing policies by name.
+
+    ``demand`` (semantic cluster id -> predicted experts) feeds the
+    cost-aware router's stall estimates; the other policies ignore it.
+    """
     if name == "round-robin":
         return RoundRobinRouter()
     if name == "least-outstanding":
         return LeastOutstandingRouter()
     if name == "semantic-affinity":
         return SemanticAffinityRouter()
+    if name == "cost-aware":
+        return CostAwareRouter(demand)
     raise ConfigError(
         f"unknown router {name!r}; choose from: {', '.join(ROUTER_NAMES)}"
     )

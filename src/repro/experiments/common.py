@@ -150,17 +150,23 @@ def make_engine(
     faults: FaultSchedule | None = None,
     slo: SLOConfig | None = None,
     columnar: bool = True,
+    hardware: HardwareConfig | None = None,
 ) -> ServingEngine:
     """Build a fresh engine for ``world`` under one system.
 
     The single construction path shared by :func:`run_system` and the
     cluster driver (one engine per replica), so a 1-replica cluster run
     is the same machine as a bare run.  ``policy`` overrides the default
-    :func:`make_policy` construction (shared-store cluster replicas).
+    :func:`make_policy` construction (shared-store cluster replicas);
+    ``hardware`` overrides the world's base hardware (heterogeneous-fleet
+    replicas derive their own latency constants from a
+    :class:`~repro.cluster.config.ReplicaProfile`).
     """
     config = world.config
     if policy is None:
         policy = make_policy(system, config)
+    if hardware is None:
+        hardware = config.hardware
     budget = cache_budget_bytes
     if budget is None:
         budget = config.resolve_budget(world.model_config)
@@ -169,7 +175,7 @@ def make_engine(
         # headroom because round-robin placement is not perfectly even.
         model = world.model_config
         headroom = (
-            config.hardware.num_gpus
+            hardware.num_gpus
             * model.experts_per_layer
             * model.expert_bytes
         )
@@ -178,7 +184,7 @@ def make_engine(
         world.fresh_model(),
         policy,
         cache_budget_bytes=budget,
-        hardware=config.hardware,
+        hardware=hardware,
         faults=faults,
         slo=slo,
         columnar=columnar,

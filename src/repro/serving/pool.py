@@ -279,6 +279,31 @@ class ExpertPool:
             self._tasks[expert] = None
             self._home[expert] = device.index
 
+    def preload_fit(self, experts: Iterable[ExpertId]) -> list[ExpertId]:
+        """Capacity-safe :meth:`preload`: skip experts whose GPU is full.
+
+        Placement plans size residency sets against the replica's *total*
+        expert-slot capacity, but the round-robin expert-to-GPU hash can
+        still land more of a set on one device than its share of the
+        budget holds.  This variant places what fits and returns the
+        experts actually made resident, so a plan pre-warm never raises
+        :class:`CapacityError`.
+        """
+        placed: list[ExpertId] = []
+        for expert in experts:
+            if expert in self._tasks:
+                placed.append(expert)
+                continue
+            device = self.device_of(expert)
+            if device.free_bytes() < self._expert_bytes:
+                continue
+            device.used_bytes += self._expert_bytes
+            device.resident.add(expert)
+            self._tasks[expert] = None
+            self._home[expert] = device.index
+            placed.append(expert)
+        return placed
+
     def prefetch(self, expert: ExpertId, issue_time: float) -> str:
         """Queue a prefetch copy.
 

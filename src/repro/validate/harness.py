@@ -221,8 +221,91 @@ def _cluster_check(ctx: LawContext) -> CheckResult:
     return CheckResult(name, True)
 
 
+def _fleet_spec():
+    """The heterogeneous 2-replica fleet the placement checks run on."""
+    from repro.cluster.config import ClusterSpec, get_profile
+
+    return ClusterSpec(
+        replicas=2,
+        profiles=(get_profile("baseline"), get_profile("spot-small")),
+    )
+
+
+def _placement_check(ctx: LawContext) -> CheckResult:
+    """Placement plans on a heterogeneous fleet must pass the validity
+    audit: within capacity, duplicate-free, hill-climb no worse than the
+    greedy seed, and every demanded expert either resident somewhere or
+    accounted for as an on-demand fetch (``unplaced``)."""
+    from repro.cluster.placement import (
+        build_plan,
+        check_plan,
+        demand_from_traces,
+    )
+
+    name = "invariant:placement-plan"
+    spec = _fleet_spec()
+    budget = ctx.base_budget()
+    demanded = set()
+    for demand in demand_from_traces(ctx.world.warm_traces):
+        demanded.update(demand.expert_set())
+    failures: list[str] = []
+    for strategy in ("uniform", "cost-aware"):
+        try:
+            plan = build_plan(
+                strategy,
+                ctx.world.warm_traces,
+                spec,
+                ctx.world.model_config,
+                ctx.config.hardware,
+                budget,
+            )
+        except ReproError as exc:
+            failures.append(
+                f"{strategy}: crashed: {type(exc).__name__}: {exc}"
+            )
+            continue
+        failures.extend(f"{strategy}: {v}" for v in check_plan(plan))
+        if plan.cost > plan.seed_cost + 1e-9:
+            failures.append(
+                f"{strategy}: hill-climb worsened the seed cost "
+                f"({plan.seed_cost:.4f} -> {plan.cost:.4f})"
+            )
+        missing = demanded - plan.resident_anywhere() - set(plan.unplaced)
+        if missing:
+            failures.append(
+                f"{strategy}: {len(missing)} demanded experts neither "
+                "resident nor accounted as unplaced"
+            )
+    if failures:
+        return CheckResult(name, False, "; ".join(failures))
+    return CheckResult(name, True)
+
+
+def _detect_placement_mutant(world, mutant: Mutant) -> MutantResult:
+    """Screen a plan-level mutant through the plan validity audit."""
+    from repro.cluster.placement import build_plan, check_plan
+
+    healthy = build_plan(
+        "cost-aware",
+        world.warm_traces,
+        _fleet_spec(),
+        world.model_config,
+        world.config.hardware,
+        world.config.resolve_budget(world.model_config),
+    )
+    mutated = mutant.apply(healthy)
+    detectors = (
+        ["invariant:placement-plan"] if check_plan(mutated) else []
+    )
+    return MutantResult(
+        name=mutant.name, flagged=bool(detectors), detectors=detectors
+    )
+
+
 def detect_mutant(world, mutant: Mutant) -> MutantResult:
     """Inject ``mutant`` and record which validators (if any) flag it."""
+    if mutant.target == "placement":
+        return _detect_placement_mutant(world, mutant)
     ctx = LawContext(world=world, mutant=mutant)
     checks = [monitored_run(ctx, "fmoe-offline", "fmoe")]
     checks.extend(run_laws(ctx, DETECTION_LAWS))
@@ -261,6 +344,7 @@ def validate_world(
             respect_arrivals=True,
             slo=SLOConfig(queue_delay_budget_seconds=2.0),
         ),
+        _placement_check(ctx),
     ]
     if thorough:
         for system in (

@@ -206,6 +206,52 @@ def law_oracle_bound(ctx: LawContext, thorough: bool) -> CheckResult:
     )
 
 
+def law_fleet_bandwidth_monotonicity(
+    ctx: LawContext, thorough: bool
+) -> CheckResult:
+    """One replica's PCIe link up ⇒ fleet mean TTFT monotone non-increasing.
+
+    The fleet analogue of :func:`law_bandwidth_monotonicity`: under a
+    round-robin router (feedback-free, so the request→replica assignment
+    cannot shift with hardware speed) making one replica's link faster can
+    only speed up the requests that replica serves and leave the rest
+    untouched.  The cluster side always runs healthy engines, so this law
+    pins the :class:`~repro.cluster.config.ReplicaProfile` plumbing, not
+    the mutant surface.
+    """
+    from repro.cluster.config import ClusterSpec, ReplicaProfile
+    from repro.cluster.driver import run_cluster
+
+    factors = (1.0, 2.0, 4.0) if thorough else (1.0, 2.0)
+    means = []
+    for factor in factors:
+        fast = ReplicaProfile(name="fast-link", pcie_scale=factor)
+        report = run_cluster(
+            ctx.world,
+            "fmoe",
+            ClusterSpec(
+                replicas=2,
+                router="round-robin",
+                profiles=(fast, ReplicaProfile()),
+            ),
+        )
+        means.append(report.mean_ttft())
+    failures = []
+    for slow, fast_mean, f_lo, f_hi in zip(
+        means, means[1:], factors, factors[1:]
+    ):
+        if fast_mean > slow + 1e-9:
+            failures.append(
+                "fleet mean TTFT worsened after speeding up replica 0's "
+                f"link {f_lo}x -> {f_hi}x ({slow:.6f}s -> {fast_mean:.6f}s)"
+            )
+    return _result(
+        "law:fleet-bandwidth-monotonicity",
+        failures,
+        "mean TTFT " + " -> ".join(f"{m:.6f}s" for m in means),
+    )
+
+
 def law_cluster_parity(ctx: LawContext, thorough: bool) -> CheckResult:
     """A 1-replica round-robin cluster == the bare engine, byte for byte.
 
@@ -309,6 +355,11 @@ FAST_LAWS: tuple[Law, ...] = (
         "law:oracle-bound",
         "oracle misses lower-bound every system's misses",
         law_oracle_bound,
+    ),
+    Law(
+        "law:fleet-bandwidth-monotonicity",
+        "one replica's PCIe up => fleet mean TTFT monotone non-increasing",
+        law_fleet_bandwidth_monotonicity,
     ),
     Law(
         "law:cluster-parity",

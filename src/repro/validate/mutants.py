@@ -22,13 +22,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True)
 class Mutant:
-    """One registered defect to inject into a fresh engine."""
+    """One registered defect to inject into a fresh engine (or plan).
+
+    ``target`` names the surface the defect lives on: ``"engine"``
+    mutants patch a freshly built :class:`ServingEngine` in place;
+    ``"placement"`` mutants transform a healthy
+    :class:`~repro.cluster.placement.PlacementPlan` and return the
+    broken copy (the harness screens it through ``check_plan``).
+    """
 
     name: str
     description: str
     #: Which invariant family is expected to flag it (documentation).
     expected_detector: str
     apply: Callable[["ServingEngine"], None]
+    target: str = "engine"
 
 
 def _budget_overcommit(engine: "ServingEngine") -> None:
@@ -118,6 +126,26 @@ def _ignore_prefetch(engine: "ServingEngine") -> None:
     engine.policy = _PrefetchStripper(engine.policy)
 
 
+def _placement_overcommit(plan):
+    """Every replica claims every demanded expert, VRAM caps be damned.
+
+    The classic placement-optimizer bug: the residency builder forgets
+    the per-replica capacity clamp, so the plan promises more resident
+    experts than the scaled cache budget holds slots for.
+    """
+    import dataclasses
+
+    everything: set = set(plan.unplaced)
+    for experts in plan.residency:
+        everything.update(experts)
+    ordered = tuple(sorted(everything, key=lambda e: (e.layer, e.expert)))
+    return dataclasses.replace(
+        plan,
+        residency=tuple(ordered for _ in plan.residency),
+        unplaced=(),
+    )
+
+
 MUTANTS: tuple[Mutant, ...] = (
     Mutant(
         name="budget-overcommit",
@@ -156,6 +184,14 @@ MUTANTS: tuple[Mutant, ...] = (
         description="all prefetch instructions silently discarded",
         expected_detector="differential-reference law",
         apply=_ignore_prefetch,
+    ),
+    Mutant(
+        name="placement-overcommit",
+        description="the placement plan pins every demanded expert on "
+        "every replica, ignoring per-replica VRAM capacity",
+        expected_detector="placement plan check",
+        apply=_placement_overcommit,
+        target="placement",
     ),
 )
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import replace
 from functools import lru_cache
 
+from repro.cluster.config import ClusterSpec, get_profile
 from repro.experiments.common import ExperimentConfig, World
 from repro.moe.config import MoEModelConfig, tiny_test_model
 from repro.moe.model import MoEModel
@@ -50,6 +51,38 @@ def tiny_world(seed: int = 0) -> World:
         model_config=model_config,
         warm_traces=traces,
         test_requests=test[:4],
+    )
+
+
+#: The three benchmarked heterogeneous fleet shapes, by profile name —
+#: the same shapes ``repro fleet`` sweeps (see
+#: :func:`repro.experiments.fleet.default_fleet_shapes`).
+FLEET_SHAPE_PROFILES: dict[str, tuple[str, ...]] = {
+    "mixed-bandwidth": ("fast-nvlink", "baseline", "slow-pcie3"),
+    "spot-heavy": ("baseline", "spot-small", "spot-small"),
+    "single-fast-node": ("fast-nvlink", "slow-pcie3", "slow-pcie3"),
+}
+
+
+def fleet_profiles(shape: str):
+    """The resolved :class:`ReplicaProfile` tuple of one named shape."""
+    return tuple(get_profile(n) for n in FLEET_SHAPE_PROFILES[shape])
+
+
+def fleet_spec(
+    shape: str,
+    router: str = "least-outstanding",
+    placement: str | None = None,
+    **kwargs,
+) -> ClusterSpec:
+    """A heterogeneous :class:`ClusterSpec` for one named fleet shape."""
+    profiles = fleet_profiles(shape)
+    return ClusterSpec(
+        replicas=len(profiles),
+        router=router,
+        profiles=profiles,
+        placement=placement,
+        **kwargs,
     )
 
 

@@ -15,8 +15,16 @@ from hypothesis.extra import numpy as hnp
 from repro.moe.gating import softmax_rows
 from repro.workloads.datasets import DatasetProfile
 
-#: Every router the cluster driver accepts; sampled by fleet strategies.
+#: The legacy routers; sampled by the homogeneous fleet strategies.
 ROUTERS = ("round-robin", "least-outstanding", "semantic-affinity")
+
+#: Every router, including the hardware-priced one heterogeneous fleet
+#: scenarios exercise.
+FLEET_ROUTERS = ROUTERS + ("cost-aware",)
+
+#: The named heterogeneous shapes ``tests._cluster_testkit.fleet_spec``
+#: resolves (mixed-bandwidth / spot-heavy / single-fast-node).
+FLEET_SHAPE_NAMES = ("mixed-bandwidth", "spot-heavy", "single-fast-node")
 
 
 def distributions(layers=st.integers(2, 6), experts=st.integers(2, 8)):
@@ -80,6 +88,25 @@ def fleet_shapes(draw, max_replicas: int = 4, max_requests: int = 8):
     return {
         "replicas": draw(st.integers(1, max_replicas)),
         "router": draw(routers()),
+        "n": draw(st.integers(1, max_requests)),
+        "gap": draw(st.sampled_from((0.0, 0.2, 1.0))),
+        "seed": draw(st.integers(0, 3)),
+    }
+
+
+@st.composite
+def hetero_fleets(draw, max_requests: int = 8):
+    """Strategy producing one heterogeneous-fleet serving scenario.
+
+    Draws a named profile shape (mixed-bandwidth, spot-heavy,
+    single-fast-node), any router including cost-aware, an optional
+    placement strategy, and a short arrival trace — the input space of
+    the placement property suite's end-to-end runs.
+    """
+    return {
+        "shape": draw(st.sampled_from(FLEET_SHAPE_NAMES)),
+        "router": draw(st.sampled_from(FLEET_ROUTERS)),
+        "placement": draw(st.sampled_from((None, "uniform", "cost-aware"))),
         "n": draw(st.integers(1, max_requests)),
         "gap": draw(st.sampled_from((0.0, 0.2, 1.0))),
         "seed": draw(st.integers(0, 3)),

@@ -1,0 +1,262 @@
+"""Unit tests for the heterogeneous-fleet building blocks.
+
+Covers the pieces the end-to-end suites exercise only indirectly: the
+:class:`ReplicaProfile` hardware algebra, config validation, the
+price-aware autoscaler drain policy, the cost-aware router's scoring
+and fallback accounting, and the ``fleet`` report section.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cluster import (
+    Autoscaler,
+    AutoscalerConfig,
+    ClusterSpec,
+    ReplicaProfile,
+    cluster_report_to_json,
+    get_profile,
+    make_router,
+    run_cluster,
+)
+from repro.errors import ConfigError
+from repro.moe.config import tiny_test_model
+from repro.serving.hardware import DEFAULT_HARDWARE
+from repro.types import ExpertId
+
+from tests._cluster_testkit import arrival_trace, fleet_spec, tiny_world
+
+
+class TestReplicaProfile:
+    def test_default_profile_is_identity(self):
+        profile = ReplicaProfile()
+        assert profile.is_default
+        # Exact object identity: the homogeneous fleet derives the SAME
+        # hardware, which is what makes byte parity hold by construction.
+        assert profile.apply(DEFAULT_HARDWARE) is DEFAULT_HARDWARE
+        assert profile.scale_budget(12345) == 12345
+
+    def test_scales_apply_to_hardware(self):
+        profile = ReplicaProfile(
+            name="custom",
+            pcie_scale=4.0,
+            vram_scale=2.0,
+            flops_scale=1.5,
+            membw_scale=1.2,
+        )
+        hw = profile.apply(DEFAULT_HARDWARE)
+        assert hw.pcie_bandwidth_bps == (
+            DEFAULT_HARDWARE.pcie_bandwidth_bps * 4.0
+        )
+        assert hw.gpu_memory_bytes == int(
+            DEFAULT_HARDWARE.gpu_memory_bytes * 2.0
+        )
+        assert hw.gpu_flops == DEFAULT_HARDWARE.gpu_flops * 1.5
+        assert hw.gpu_memory_bandwidth_bps == (
+            DEFAULT_HARDWARE.gpu_memory_bandwidth_bps * 1.2
+        )
+        assert profile.scale_budget(1000) == 2000
+
+    def test_validation_rejects_bad_profiles(self):
+        with pytest.raises(ConfigError):
+            ReplicaProfile(pcie_scale=0.0)
+        with pytest.raises(ConfigError):
+            ReplicaProfile(vram_scale=-1.0)
+        with pytest.raises(ConfigError):
+            ReplicaProfile(dollars_per_hour=0.0)
+        with pytest.raises(ConfigError):
+            ReplicaProfile(name="")
+
+    def test_registry_lookup(self):
+        assert get_profile("baseline").is_default
+        assert get_profile("spot-small").spot
+        with pytest.raises(ConfigError):
+            get_profile("h100-imaginary")
+
+    def test_spec_profiles_cycle_and_validate(self):
+        fast = get_profile("fast-nvlink")
+        slow = get_profile("slow-pcie3")
+        spec = ClusterSpec(replicas=5, profiles=(fast, slow))
+        assert spec.profile_for(0) is fast
+        assert spec.profile_for(1) is slow
+        assert spec.profile_for(4) is fast
+        # Without profiles every replica is the baseline.
+        bare = ClusterSpec(replicas=2)
+        assert bare.profile_for(1).is_default
+        with pytest.raises(ConfigError):
+            ClusterSpec(replicas=2, profiles=())
+        with pytest.raises(ConfigError):
+            ClusterSpec(replicas=2, placement="telepathic")
+        with pytest.raises(ConfigError):
+            AutoscalerConfig(ttft_good_seconds=0.0)
+
+
+class _FakeReplica:
+    """Just enough replica surface for autoscaler/router unit tests."""
+
+    def __init__(self, replica_id, profile, tokens=0.0, engine=None):
+        self.replica_id = replica_id
+        self.profile = profile
+        self._tokens = tokens
+        self.engine = engine
+
+    def outstanding_tokens(self, now):
+        return self._tokens
+
+
+class TestPriceAwareDrain:
+    def _scaler(self):
+        return Autoscaler(
+            AutoscalerConfig(price_aware=True, ttft_good_seconds=1.0)
+        )
+
+    def test_drains_worst_slo_per_dollar(self):
+        scaler = self._scaler()
+        expensive = _FakeReplica(
+            0, ReplicaProfile(name="big", dollars_per_hour=4.0)
+        )
+        cheap = _FakeReplica(
+            1, ReplicaProfile(name="small", dollars_per_hour=0.5)
+        )
+        # The expensive box misses the TTFT target, the cheap one hits it:
+        # worst goodness-per-dollar goes first.
+        scaler.observe_ttft(2.0, replica_id=0)
+        scaler.observe_ttft(3.0, replica_id=0)
+        scaler.observe_ttft(0.4, replica_id=1)
+        assert scaler.pick_drain_target(0.0, [expensive, cheap]) is expensive
+
+    def test_unobserved_replica_gets_optimistic_prior(self):
+        scaler = self._scaler()
+        observed = _FakeReplica(
+            0, ReplicaProfile(name="cheap", dollars_per_hour=0.5)
+        )
+        fresh = _FakeReplica(
+            1, ReplicaProfile(name="pricey", dollars_per_hour=2.0)
+        )
+        scaler.observe_ttft(0.5, replica_id=0)
+        # observed: 1.0/0.5 = 2.0; fresh prior: 1.0/2.0 = 0.5 — the
+        # fresh-but-expensive box drains, not the proven cheap one.
+        assert scaler.pick_drain_target(0.0, [observed, fresh]) is fresh
+
+    def test_spot_breaks_ties_first(self):
+        scaler = self._scaler()
+        on_demand = _FakeReplica(0, ReplicaProfile(name="od"))
+        spot = _FakeReplica(
+            1, ReplicaProfile(name="spot", spot=True)
+        )
+        # Equal prices, both unobserved: the spot box is the capacity
+        # you planned to give back.
+        assert scaler.pick_drain_target(0.0, [on_demand, spot]) is spot
+
+    def test_legacy_policy_drains_least_loaded(self):
+        scaler = Autoscaler(AutoscalerConfig())
+        busy = _FakeReplica(0, ReplicaProfile(), tokens=50.0)
+        idle = _FakeReplica(1, ReplicaProfile(), tokens=0.0)
+        assert scaler.pick_drain_target(0.0, [busy, idle]) is idle
+
+
+class _FakePool:
+    def __init__(self, resident):
+        self.hardware = DEFAULT_HARDWARE
+        self.model = tiny_test_model()
+        self._resident = set(resident)
+
+    def ready_flags(self, experts, now):
+        return [e in self._resident for e in experts]
+
+
+def _replica_with_pool(replica_id, resident, tokens=0.0):
+    engine = SimpleNamespace(pool=_FakePool(resident))
+    return _FakeReplica(
+        replica_id, ReplicaProfile(), tokens=tokens, engine=engine
+    )
+
+
+class TestCostAwareRouter:
+    DEMAND = {5: (ExpertId(0, 1), ExpertId(1, 2))}
+
+    def test_resident_replica_wins(self):
+        router = make_router("cost-aware", demand=self.DEMAND)
+        warm = _replica_with_pool(0, self.DEMAND[5])
+        cold = _replica_with_pool(1, ())
+        decision = router.select(
+            SimpleNamespace(cluster=5), None, [warm, cold], now=0.0
+        )
+        assert decision.replica is warm
+        assert decision.reason == "cost-aware"
+        assert router.cost_decisions == 1
+        assert router.fallback_decisions == 0
+
+    def test_queue_wait_can_outweigh_stall(self):
+        router = make_router("cost-aware", demand=self.DEMAND)
+        # The warm replica is buried in queued tokens; eating the two
+        # expert fetches on the idle cold box is cheaper.
+        warm = _replica_with_pool(0, self.DEMAND[5], tokens=10_000_000.0)
+        cold = _replica_with_pool(1, ())
+        decision = router.select(
+            SimpleNamespace(cluster=5), None, [warm, cold], now=0.0
+        )
+        assert decision.replica is cold
+
+    def test_unseen_cluster_falls_back_to_priced_queueing(self):
+        router = make_router("cost-aware", demand=self.DEMAND)
+        busy = _replica_with_pool(0, (), tokens=100.0)
+        idle = _replica_with_pool(1, ())
+        decision = router.select(
+            SimpleNamespace(cluster=99), None, [busy, idle], now=0.0
+        )
+        assert decision.replica is idle
+        assert decision.reason == "fallback"
+        assert router.fallback_decisions == 1
+
+    def test_make_router_ignores_demand_for_legacy_routers(self):
+        router = make_router("round-robin", demand=self.DEMAND)
+        assert router.name == "round-robin"
+
+
+class TestFleetReportSection:
+    def test_fleet_section_shape_and_prices(self):
+        world = tiny_world()
+        spec = fleet_spec(
+            "mixed-bandwidth", router="cost-aware", placement="cost-aware"
+        )
+        report = run_cluster(
+            world, "fmoe", spec, requests=arrival_trace(world, n=6)
+        )
+        payload = json.loads(cluster_report_to_json(report))
+        fleet = payload["fleet"]
+        assert fleet["placement"] == "cost-aware"
+        assert fleet["placement_cost"] <= fleet["placement_seed_cost"]
+        assert [r["profile"] for r in fleet["profiles"]] == [
+            "fast-nvlink",
+            "baseline",
+            "slow-pcie3",
+        ]
+        assert fleet["dollars_per_hour"] == pytest.approx(
+            sum(p.dollars_per_hour for p in spec.profiles)
+        )
+        assert len(fleet["residency_sizes"]) == 3
+        assert all(r["preloaded"] > 0 for r in fleet["profiles"])
+        # SLO-per-dollar divides attainment by the fleet price; a lax
+        # deadline makes attainment 1.0 exactly.
+        lax = 1e9
+        assert report.slo_attainment(lax) == 1.0
+        assert report.slo_per_dollar(lax) == pytest.approx(
+            1.0 / fleet["dollars_per_hour"]
+        )
+
+    def test_legacy_report_has_no_fleet_key(self):
+        world = tiny_world()
+        report = run_cluster(
+            world,
+            "fmoe",
+            ClusterSpec(replicas=2),
+            requests=arrival_trace(world, n=4),
+        )
+        assert report.fleet is None
+        assert report.slo_per_dollar(1e9) == 0.0
+        assert "fleet" not in json.loads(cluster_report_to_json(report))

@@ -1,0 +1,177 @@
+"""Property-based tests for expert placement on heterogeneous fleets.
+
+Invariants, under randomized fleet shapes, budgets, and strategies:
+
+- accounting — every demanded expert is either resident on some replica
+  or explicitly listed as unplaced (an accounted on-demand fetch path);
+  nothing silently vanishes, and no plan invents undemanded residents;
+- capacity — no replica's residency ever exceeds its profile-scaled
+  expert-slot capacity (``check_plan`` stays clean);
+- optimization — the hill-climbed plan never costs more than its greedy
+  seed (the accept-only-strict-improvement contract);
+- determinism — plan construction and full heterogeneous cluster runs
+  replay byte-identically at equal seeds.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    build_plan,
+    check_plan,
+    cluster_report_to_json,
+    demand_from_traces,
+    replica_costs,
+    run_cluster,
+)
+
+from tests._cluster_testkit import (
+    FLEET_SHAPE_PROFILES,
+    arrival_trace,
+    fleet_spec,
+    tiny_world,
+)
+from tests._strategies import FLEET_SHAPE_NAMES, hetero_fleets
+
+STRATEGIES = ("uniform", "cost-aware")
+
+#: Budget multipliers spanning starved to abundant expert caches.
+BUDGET_FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def _plan(strategy, shape, seed, factor):
+    world = tiny_world(seed)
+    spec = fleet_spec(shape)
+    budget = int(world.config.resolve_budget(world.model_config) * factor)
+    return build_plan(
+        strategy,
+        world.warm_traces,
+        spec,
+        world.model_config,
+        world.config.hardware,
+        budget,
+    )
+
+
+def _demanded(seed):
+    experts = set()
+    for demand in demand_from_traces(tiny_world(seed).warm_traces):
+        experts.update(demand.expert_set())
+    return experts
+
+
+class TestPlanAccounting:
+    @given(
+        strategy=st.sampled_from(STRATEGIES),
+        shape=st.sampled_from(FLEET_SHAPE_NAMES),
+        seed=st.integers(0, 3),
+        factor=st.sampled_from(BUDGET_FACTORS),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_every_demanded_expert_accounted(
+        self, strategy, shape, seed, factor
+    ):
+        plan = _plan(strategy, shape, seed, factor)
+        demanded = _demanded(seed)
+        resident = plan.resident_anywhere()
+        unplaced = set(plan.unplaced)
+        # Demanded experts are resident somewhere or on the accounted
+        # on-demand fetch path; the plan never invents residents.
+        assert demanded <= resident | unplaced
+        assert resident <= demanded
+        assert unplaced <= demanded
+        # An unplaced expert that is actually resident is a bookkeeping
+        # contradiction.
+        assert not (resident & unplaced)
+
+    @given(
+        strategy=st.sampled_from(STRATEGIES),
+        shape=st.sampled_from(FLEET_SHAPE_NAMES),
+        seed=st.integers(0, 3),
+        factor=st.sampled_from(BUDGET_FACTORS),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_never_exceeded(self, strategy, shape, seed, factor):
+        plan = _plan(strategy, shape, seed, factor)
+        assert check_plan(plan) == []
+        for experts, capacity in zip(plan.residency, plan.capacities):
+            assert len(experts) <= capacity
+            assert len(set(experts)) == len(experts)
+
+
+class TestOptimizer:
+    @given(
+        shape=st.sampled_from(FLEET_SHAPE_NAMES),
+        seed=st.integers(0, 3),
+        factor=st.sampled_from(BUDGET_FACTORS),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_hill_climb_never_worse_than_seed(self, shape, seed, factor):
+        plan = _plan("cost-aware", shape, seed, factor)
+        assert plan.cost <= plan.seed_cost + 1e-9
+        # Every profiled semantic cluster got assigned to a replica.
+        demands = demand_from_traces(tiny_world(seed).warm_traces)
+        assigned = {cluster for cluster, _ in plan.cluster_assignment}
+        assert assigned == {d.cluster for d in demands}
+
+    @given(shape=st.sampled_from(FLEET_SHAPE_NAMES), seed=st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_capacity_floor_and_vram_scaling(self, shape, seed):
+        world = tiny_world(seed)
+        spec = fleet_spec(shape)
+        budget = world.config.resolve_budget(world.model_config)
+        costs = replica_costs(
+            spec, world.model_config, world.config.hardware, budget
+        )
+        gpus = world.config.hardware.num_gpus
+        for cost, name in zip(costs, FLEET_SHAPE_PROFILES[shape]):
+            # The one-expert-per-GPU floor the driver applies holds in
+            # the cost model too.
+            assert cost.capacity_slots >= gpus
+            profile = spec.profile_for(cost.replica_id)
+            assert cost.dollars_per_hour == profile.dollars_per_hour
+            assert cost.spot == profile.spot
+            assert profile.name == name
+
+
+class TestDeterminism:
+    @given(
+        strategy=st.sampled_from(STRATEGIES),
+        shape=st.sampled_from(FLEET_SHAPE_NAMES),
+        seed=st.integers(0, 3),
+        factor=st.sampled_from(BUDGET_FACTORS),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_plan_construction_is_deterministic(
+        self, strategy, shape, seed, factor
+    ):
+        assert _plan(strategy, shape, seed, factor) == _plan(
+            strategy, shape, seed, factor
+        )
+
+    @given(scenario=hetero_fleets(max_requests=6))
+    @settings(max_examples=10, deadline=None)
+    def test_fleet_run_replays_byte_identically(self, scenario):
+        world = tiny_world()
+        spec = fleet_spec(
+            scenario["shape"],
+            router=scenario["router"],
+            placement=scenario["placement"],
+        )
+        trace = arrival_trace(
+            world,
+            n=scenario["n"],
+            gap=scenario["gap"],
+            seed=scenario["seed"],
+        )
+        first = run_cluster(world, "fmoe", spec, requests=trace)
+        second = run_cluster(world, "fmoe", spec, requests=trace)
+        assert cluster_report_to_json(first) == cluster_report_to_json(
+            second
+        )
+        assert first.fleet is not None
+        assert first.fleet.dollars_per_hour == sum(
+            p.dollars_per_hour for p in spec.profiles
+        )
