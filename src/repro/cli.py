@@ -14,6 +14,8 @@ Commands:
 - ``cluster``  — multi-replica cluster simulation with affinity routing
   (``--chaos`` / ``--resilience`` engage the cluster resilience layer).
 - ``storm-lite`` — resilience off vs. on under cluster-scope chaos.
+- ``storm``    — multi-tenant traffic storm: full-day census plus a
+  priority-aware simulation window at 10k/100k/1m offered requests.
 - ``fleet``    — heterogeneous fleet-shape sweep: cost-aware placement +
   routing vs. the uniform baseline, scored as SLO attainment per dollar.
 - ``grid``     — sweep (model, dataset, system, budget) grids to CSV.
@@ -699,6 +701,60 @@ def cmd_storm_lite(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_storm(args: argparse.Namespace) -> int:
+    """Multi-tenant storm: census + priority-aware window per scale."""
+    import json
+    from pathlib import Path
+
+    from repro.experiments.storm import storm_results
+
+    config = _config_from_args(args)
+    results = storm_results(
+        config=config,
+        scales=args.scales,
+        sim_requests=args.sim_requests,
+        system=args.system,
+        replicas=args.replicas,
+        admission_rate=args.admission_rate,
+        admission_burst=args.admission_burst,
+        deadline_multiplier=args.deadline_multiplier,
+        jobs=args.jobs,
+        executor=args.executor,
+        validate=args.validate,
+    )
+    for res in results:
+        census = res.census
+        print(
+            f"scale {res.scale}: {res.total_requests} offered over "
+            f"{census['span_seconds']:.0f}s "
+            f"(mean {census['mean_rate']:.3f} rps, "
+            f"peak {census['peak_rate']:.3f} rps); "
+            f"window {res.sim_requests} requests, "
+            f"deadline {res.deadline_seconds:.2f}s"
+        )
+        for row in res.tiers:
+            print(f"  {row.format()}")
+        for row in res.tenants:
+            print(f"  {row.format()}")
+    if args.bench_out:
+        payload = {
+            "experiment": "storm",
+            "model": config.model_name,
+            "seed": config.seed,
+            "sim_requests": args.sim_requests,
+            "replicas": args.replicas,
+            "admission_rate": args.admission_rate,
+            "admission_burst": args.admission_burst,
+            "scales": [res.to_dict() for res in results],
+        }
+        path = Path(args.bench_out)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {path}")
+    return 0
+
+
 def cmd_fleet(args: argparse.Namespace) -> int:
     """Heterogeneous fleet sweep: SLO-per-dollar, uniform vs. cost-aware."""
     import json
@@ -1172,6 +1228,52 @@ def build_parser() -> argparse.ArgumentParser:
     _add_validate_arg(p)
     _add_jobs_arg(p)
     p.set_defaults(func=cmd_storm_lite)
+
+    p = sub.add_parser(
+        "storm",
+        help="multi-tenant traffic storm: full-day census + "
+        "priority-aware simulation window per scale",
+    )
+    _add_world_args(p)
+    p.add_argument(
+        "--system", default="fmoe", type=_prefix_choice(POLICY_CHOICES)
+    )
+    p.add_argument(
+        "--scales",
+        nargs="*",
+        default=["10k", "100k", "1m"],
+        help="offered-request scales (10k/100k/1m style, or plain counts)",
+    )
+    p.add_argument(
+        "--sim-requests",
+        type=int,
+        default=256,
+        help="arrivals from the start of each day replayed through the "
+        "cluster (the census always streams the whole day)",
+    )
+    p.add_argument("--replicas", type=int, default=2)
+    p.add_argument(
+        "--admission-rate",
+        type=float,
+        default=4.0,
+        help="token-bucket admission rate shared by all scales; fixed "
+        "so higher scales overload naturally",
+    )
+    p.add_argument("--admission-burst", type=int, default=8)
+    p.add_argument(
+        "--deadline-multiplier",
+        type=float,
+        default=3.0,
+        help="SLO deadline as a multiple of the healthy reference p95",
+    )
+    p.add_argument(
+        "--bench-out",
+        default=None,
+        help="write the storm as JSON (e.g. benchmarks/BENCH_storm.json)",
+    )
+    _add_validate_arg(p)
+    _add_jobs_arg(p)
+    p.set_defaults(func=cmd_storm)
 
     p = sub.add_parser(
         "fleet",

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import replace
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.cluster.autoscaler import Autoscaler
 from repro.cluster.config import ClusterSpec
@@ -36,6 +36,10 @@ from repro.cluster.metrics import (
     RequestOutcome,
     ResilienceReport,
     ScaleEvent,
+    TenancyReport,
+    TenantReport,
+    TierReport,
+    _percentile,
 )
 from repro.cluster.placement import build_plan, demand_from_traces
 from repro.cluster.replica import Replica
@@ -197,6 +201,7 @@ class ClusterDriver:
         self._fault_order = 0
         self._last_rung = RUNG_FULL
         self._outcomes: dict[int, RequestOutcome] = {}
+        self._tenancy_tags: dict[int, tuple[str, str]] = {}
         self._breakers: dict[int, CircuitBreaker] = {}
         self._fault_events: list[tuple[float, int, str, ReplicaCrash]] = []
         self._bucket: TokenBucket | None = None
@@ -726,6 +731,22 @@ class ClusterDriver:
                 "Requests shed by the resilience layer, by reason",
             ).inc(reason=reason)
 
+    def _admission_bypass(self, request: Request) -> bool:
+        """Whether this request's priority clears the shed/admission gates.
+
+        The priority-scheduling seam: premium tiers map to priorities at
+        or above ``priority_bypass_level``, so under overload the ladder
+        and token bucket shed batch traffic first.  (The
+        ``priority-inversion`` validation mutant overrides exactly this
+        decision; the tier-conservation monitor must catch it.)
+        """
+        cfg = self.resilience
+        return (
+            cfg is not None
+            and cfg.priority_bypass_level is not None
+            and request.priority >= cfg.priority_bypass_level
+        )
+
     def _dispatch_resilient(self, request: Request) -> None:
         """The tracked dispatch path: faults, admission, retries, hedges."""
         now = request.arrival_time
@@ -751,14 +772,14 @@ class ClusterDriver:
         outcome = RequestOutcome(request_id=request.request_id, arrival=now)
         outcome.rung = rung
         self._outcomes[request.request_id] = outcome
+        if request.tenant or request.tier:
+            self._tenancy_tags[request.request_id] = (
+                request.tenant,
+                request.tier,
+            )
         if self.journeys is not None:
             self.journeys.begin_request(request.request_id, now, rung)
-        cfg = self.resilience
-        bypass = (
-            cfg is not None
-            and cfg.priority_bypass_level is not None
-            and request.priority >= cfg.priority_bypass_level
-        )
+        bypass = self._admission_bypass(request)
         if rung >= RUNG_SHED and not bypass:
             self._shed_outcome(outcome, "ladder")
             return
@@ -1077,30 +1098,58 @@ class ClusterDriver:
         """Serve ``requests`` across the fleet; returns the full report."""
         # Stable sort: ties keep the caller's order, so a 1-replica
         # cluster serves exactly the sequence a bare engine run would.
-        ordered = sorted(requests, key=lambda r: r.arrival_time)
-        tracing = self.tracer is not None and bool(ordered)
-        if tracing:
-            self.tracer.set_lane_name(CLUSTER_LANE, "cluster")
-            self.tracer.begin(
-                "cluster",
-                ordered[0].arrival_time,
-                tid=CLUSTER_LANE,
-                category="cluster",
-                router=self.spec.router,
-            )
+        return self._run_ordered(
+            sorted(requests, key=lambda r: r.arrival_time)
+        )
+
+    def run_stream(self, arrivals: Iterable[Request]) -> ClusterReport:
+        """Serve an arrival-ordered stream without materializing it.
+
+        The big-traffic entry point: the lazy heap-merged streams from
+        :mod:`repro.workloads.traffic` are already sorted, so requests
+        dispatch straight off the iterator and the driver never holds
+        the full day in memory.  Raises :class:`ConfigError` on an
+        out-of-order arrival (callers own the sort contract here).
+        """
+        return self._run_ordered(arrivals, streaming=True)
+
+    def _run_ordered(
+        self, ordered: Iterable[Request], streaming: bool = False
+    ) -> ClusterReport:
+        tracing = False
+        first_arrival: float | None = None
+        last_arrival: float | None = None
         for request in ordered:
+            if first_arrival is None:
+                first_arrival = request.arrival_time
+                if self.tracer is not None:
+                    tracing = True
+                    self.tracer.set_lane_name(CLUSTER_LANE, "cluster")
+                    self.tracer.begin(
+                        "cluster",
+                        request.arrival_time,
+                        tid=CLUSTER_LANE,
+                        category="cluster",
+                        router=self.spec.router,
+                    )
+            elif streaming and request.arrival_time < last_arrival:
+                raise ConfigError(
+                    "run_stream requires non-decreasing arrival times; "
+                    f"request {request.request_id} arrived at "
+                    f"{request.arrival_time} after {last_arrival}"
+                )
+            last_arrival = request.arrival_time
             self._dispatch(request)
         if self.tracked:
             # Scripted faults landing after the last arrival still
             # happen: drain them so late crashes retract in-flight work
             # and scheduled restarts are journaled.
             self._apply_due_cluster_faults(float("inf"))
-        if self.fleet_series is not None and ordered:
+        if self.fleet_series is not None and last_arrival is not None:
             # One closing snapshot at the fleet's quiesce time, so the
             # series always covers the full run window.
             quiesce = max(
-                [ordered[-1].arrival_time]
-                + [r.engine.now for r in self.replicas]
+                [last_arrival] + [r.engine.now for r in self.replicas]
             )
             self.fleet_series.sample(quiesce, self)
         self._finalize()
@@ -1114,13 +1163,107 @@ class ClusterDriver:
             )
         if tracing:
             end_ts = max(
-                [ordered[0].arrival_time]
-                + [r.engine.now for r in self.replicas]
+                [first_arrival] + [r.engine.now for r in self.replicas]
             )
             self.tracer.end(
                 end_ts, tid=CLUSTER_LANE, replicas=len(self.replicas)
             )
         return self.report
+
+    def _build_tenancy(self) -> None:
+        """Fold tagged outcomes into per-tier / per-tenant sections.
+
+        Only tracked runs build this (client-perceived outcomes are the
+        source of truth for tier accounting); untagged runs leave
+        ``report.tenancy`` as None so their JSON form is unchanged.
+        """
+        if not self._tenancy_tags:
+            return
+        cfg = self.resilience
+        tenancy = TenancyReport(
+            priority_aware=(
+                cfg is not None and cfg.priority_bypass_level is not None
+            )
+        )
+        deadline = (
+            self.slo_tracker.deadline_seconds
+            if self.slo_tracker is not None
+            else None
+        )
+        tier_ttfts: dict[str, list[float]] = {}
+        tier_latencies: dict[str, list[float]] = {}
+        tenant_ttfts: dict[str, list[float]] = {}
+        for outcome in self.report.outcomes:
+            tags = self._tenancy_tags.get(outcome.request_id)
+            if tags is None:
+                continue
+            tenant_name, tier_name = tags
+            tier = tenancy.tiers.setdefault(
+                tier_name, TierReport(tier=tier_name)
+            )
+            tenant = tenancy.tenants.setdefault(
+                tenant_name,
+                TenantReport(tenant=tenant_name, tier=tier_name),
+            )
+            tier.offered += 1
+            tenant.offered += 1
+            if outcome.outcome == "served":
+                tier.served += 1
+                tenant.served += 1
+                if outcome.ttft is not None:
+                    tier_ttfts.setdefault(tier_name, []).append(
+                        outcome.ttft
+                    )
+                    tenant_ttfts.setdefault(tenant_name, []).append(
+                        outcome.ttft
+                    )
+                if outcome.latency is not None:
+                    tier_latencies.setdefault(tier_name, []).append(
+                        outcome.latency
+                    )
+            elif outcome.outcome == "shed":
+                tier.shed += 1
+                tenant.shed += 1
+            elif outcome.outcome == "failed":
+                tier.failed += 1
+                tenant.failed += 1
+        for name, tier in tenancy.tiers.items():
+            ttfts = tier_ttfts.get(name, [])
+            tier.ttft_p50 = _percentile(ttfts, 50)
+            tier.ttft_p95 = _percentile(ttfts, 95)
+            tier.ttft_p99 = _percentile(ttfts, 99)
+            tier.latency_p95 = _percentile(tier_latencies.get(name, []), 95)
+            if deadline is not None and tier.offered > 0:
+                good = sum(
+                    1
+                    for latency in tier_latencies.get(name, [])
+                    if latency <= deadline
+                )
+                tier.slo_attainment = good / tier.offered
+        # Per-tenant cache behavior comes from the machine-work metrics:
+        # every serve a tenant's requests triggered (retries, hedges,
+        # crash partials included) counts toward its hit rate, which is
+        # exactly the shared-store footprint the noisy-neighbor metric
+        # compares against a solo run.
+        tenant_hits: dict[str, int] = {}
+        tenant_misses: dict[str, int] = {}
+        for served in self.report.aggregate.requests:
+            tags = self._tenancy_tags.get(served.request_id)
+            if tags is None:
+                continue
+            tenant_name = tags[0]
+            tenant_hits[tenant_name] = (
+                tenant_hits.get(tenant_name, 0) + served.hits
+            )
+            tenant_misses[tenant_name] = (
+                tenant_misses.get(tenant_name, 0) + served.misses
+            )
+        for name, tenant in tenancy.tenants.items():
+            tenant.ttft_p95 = _percentile(tenant_ttfts.get(name, []), 95)
+            total = tenant_hits.get(name, 0) + tenant_misses.get(name, 0)
+            if total > 0:
+                tenant.hit_rate = tenant_hits.get(name, 0) / total
+        self.report.tenancy = tenancy
 
     def _finalize(self) -> None:
         """Fold per-replica reports into summaries and the aggregate."""
@@ -1162,6 +1305,7 @@ class ClusterDriver:
                 self.report.routed
             )
             self.report.outcomes = list(self._outcomes.values())
+            self._build_tenancy()
         if self.slo_tracker is not None:
             # Replay resolutions at finalize time: the outcome set is
             # final here, so crash retractions can never double-count.

@@ -165,6 +165,75 @@ class RequestOutcome:
     retries exhausted), or ``crash`` (lost in flight, not recovered)."""
 
 
+def _percentile(values: list[float], q: float) -> float | None:
+    """``q``-th percentile of ``values`` (None when empty)."""
+    if not values:
+        return None
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+@dataclass
+class TierReport:
+    """Client-perceived outcome of one SLO tier's requests."""
+
+    tier: str
+    offered: int = 0
+    """Requests presented to the cluster at this tier."""
+
+    served: int = 0
+    shed: int = 0
+    failed: int = 0
+    ttft_p50: float | None = None
+    ttft_p95: float | None = None
+    ttft_p99: float | None = None
+    latency_p95: float | None = None
+    slo_attainment: float | None = None
+    """Fraction of *offered* requests served within the attached SLO
+    tracker's deadline (None when no tracker rode the run)."""
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests shed (0 when nothing offered)."""
+        if self.offered == 0:
+            return 0.0
+        return self.shed / self.offered
+
+
+@dataclass
+class TenantReport:
+    """One tenant's slice of a multi-tenant cluster run."""
+
+    tenant: str
+    tier: str = ""
+    offered: int = 0
+    served: int = 0
+    shed: int = 0
+    failed: int = 0
+    ttft_p95: float | None = None
+    hit_rate: float | None = None
+    """This tenant's expert-cache hit rate inside the mixed run — the
+    basis of the noisy-neighbor pollution metric (compare against the
+    tenant's solo-run hit rate under the same spec)."""
+
+
+@dataclass
+class TenancyReport:
+    """Per-tier / per-tenant sections of a multi-tenant cluster run.
+
+    Present on a :class:`ClusterReport` only when tracked requests
+    carried tenant/tier tags; untagged runs keep the ``tenancy`` key out
+    of the JSON form entirely, preserving byte parity.
+    """
+
+    priority_aware: bool = False
+    """Whether a ``priority_bypass_level`` protected high tiers — the
+    tier-conservation monitor only enforces the premium-sheds-less
+    ordering when this is set (tier-blind shedding has no ordering)."""
+
+    tiers: dict[str, TierReport] = field(default_factory=dict)
+    tenants: dict[str, TenantReport] = field(default_factory=dict)
+
+
 @dataclass
 class ResilienceReport:
     """Fleet-level resilience counters for one cluster run.
@@ -280,6 +349,10 @@ class ClusterReport:
     fleet: FleetReport | None = None
     """Heterogeneous-fleet accounting; ``None`` on homogeneous legacy
     runs — the JSON key is omitted so their serialization is unchanged."""
+
+    tenancy: TenancyReport | None = None
+    """Per-tier / per-tenant accounting; ``None`` unless tracked requests
+    carried tenant tags — the JSON key is omitted otherwise."""
 
     # ------------------------------------------------------------------ #
     # Fleet-level derived metrics
@@ -487,6 +560,40 @@ def _resilience_to_dict(report: ClusterReport) -> dict:
     }
 
 
+def _tenancy_to_dict(tenancy: TenancyReport) -> dict:
+    """The tenancy section of a cluster report's JSON form."""
+    return {
+        "priority_aware": tenancy.priority_aware,
+        "tiers": {
+            name: {
+                "offered": t.offered,
+                "served": t.served,
+                "shed": t.shed,
+                "failed": t.failed,
+                "shed_rate": t.shed_rate,
+                "ttft_p50": t.ttft_p50,
+                "ttft_p95": t.ttft_p95,
+                "ttft_p99": t.ttft_p99,
+                "latency_p95": t.latency_p95,
+                "slo_attainment": t.slo_attainment,
+            }
+            for name, t in sorted(tenancy.tiers.items())
+        },
+        "tenants": {
+            name: {
+                "tier": t.tier,
+                "offered": t.offered,
+                "served": t.served,
+                "shed": t.shed,
+                "failed": t.failed,
+                "ttft_p95": t.ttft_p95,
+                "hit_rate": t.hit_rate,
+            }
+            for name, t in sorted(tenancy.tenants.items())
+        },
+    }
+
+
 def cluster_report_to_dict(report: ClusterReport) -> dict:
     """A JSON-serializable summary of one cluster run.
 
@@ -545,6 +652,8 @@ def cluster_report_to_dict(report: ClusterReport) -> dict:
         summary["resilience"] = _resilience_to_dict(report)
     if report.slo_summary is not None:
         summary["slo"] = report.slo_summary
+    if report.tenancy is not None:
+        summary["tenancy"] = _tenancy_to_dict(report.tenancy)
     if report.fleet is not None:
         fleet = report.fleet
         summary["fleet"] = {

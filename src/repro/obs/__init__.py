@@ -64,6 +64,7 @@ from repro.obs.slo import (
     BurnRateRule,
     SLOAlert,
     SLOTracker,
+    TieredSLOTracker,
     default_burn_rules,
     render_slo_summary,
 )
@@ -90,6 +91,7 @@ __all__ = [
     "SLOTracker",
     "Sink",
     "SlidingWindowRatio",
+    "TieredSLOTracker",
     "Telemetry",
     "Tracer",
     "check_engine_bench_payload",

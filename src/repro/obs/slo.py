@@ -282,6 +282,69 @@ class SLOTracker:
         }
 
 
+class TieredSLOTracker:
+    """Per-SLO-tier burn-rate tracking: one :class:`SLOTracker` per tier.
+
+    Multi-tenant runs burn budget at very different speeds per tier —
+    under overload the driver sheds batch traffic first, so the batch
+    tier's fast-burn rule should page long before premium's does.  This
+    wrapper partitions the outcome stream by tier (via a request-id →
+    tier mapping) and runs an independent tracker, with independent
+    windows and alert timelines, over each partition.
+    """
+
+    def __init__(
+        self,
+        objective: float = 0.9,
+        deadline_seconds: float = 1.0,
+        rules: Iterable[BurnRateRule] | None = None,
+    ) -> None:
+        self.objective = objective
+        self.deadline_seconds = deadline_seconds
+        self.rules = list(rules) if rules is not None else None
+        self.trackers: dict[str, SLOTracker] = {}
+
+    def tracker_for(self, tier: str) -> SLOTracker:
+        """The (lazily created) tracker owning one tier's stream."""
+        if tier not in self.trackers:
+            self.trackers[tier] = SLOTracker(
+                objective=self.objective,
+                deadline_seconds=self.deadline_seconds,
+                rules=self.rules,
+            )
+        return self.trackers[tier]
+
+    def observe_outcomes(self, outcomes, tiers: dict[int, str]) -> None:
+        """Replay outcomes, partitioned by ``tiers`` (request-id → tier).
+
+        Outcomes whose request id is missing from the mapping land in an
+        ``""`` (untiered) partition rather than being dropped, so the
+        per-tier observation counts always conserve the outcome count.
+        """
+        by_tier: dict[str, list] = {}
+        for outcome in outcomes:
+            tier = tiers.get(outcome.request_id, "")
+            by_tier.setdefault(tier, []).append(outcome)
+        for tier, tier_outcomes in sorted(by_tier.items()):
+            self.tracker_for(tier).observe_outcomes(tier_outcomes)
+
+    def to_dict(self) -> dict:
+        """Tier → :meth:`SLOTracker.to_dict` summary, sorted by tier."""
+        return {
+            tier: tracker.to_dict()
+            for tier, tracker in sorted(self.trackers.items())
+        }
+
+    def firing(self) -> dict[str, list[str]]:
+        """Tiers with at least one rule firing (tier → rule names)."""
+        result = {}
+        for tier, tracker in sorted(self.trackers.items()):
+            names = tracker.firing()
+            if names:
+                result[tier] = names
+        return result
+
+
 def tracker_from_outcome_dicts(
     outcome_dicts: Iterable[dict],
     objective: float = 0.9,

@@ -18,6 +18,9 @@ class Request:
     ``arrival_time`` matters only for online-trace runs.  ``priority``
     matters only under cluster admission control: requests at or above
     the configured bypass level are never shed at the admission gate.
+    ``tenant``/``tier`` tag multi-tenant traffic (empty for single-tenant
+    workloads); the traffic layer keeps ``priority`` consistent with the
+    tier it assigns.
     """
 
     request_id: int
@@ -27,6 +30,8 @@ class Request:
     arrival_time: float = 0.0
     seed: int = 0
     priority: int = 0
+    tenant: str = ""
+    tier: str = ""
 
     def __post_init__(self) -> None:
         if self.input_tokens < 1:

@@ -302,10 +302,90 @@ def _detect_placement_mutant(world, mutant: Mutant) -> MutantResult:
     )
 
 
+def _storm_overload_trace(seed: int):
+    """A dense two-tier arrival burst that forces admission shedding."""
+    from repro.workloads.traffic import (
+        TenantSpec,
+        TrafficConfig,
+        materialize_traffic,
+    )
+
+    traffic = TrafficConfig(
+        tenants=(
+            TenantSpec(
+                name="prem",
+                num_requests=8,
+                mean_interarrival_seconds=0.05,
+                burstiness_cv=1.0,
+                tier="premium",
+            ),
+            TenantSpec(
+                name="bulk",
+                num_requests=8,
+                mean_interarrival_seconds=0.05,
+                burstiness_cv=1.0,
+                tier="batch",
+            ),
+        ),
+        seed=seed,
+    )
+    return materialize_traffic(traffic)
+
+
+def _detect_driver_mutant(world, mutant: Mutant) -> MutantResult:
+    """Replay a two-tier overload through the sabotaged driver class.
+
+    The healthy :class:`ClusterDriver` must survive the validated run
+    (premium bypasses the tight admission bucket, batch absorbs the
+    shed); the mutated subclass must trip the tenancy monitors.  Both
+    legs matter — a monitor that flags the healthy run too has gone
+    trigger-happy, not grown teeth.
+    """
+    from repro.cluster.config import ClusterSpec, ResilienceConfig
+    from repro.cluster.driver import ClusterDriver
+    from repro.workloads.traffic import PREMIUM_PRIORITY
+
+    trace = _storm_overload_trace(world.config.seed)
+    spec = ClusterSpec(
+        replicas=1,
+        resilience=ResilienceConfig(
+            admission_rate=2.0,
+            admission_burst=1,
+            priority_bypass_level=PREMIUM_PRIORITY,
+        ),
+    )
+
+    def run_with(driver_cls) -> None:
+        driver_cls(world, "fmoe", spec, validate=True).run(trace)
+
+    detector = "invariant:tenancy"
+    try:
+        run_with(ClusterDriver)
+    except ReproError:
+        # The healthy driver must pass clean; a flag here is a false
+        # positive, not a detection.
+        return MutantResult(name=mutant.name, flagged=False, detectors=[])
+    try:
+        run_with(mutant.apply(ClusterDriver))
+    except ValidationError:
+        return MutantResult(
+            name=mutant.name, flagged=True, detectors=[detector]
+        )
+    except ReproError as exc:
+        return MutantResult(
+            name=mutant.name,
+            flagged=True,
+            detectors=[f"crash:{type(exc).__name__}"],
+        )
+    return MutantResult(name=mutant.name, flagged=False, detectors=[])
+
+
 def detect_mutant(world, mutant: Mutant) -> MutantResult:
     """Inject ``mutant`` and record which validators (if any) flag it."""
     if mutant.target == "placement":
         return _detect_placement_mutant(world, mutant)
+    if mutant.target == "driver":
+        return _detect_driver_mutant(world, mutant)
     ctx = LawContext(world=world, mutant=mutant)
     checks = [monitored_run(ctx, "fmoe-offline", "fmoe")]
     checks.extend(run_laws(ctx, DETECTION_LAWS))

@@ -505,6 +505,88 @@ def check_cluster_report(report: "ClusterReport") -> list[Violation]:
                 f"+ shed ({summary.shed_requests}) != assigned "
                 f"({summary.assigned})"
             )
+    if report.tenancy is not None:
+        violations.extend(_check_tenancy(report))
+    return violations
+
+
+def _check_tenancy(report: "ClusterReport") -> list[Violation]:
+    """Tier-conservation invariants over a multi-tenant run's report.
+
+    Two families: **conservation** — every tier's (and tenant's) offered
+    requests resolve exactly once (admitted/served + shed + failed ==
+    offered), and the per-tenant fold reproduces the per-tier fold — and
+    **priority ordering** — under priority-aware shedding (a configured
+    ``priority_bypass_level``), the premium tier's shed rate can never
+    exceed the batch tier's: the bypass gate protects high priorities,
+    so any inversion means the driver shed the wrong tier first (exactly
+    what the ``priority-inversion`` mutant does).
+    """
+    violations: list[Violation] = []
+    tenancy = report.tenancy
+
+    def record(message: str) -> None:
+        violations.append(Violation("tenancy", message))
+
+    total_offered = 0
+    for name, tier in sorted(tenancy.tiers.items()):
+        total_offered += tier.offered
+        if tier.served + tier.shed + tier.failed != tier.offered:
+            record(
+                f"tier {name}: served ({tier.served}) + shed "
+                f"({tier.shed}) + failed ({tier.failed}) != offered "
+                f"({tier.offered})"
+            )
+    if total_offered > report.routed:
+        record(
+            f"tier offered totals ({total_offered}) exceed routed "
+            f"({report.routed})"
+        )
+    folded: dict[str, list[int]] = {}
+    for name, tenant in sorted(tenancy.tenants.items()):
+        if tenant.served + tenant.shed + tenant.failed != tenant.offered:
+            record(
+                f"tenant {name}: served ({tenant.served}) + shed "
+                f"({tenant.shed}) + failed ({tenant.failed}) != offered "
+                f"({tenant.offered})"
+            )
+        sums = folded.setdefault(tenant.tier, [0, 0, 0, 0])
+        sums[0] += tenant.offered
+        sums[1] += tenant.served
+        sums[2] += tenant.shed
+        sums[3] += tenant.failed
+    for name, (offered, served, shed, failed) in sorted(folded.items()):
+        tier = tenancy.tiers.get(name)
+        if tier is None:
+            record(f"tenants report tier {name} absent from tier sections")
+            continue
+        if (tier.offered, tier.served, tier.shed, tier.failed) != (
+            offered,
+            served,
+            shed,
+            failed,
+        ):
+            record(
+                f"tier {name} counters "
+                f"({tier.offered}/{tier.served}/{tier.shed}/{tier.failed}) "
+                f"disagree with tenant fold "
+                f"({offered}/{served}/{shed}/{failed})"
+            )
+    if tenancy.priority_aware:
+        premium = tenancy.tiers.get("premium")
+        batch = tenancy.tiers.get("batch")
+        if (
+            premium is not None
+            and batch is not None
+            and premium.offered > 0
+            and batch.offered > 0
+            and premium.shed_rate > batch.shed_rate + _EPS
+        ):
+            record(
+                f"priority inversion: premium shed rate "
+                f"({premium.shed_rate:.4f}) exceeds batch shed rate "
+                f"({batch.shed_rate:.4f}) under priority-aware shedding"
+            )
     return violations
 
 

@@ -28,7 +28,11 @@ class Mutant:
     mutants patch a freshly built :class:`ServingEngine` in place;
     ``"placement"`` mutants transform a healthy
     :class:`~repro.cluster.placement.PlacementPlan` and return the
-    broken copy (the harness screens it through ``check_plan``).
+    broken copy (the harness screens it through ``check_plan``);
+    ``"driver"`` mutants take the :class:`~repro.cluster.driver
+    .ClusterDriver` class and return a sabotaged subclass (the harness
+    replays a two-tier overload through it and expects the tenancy
+    monitors to object).
     """
 
     name: str
@@ -146,6 +150,29 @@ def _placement_overcommit(plan):
     )
 
 
+def _priority_inversion(driver_cls):
+    """Admission bypass flipped: batch skips the gate, premium pays it.
+
+    The priority scheduler's one job is protecting premium traffic when
+    the ladder sheds; this subclass inverts the single decision point
+    (:meth:`ClusterDriver._admission_bypass`) so low-priority requests
+    bypass admission control while premium requests get shed first —
+    the classic sign-flip bug in a priority comparison.  The tenancy
+    tier-conservation monitor must flag the resulting shed-rate
+    inversion.
+    """
+
+    class PriorityInvertedDriver(driver_cls):
+        def _admission_bypass(self, request) -> bool:
+            cfg = self.resilience
+            if cfg is None or cfg.priority_bypass_level is None:
+                return False
+            return request.priority < cfg.priority_bypass_level
+
+    PriorityInvertedDriver.__name__ = f"PriorityInverted{driver_cls.__name__}"
+    return PriorityInvertedDriver
+
+
 MUTANTS: tuple[Mutant, ...] = (
     Mutant(
         name="budget-overcommit",
@@ -192,6 +219,14 @@ MUTANTS: tuple[Mutant, ...] = (
         expected_detector="placement plan check",
         apply=_placement_overcommit,
         target="placement",
+    ),
+    Mutant(
+        name="priority-inversion",
+        description="admission bypass comparison flipped: batch traffic "
+        "skips the gate while premium requests shed first",
+        expected_detector="tenancy tier-conservation monitor",
+        apply=_priority_inversion,
+        target="driver",
     ),
 )
 

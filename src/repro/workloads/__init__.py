@@ -5,6 +5,8 @@
   log-normal prompt/output lengths).
 - :mod:`repro.workloads.azure` — bursty online arrival traces shaped like
   the Microsoft Azure LLM inference traces used for Fig. 10.
+- :mod:`repro.workloads.traffic` — multi-tenant diurnal traffic: lazy
+  heap-merged per-tenant streams with SLO tiers, for million-user days.
 - :mod:`repro.workloads.split` — the paper's 7:3 warm/test split.
 """
 
@@ -19,6 +21,19 @@ from repro.workloads.datasets import (
 from repro.workloads.azure import AzureTraceConfig, make_azure_trace
 from repro.workloads.split import warm_test_split
 from repro.workloads.tracefile import read_trace_csv, write_trace_csv
+from repro.workloads.traffic import (
+    TIER_NAMES,
+    TIER_PRIORITY,
+    TenantSpec,
+    TrafficConfig,
+    TrafficCensus,
+    arrival_chunks,
+    default_storm_traffic,
+    materialize_traffic,
+    stream_traffic,
+    tenant_arrivals,
+    traffic_census,
+)
 
 __all__ = [
     "DatasetProfile",
@@ -32,4 +47,15 @@ __all__ = [
     "warm_test_split",
     "read_trace_csv",
     "write_trace_csv",
+    "TIER_NAMES",
+    "TIER_PRIORITY",
+    "TenantSpec",
+    "TrafficConfig",
+    "TrafficCensus",
+    "arrival_chunks",
+    "default_storm_traffic",
+    "materialize_traffic",
+    "stream_traffic",
+    "tenant_arrivals",
+    "traffic_census",
 ]

@@ -8,11 +8,19 @@ and generation token counts.  This module reads that schema into
 traces back out, so experiments can run against trace files checked into a
 repo or exported from production.
 
-Schema::
+Legacy schema::
 
     timestamp,input_tokens,output_tokens
     0.000,128,42
     1.532,64,7
+
+Multi-tenant traces carry two extra columns (written only when at least
+one request is tagged, so untagged traces stay byte-identical to the
+legacy format; both forms read back)::
+
+    timestamp,input_tokens,output_tokens,tenant,tier
+    0.000,128,42,acme-premium,premium
+    1.532,64,7,initech-batch,batch
 """
 
 from __future__ import annotations
@@ -26,24 +34,44 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.serving.request import Request
 from repro.workloads.datasets import DatasetProfile, LMSYS_LIKE
+from repro.workloads.traffic import TIER_PRIORITY
 
 HEADER = ("timestamp", "input_tokens", "output_tokens")
+TENANT_HEADER = HEADER + ("tenant", "tier")
 
 
 def write_trace_csv(requests: Sequence[Request], path: str | Path) -> None:
-    """Write requests (sorted by arrival) in the trace schema."""
+    """Write requests (sorted by arrival) in the trace schema.
+
+    Emits the 5-column multi-tenant schema iff any request carries a
+    tenant or tier tag; otherwise the legacy 3-column file, byte for
+    byte, so pre-existing traces round-trip unchanged.
+    """
     path = Path(path)
+    tagged = any(r.tenant or r.tier for r in requests)
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(HEADER)
+        writer.writerow(TENANT_HEADER if tagged else HEADER)
         for request in sorted(requests, key=lambda r: r.arrival_time):
-            writer.writerow(
-                [
-                    f"{request.arrival_time:.3f}",
-                    request.input_tokens,
-                    request.output_tokens,
-                ]
-            )
+            row = [
+                f"{request.arrival_time:.3f}",
+                request.input_tokens,
+                request.output_tokens,
+            ]
+            if tagged:
+                row.extend([request.tenant, request.tier])
+            writer.writerow(row)
+
+
+def _tier_priority(tier: str, path: Path, line_no: int) -> int:
+    if not tier:
+        return 0
+    if tier not in TIER_PRIORITY:
+        known = ", ".join(sorted(TIER_PRIORITY))
+        raise ConfigError(
+            f"{path}:{line_no}: unknown tier {tier!r}; known: {known}"
+        )
+    return TIER_PRIORITY[tier]
 
 
 def read_trace_csv(
@@ -55,9 +83,13 @@ def read_trace_csv(
 ) -> list[Request]:
     """Parse a trace CSV into requests.
 
-    Clusters are sampled from ``profile``'s Zipf weights (real traces carry
-    no prompt semantics); per-request routing seeds derive from the same
-    generator so replays are deterministic.
+    Accepts both the legacy 3-column schema and the 5-column
+    multi-tenant schema; legacy rows read back untagged (empty tenant and
+    tier, priority 0).  Clusters are sampled from ``profile``'s Zipf
+    weights (real traces carry no prompt semantics); per-request routing
+    seeds derive from the same generator so replays are deterministic —
+    and identical across the two schemas for the same timestamp/token
+    rows, because the tenant columns consume no randomness.
     """
     path = Path(path)
     rng = np.random.default_rng(seed)
@@ -69,17 +101,23 @@ def read_trace_csv(
             header = next(reader)
         except StopIteration:
             raise ConfigError(f"{path}: empty trace file") from None
-        if tuple(h.strip().lower() for h in header) != HEADER:
+        normalized = tuple(h.strip().lower() for h in header)
+        if normalized == HEADER:
+            columns = len(HEADER)
+        elif normalized == TENANT_HEADER:
+            columns = len(TENANT_HEADER)
+        else:
             raise ConfigError(
-                f"{path}: expected header {','.join(HEADER)}, "
-                f"got {','.join(header)}"
+                f"{path}: expected header {','.join(HEADER)} or "
+                f"{','.join(TENANT_HEADER)}, got {','.join(header)}"
             )
         for line_no, row in enumerate(reader, start=2):
             if not row or all(not cell.strip() for cell in row):
                 continue
-            if len(row) != 3:
+            if len(row) != columns:
                 raise ConfigError(
-                    f"{path}:{line_no}: expected 3 columns, got {len(row)}"
+                    f"{path}:{line_no}: expected {columns} columns, "
+                    f"got {len(row)}"
                 )
             try:
                 timestamp = float(row[0])
@@ -91,6 +129,8 @@ def read_trace_csv(
                 raise ConfigError(
                     f"{path}:{line_no}: negative timestamp {timestamp}"
                 )
+            tenant = row[3].strip() if columns == 5 else ""
+            tier = row[4].strip() if columns == 5 else ""
             requests.append(
                 Request(
                     request_id=start_id + len(requests),
@@ -101,6 +141,9 @@ def read_trace_csv(
                     output_tokens=max(output_tokens, 1),
                     arrival_time=timestamp,
                     seed=int(rng.integers(2**31)),
+                    priority=_tier_priority(tier, path, line_no),
+                    tenant=tenant,
+                    tier=tier,
                 )
             )
             if max_requests is not None and len(requests) >= max_requests:

@@ -95,6 +95,56 @@ def fleet_shapes(draw, max_replicas: int = 4, max_requests: int = 8):
 
 
 @st.composite
+def tenant_specs(draw, index: int = 0, max_requests: int = 48):
+    """Strategy producing one valid :class:`TenantSpec`.
+
+    Bounded well inside one generation block so the property suites stay
+    fast; curves sample the flat, business, and night shapes plus a tiny
+    custom two-phase curve.
+    """
+    from repro.workloads.traffic import (
+        DIURNAL_BUSINESS,
+        DIURNAL_NIGHT,
+        FLAT_CURVE,
+        TIER_NAMES,
+        TenantSpec,
+    )
+
+    return TenantSpec(
+        name=f"tenant-{index}",
+        dataset=draw(st.sampled_from(("lmsys-chat-1m", "sharegpt"))),
+        num_requests=draw(st.integers(1, max_requests)),
+        mean_interarrival_seconds=draw(
+            st.floats(0.05, 600.0, allow_nan=False)
+        ),
+        burstiness_cv=draw(st.floats(0.3, 4.0, allow_nan=False)),
+        tier=draw(st.sampled_from(TIER_NAMES)),
+        rate_curve=draw(
+            st.sampled_from(
+                (FLAT_CURVE, DIURNAL_BUSINESS, DIURNAL_NIGHT, (0.5, 2.0))
+            )
+        ),
+        start_time=draw(st.sampled_from((0.0, 3600.0))),
+    )
+
+
+@st.composite
+def traffic_configs(draw, max_tenants: int = 4, max_requests: int = 48):
+    """Strategy producing one valid multi-tenant :class:`TrafficConfig`."""
+    from repro.workloads.traffic import TrafficConfig
+
+    count = draw(st.integers(1, max_tenants))
+    tenants = tuple(
+        draw(tenant_specs(index=i, max_requests=max_requests))
+        for i in range(count)
+    )
+    return TrafficConfig(
+        tenants=tenants,
+        seed=draw(st.integers(0, 1000)),
+    )
+
+
+@st.composite
 def hetero_fleets(draw, max_requests: int = 8):
     """Strategy producing one heterogeneous-fleet serving scenario.
 

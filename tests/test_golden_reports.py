@@ -92,6 +92,47 @@ class TestGoldenCorpus:
         )
 
 
+class TestStormGolden:
+    """The two-tenant storm report — tenancy schema included — is pinned."""
+
+    def test_golden_file_exists(self):
+        from tests.golden.storm import STORM_GOLDEN_PATH
+
+        assert STORM_GOLDEN_PATH.is_file()
+
+    def test_storm_run_matches_golden_field_by_field(self, world_cache):
+        from tests.golden.storm import (
+            compute_storm_report_dict,
+            load_storm_golden,
+        )
+
+        problems = _diff(
+            load_storm_golden(), compute_storm_report_dict(world_cache)
+        )
+        assert not problems, (
+            f"storm_two_tenant.json: {len(problems)} field(s) drifted "
+            "(regenerate with `PYTHONPATH=src python -m "
+            "tests.golden.storm` if intentional):\n"
+            + "\n".join(problems[:20])
+        )
+
+    def test_golden_pins_the_tenancy_section(self):
+        from tests.golden.storm import load_storm_golden
+
+        payload = load_storm_golden()
+        tenancy = payload["tenancy"]
+        assert tenancy["priority_aware"] is True
+        assert set(tenancy["tiers"]) == {"premium", "batch"}
+        premium = tenancy["tiers"]["premium"]
+        batch = tenancy["tiers"]["batch"]
+        assert premium["shed_rate"] <= batch["shed_rate"]
+        for tier in (premium, batch):
+            assert (
+                tier["served"] + tier["shed"] + tier["failed"]
+                == tier["offered"]
+            )
+
+
 class TestDiffEngine:
     """The differ itself must catch what it claims to catch."""
 

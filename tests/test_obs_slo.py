@@ -216,3 +216,56 @@ class TestRender:
         tracker = SLOTracker()
         text = render_slo_summary(tracker.to_dict())
         assert "(no alerts)" in text
+
+
+class TestTieredTracker:
+    @staticmethod
+    def _outcomes():
+        from repro.cluster.metrics import RequestOutcome
+
+        return [
+            RequestOutcome(
+                request_id=0, arrival=0.0, outcome="served", latency=0.2
+            ),
+            RequestOutcome(
+                request_id=1, arrival=0.5, outcome="served", latency=5.0
+            ),
+            RequestOutcome(request_id=2, arrival=1.0, outcome="shed"),
+            RequestOutcome(
+                request_id=3, arrival=1.5, outcome="served", latency=0.1
+            ),
+        ]
+
+    def test_partitions_conserve_observations(self):
+        from repro.obs import TieredSLOTracker
+
+        tracker = TieredSLOTracker(deadline_seconds=1.0)
+        tiers = {0: "premium", 1: "batch", 2: "batch"}
+        tracker.observe_outcomes(self._outcomes(), tiers)
+        total = sum(t.total for t in tracker.trackers.values())
+        assert total == 4
+        # Request 3 has no tier mapping: it lands in the "" partition
+        # rather than vanishing.
+        assert tracker.trackers[""].total == 1
+
+    def test_per_tier_attainment_independent(self):
+        from repro.obs import TieredSLOTracker
+
+        tracker = TieredSLOTracker(deadline_seconds=1.0)
+        tiers = {0: "premium", 1: "batch", 2: "batch", 3: "premium"}
+        tracker.observe_outcomes(self._outcomes(), tiers)
+        assert tracker.trackers["premium"].attainment() == 1.0
+        # batch: one late serve + one shed, both bad.
+        assert tracker.trackers["batch"].attainment() == 0.0
+
+    def test_to_dict_and_firing_shapes(self):
+        from repro.obs import TieredSLOTracker
+
+        tracker = TieredSLOTracker(deadline_seconds=1.0)
+        tiers = {0: "premium", 1: "batch", 2: "batch", 3: "premium"}
+        tracker.observe_outcomes(self._outcomes(), tiers)
+        summary = tracker.to_dict()
+        assert set(summary) == {"batch", "premium"}
+        assert summary["batch"]["observations"] == 2
+        firing = tracker.firing()
+        assert all(isinstance(rules, list) for rules in firing.values())

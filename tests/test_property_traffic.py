@@ -1,0 +1,201 @@
+"""Property-based tests for the multi-tenant traffic layer.
+
+Invariants, under randomized tenant mixes:
+
+- the lazy heap-merged stream is byte-identical to the fully
+  materialized (per-tenant lists + sort) reference at the same seed;
+- merged arrivals are non-decreasing and request ids are a permutation
+  of ``0..N-1``;
+- per-tenant request counts, tier tags, and priorities are conserved
+  through the merge;
+- consumer chunking (:func:`arrival_chunks`) never changes the stream,
+  for any chunk size;
+- a single flat-curve tenant reproduces :func:`make_azure_trace` byte
+  for byte (the legacy-parity pin the storm config degenerates to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.workloads.azure import AzureTraceConfig, make_azure_trace
+from repro.workloads.datasets import get_dataset_profile
+from repro.workloads.traffic import (
+    DIURNAL_BUSINESS,
+    DIURNAL_NIGHT,
+    FLAT_CURVE,
+    TIER_PRIORITY,
+    TenantSpec,
+    TrafficConfig,
+    arrival_chunks,
+    default_storm_traffic,
+    materialize_traffic,
+    stream_traffic,
+    tenant_arrivals,
+    traffic_census,
+)
+
+from tests._strategies import traffic_configs
+
+
+class TestLazyEqualsMaterialized:
+    @given(config=traffic_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_stream_matches_reference(self, config):
+        assert list(stream_traffic(config)) == materialize_traffic(config)
+
+    @given(config=traffic_configs(), _=st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_stream_is_deterministic(self, config, _):
+        assert list(stream_traffic(config)) == list(stream_traffic(config))
+
+
+class TestMergeInvariants:
+    @given(config=traffic_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_arrivals_monotone_and_ids_complete(self, config):
+        stream = list(stream_traffic(config))
+        arrivals = [r.arrival_time for r in stream]
+        assert arrivals == sorted(arrivals)
+        assert sorted(r.request_id for r in stream) == list(
+            range(config.total_requests)
+        )
+
+    @given(config=traffic_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_per_tenant_conservation(self, config):
+        stream = list(stream_traffic(config))
+        by_tenant = {}
+        for request in stream:
+            by_tenant.setdefault(request.tenant, []).append(request)
+        assert set(by_tenant) == {t.name for t in config.tenants}
+        for spec in config.tenants:
+            mine = by_tenant[spec.name]
+            assert len(mine) == spec.num_requests
+            assert all(r.tier == spec.tier for r in mine)
+            assert all(
+                r.priority == TIER_PRIORITY[spec.tier] for r in mine
+            )
+
+    @given(config=traffic_configs())
+    @settings(max_examples=15, deadline=None)
+    def test_census_conserves_counts(self, config):
+        census = traffic_census(stream_traffic(config))
+        assert census.total_requests == config.total_requests
+        assert census.per_tenant == {
+            t.name: t.num_requests for t in config.tenants
+        }
+        assert sum(c.offered for c in census.per_tier.values()) == (
+            config.total_requests
+        )
+
+
+class TestChunkInvariance:
+    @given(config=traffic_configs(), chunk_size=st.integers(1, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_chunking_never_changes_the_stream(self, config, chunk_size):
+        flattened = [
+            request
+            for chunk in arrival_chunks(config, chunk_size)
+            for request in chunk
+        ]
+        assert flattened == list(stream_traffic(config))
+
+    def test_chunk_size_must_be_positive(self):
+        config = default_storm_traffic(30)
+        with pytest.raises(ConfigError):
+            next(arrival_chunks(config, 0))
+
+
+class TestAzureParity:
+    @given(
+        seed=st.integers(0, 500),
+        n=st.integers(1, 64),
+        mean=st.sampled_from((0.5, 2.0, 30.0)),
+        cv=st.sampled_from((0.5, 1.0, 2.0)),
+        dataset=st.sampled_from(("lmsys-chat-1m", "sharegpt")),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_flat_single_tenant_matches_legacy_generator(
+        self, seed, n, mean, cv, dataset
+    ):
+        spec = TenantSpec(
+            name="solo",
+            dataset=dataset,
+            num_requests=n,
+            mean_interarrival_seconds=mean,
+            burstiness_cv=cv,
+            rate_curve=FLAT_CURVE,
+        )
+        stream = [
+            replace(r, tenant="", tier="", priority=0)
+            for r in tenant_arrivals(spec, seed=seed)
+        ]
+        legacy = make_azure_trace(
+            AzureTraceConfig(
+                num_requests=n,
+                mean_interarrival_seconds=mean,
+                burstiness_cv=cv,
+            ),
+            get_dataset_profile(dataset),
+            seed=seed,
+        )
+        assert stream == legacy
+
+    def test_config_seed_is_tenant_zero_seed(self):
+        # The degenerate storm config (one flat tenant) pins to the
+        # legacy path through TrafficConfig too: tenant 0's seed is the
+        # config seed itself.
+        spec = TenantSpec(name="solo", num_requests=12)
+        config = TrafficConfig(tenants=(spec,), seed=9)
+        stream = [
+            replace(r, tenant="", tier="", priority=0)
+            for r in stream_traffic(config)
+        ]
+        legacy = make_azure_trace(
+            AzureTraceConfig(num_requests=12, mean_interarrival_seconds=2.0),
+            get_dataset_profile("lmsys-chat-1m"),
+            seed=9,
+        )
+        assert stream == legacy
+
+
+class TestDiurnalWarp:
+    def test_curves_are_mean_one(self):
+        for curve in (DIURNAL_BUSINESS, DIURNAL_NIGHT):
+            assert sum(curve) / len(curve) == pytest.approx(1.0)
+
+    def test_higher_rate_compresses_gaps(self):
+        slow = TenantSpec(
+            name="t", num_requests=40, rate_curve=(0.5,), burstiness_cv=1.0
+        )
+        fast = TenantSpec(
+            name="t", num_requests=40, rate_curve=(2.0,), burstiness_cv=1.0
+        )
+        slow_last = list(tenant_arrivals(slow, seed=3))[-1].arrival_time
+        fast_last = list(tenant_arrivals(fast, seed=3))[-1].arrival_time
+        assert fast_last < slow_last
+
+    def test_validation_rejects_bad_specs(self):
+        with pytest.raises(ConfigError):
+            TenantSpec(name="", num_requests=4).validate()
+        with pytest.raises(ConfigError):
+            TenantSpec(name="x", num_requests=0).validate()
+        with pytest.raises(ConfigError):
+            TenantSpec(name="x", tier="gold").validate()
+        with pytest.raises(ConfigError):
+            TenantSpec(name="x", rate_curve=(1.0, -1.0)).validate()
+        with pytest.raises(ConfigError):
+            TrafficConfig(tenants=()).validate()
+        with pytest.raises(ConfigError):
+            TrafficConfig(
+                tenants=(
+                    TenantSpec(name="dup"),
+                    TenantSpec(name="dup"),
+                )
+            ).validate()

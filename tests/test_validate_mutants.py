@@ -67,3 +67,23 @@ class TestMutantDetection:
         )
         result = detect_mutant(_pressured_world(), healthy)
         assert not result.flagged, result.detectors
+
+
+class TestDriverMutants:
+    def test_priority_inversion_caught_by_tenancy_monitor(self):
+        result = detect_mutant(
+            _pressured_world(), get_mutant("priority-inversion")
+        )
+        assert result.flagged
+        assert result.detectors == ["invariant:tenancy"]
+
+    def test_identity_driver_mutant_is_not_flagged(self):
+        """The driver screen has no false positives: an unmutated
+        driver class sails through the two-tier overload."""
+        healthy = dataclasses.replace(
+            get_mutant("priority-inversion"),
+            name="healthy-driver",
+            apply=lambda driver_cls: driver_cls,
+        )
+        result = detect_mutant(_pressured_world(), healthy)
+        assert not result.flagged, result.detectors

@@ -108,6 +108,88 @@ class TestParsing:
             read_trace_csv(path)
 
 
+class TestTenantColumns:
+    def test_untagged_trace_stays_legacy_byte_for_byte(self, tmp_path):
+        trace = make_azure_trace(AzureTraceConfig(num_requests=3), seed=0)
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+        first_line = path.read_text().splitlines()[0]
+        assert first_line == "timestamp,input_tokens,output_tokens"
+
+    def test_tagged_round_trip_carries_tenant_and_tier(self, tmp_path):
+        from repro.workloads.traffic import default_storm_traffic
+        from repro.workloads.traffic import materialize_traffic
+
+        trace = materialize_traffic(default_storm_traffic(24, seed=1))
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+        header = path.read_text().splitlines()[0]
+        assert header == "timestamp,input_tokens,output_tokens,tenant,tier"
+        loaded = read_trace_csv(path, seed=4)
+        assert [r.tenant for r in loaded] == [r.tenant for r in trace]
+        assert [r.tier for r in loaded] == [r.tier for r in trace]
+        assert all(
+            r.priority == original.priority
+            for r, original in zip(loaded, trace)
+        )
+
+    def test_pre_tenant_csv_still_reads(self, tmp_path):
+        # A trace written before the tenant columns existed (literal
+        # pre-existing file contents, not produced by today's writer)
+        # must keep parsing: untagged requests, priority 0.
+        path = tmp_path / "old.csv"
+        path.write_text(
+            "timestamp,input_tokens,output_tokens\n"
+            "0.000,128,42\n"
+            "1.532,64,7\n"
+            "2.981,96,12\n"
+        )
+        loaded = read_trace_csv(path, seed=3)
+        assert len(loaded) == 3
+        assert all(r.tenant == "" and r.tier == "" for r in loaded)
+        assert all(r.priority == 0 for r in loaded)
+
+    def test_seeds_identical_across_schemas(self, tmp_path):
+        # The tenant columns consume no randomness: the same
+        # timestamp/token rows yield identical clusters and routing
+        # seeds whether or not the tags are present.
+        legacy = tmp_path / "legacy.csv"
+        tagged = tmp_path / "tagged.csv"
+        legacy.write_text(
+            "timestamp,input_tokens,output_tokens\n"
+            "0.000,128,42\n"
+            "1.532,64,7\n"
+        )
+        tagged.write_text(
+            "timestamp,input_tokens,output_tokens,tenant,tier\n"
+            "0.000,128,42,acme,premium\n"
+            "1.532,64,7,initech,batch\n"
+        )
+        a = read_trace_csv(legacy, seed=11)
+        b = read_trace_csv(tagged, seed=11)
+        assert [r.cluster for r in a] == [r.cluster for r in b]
+        assert [r.seed for r in a] == [r.seed for r in b]
+        assert [r.tier for r in b] == ["premium", "batch"]
+
+    def test_unknown_tier_rejected(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "timestamp,input_tokens,output_tokens,tenant,tier\n"
+            "0.000,128,42,acme,gold\n"
+        )
+        with pytest.raises(ConfigError, match="unknown tier"):
+            read_trace_csv(path)
+
+    def test_tagged_row_count_enforced(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "timestamp,input_tokens,output_tokens,tenant,tier\n"
+            "0.000,128,42,acme\n"
+        )
+        with pytest.raises(ConfigError, match="5 columns"):
+            read_trace_csv(path)
+
+
 class TestEndToEnd:
     def test_trace_file_drives_online_serving(
         self, tmp_path, tiny_config, small_hardware, tiny_profile
